@@ -1,0 +1,64 @@
+"""Shared benchmark plumbing.
+
+Each ``test_bench_*`` module regenerates one table/figure of the paper:
+the experiment runs once under ``benchmark.pedantic`` (rounds=1 — the
+measured quantity is the paper's, not the harness's) and the paper-style
+rows are printed and saved under ``benchmarks/results/``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Benchmarks use the ``bench`` profile (CPU-scaled grids); pass
+``--bench-profile=quick`` for a fast smoke pass or ``paper`` for the
+paper-scale (hours) run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import get_config
+from repro.experiments.runner import ExperimentResult
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-profile",
+        default="bench",
+        choices=["quick", "bench", "paper"],
+        help="experiment scale profile for the figure/table benchmarks",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_profile(request) -> str:
+    return request.config.getoption("--bench-profile")
+
+
+@pytest.fixture(scope="session")
+def bench_config(bench_profile):
+    """Factory: the session profile's config with per-bench overrides."""
+
+    def factory(**overrides):
+        return get_config(bench_profile, **overrides)
+
+    return factory
+
+
+def publish(result: ExperimentResult) -> None:
+    """Print the paper-style rows and persist them under results/."""
+    text = result.format()
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{result.experiment}.txt").write_text(text + "\n")
+
+
+def run_once(benchmark, runner, *args, **kwargs) -> ExperimentResult:
+    """Execute an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(runner, args=args, kwargs=kwargs, rounds=1, iterations=1)

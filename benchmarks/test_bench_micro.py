@@ -1,0 +1,90 @@
+"""Micro-benchmarks of the library's hot kernels.
+
+Unlike the figure/table benches (one-shot experiment regeneration), these
+use pytest-benchmark's normal multi-round timing to track the cost of the
+individual building blocks: sampler draws, feature extraction, NN
+forward/backward, and each interpolator's void fill.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FCNNReconstructor, FeatureExtractor
+from repro.datasets import HurricaneDataset
+from repro.interpolation import make_interpolator
+from repro.nn import Adam, MSELoss, mlp
+from repro.sampling import MultiCriteriaSampler, RandomSampler
+
+
+@pytest.fixture(scope="module")
+def field():
+    grid = HurricaneDataset.default_grid().with_resolution((30, 30, 10))
+    return HurricaneDataset(grid=grid).field(t=0)
+
+
+@pytest.fixture(scope="module")
+def sample(field):
+    return MultiCriteriaSampler(seed=0).sample(field, 0.02)
+
+
+class TestSamplerKernels:
+    def test_random_sampler(self, benchmark, field):
+        sampler = RandomSampler(seed=0)
+        benchmark(sampler.sample, field, 0.02)
+
+    def test_multicriteria_sampler(self, benchmark, field):
+        sampler = MultiCriteriaSampler(seed=0)
+        benchmark(sampler.sample, field, 0.02)
+
+
+class TestFeatureKernels:
+    def test_feature_extraction(self, benchmark, field, sample):
+        extractor = FeatureExtractor()
+        normalizer = extractor.fit_normalizer(sample, field=field)
+        query = sample.void_points()
+        benchmark(extractor.features, sample, query, normalizer)
+
+    def test_training_data_assembly(self, benchmark, field, sample):
+        extractor = FeatureExtractor()
+        normalizer = extractor.fit_normalizer(sample, field=field)
+        benchmark(extractor.training_data, field, sample, normalizer)
+
+
+class TestNNKernels:
+    @pytest.fixture(scope="class")
+    def batch(self):
+        rng = np.random.default_rng(0)
+        return rng.normal(size=(4096, 23)), rng.normal(size=(4096, 4))
+
+    def test_forward(self, benchmark, batch):
+        model = mlp(23, [128, 64, 32, 16], 4, seed=0)
+        x, _ = batch
+        benchmark(model.forward, x)
+
+    def test_train_step(self, benchmark, batch):
+        model = mlp(23, [128, 64, 32, 16], 4, seed=0)
+        loss = MSELoss()
+        opt = Adam(model.parameters())
+        x, y = batch
+
+        def step():
+            pred = model.forward(x)
+            opt.zero_grad()
+            model.backward(loss.gradient(pred, y))
+            opt.step()
+
+        benchmark(step)
+
+
+class TestInterpolatorKernels:
+    @pytest.mark.parametrize("name", ["nearest", "shepard", "linear", "natural"])
+    def test_reconstruct(self, benchmark, name, sample):
+        method = make_interpolator(name)
+        benchmark.pedantic(method.reconstruct, args=(sample,), rounds=3, iterations=1)
+
+
+class TestFCNNInference:
+    def test_fcnn_reconstruct(self, benchmark, field, sample):
+        model = FCNNReconstructor(hidden_layers=(64, 32, 16), batch_size=4096, seed=0)
+        model.train(field, sample, epochs=3)
+        benchmark.pedantic(model.reconstruct, args=(sample,), rounds=3, iterations=1)

@@ -1,0 +1,33 @@
+"""Table I — full-training time per dataset and resolution.
+
+Shape asserted: training time scales with the number of training rows, so
+the 2x-per-axis upscaled Hurricane run costs several times its base run
+(the paper: 533s -> 3737s, a ~7x jump for 8x the points).
+"""
+
+from conftest import publish, run_once
+from repro.experiments import exp_training_time
+
+
+def test_tab1_training_time(benchmark, bench_config):
+    # Timing shape survives a reduced epoch budget; keep the bench short.
+    config = bench_config()
+    config = config.scaled(dims=(28, 28, 10), epochs=max(10, config.epochs // 5))
+    result = run_once(benchmark, exp_training_time.run, config)
+    publish(result)
+
+    rows = {(r["dataset"], r["resolution"]): r for r in result.rows}
+    assert len(result.rows) == 4
+
+    hurricane = [r for r in result.rows if r["dataset"] == "hurricane"]
+    base = min(hurricane, key=lambda r: r["train_rows"])
+    upscaled = max(hurricane, key=lambda r: r["train_rows"])
+    assert upscaled["train_rows"] > 6 * base["train_rows"]
+    assert upscaled["train_seconds"] > 3.0 * base["train_seconds"], (
+        f"upscaled {upscaled['train_seconds']:.1f}s vs base {base['train_seconds']:.1f}s"
+    )
+
+    # More training rows must never be dramatically cheaper.
+    ordered = sorted(result.rows, key=lambda r: r["train_rows"])
+    for small, large in zip(ordered, ordered[1:]):
+        assert large["train_seconds"] > 0.5 * small["train_seconds"]

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Survey every reconstruction method on every dataset (Sec III-B study).
+
+Reproduces the paper's method comparison in miniature: for each of the
+three simulation datasets and a sweep of sampling percentages, reconstruct
+with the FCNN and all five rule-based interpolators (including RBF, which
+the paper benchmarked and then excluded for cost) and print quality and
+timing side by side.
+"""
+
+from repro.core import FCNNReconstructor, ReconstructionPipeline
+from repro.datasets import make_dataset
+from repro.interpolation import make_interpolator
+from repro.sampling import MultiCriteriaSampler
+
+DATASETS = ("hurricane", "combustion", "ionization")
+FRACTIONS = (0.005, 0.01, 0.03)
+METHODS = ("linear", "natural", "shepard", "nearest", "rbf")
+
+
+def main() -> None:
+    print(f"{'dataset':10s}  {'frac':>6s}  {'method':8s}  {'SNR (dB)':>9s}  {'seconds':>8s}")
+    for name in DATASETS:
+        pipeline = ReconstructionPipeline(
+            dataset=make_dataset(name, dims=(28, 28, 10), seed=0),
+            sampler=MultiCriteriaSampler(seed=7),
+        )
+        fcnn = FCNNReconstructor(hidden_layers=(96, 48, 24, 12), seed=0)
+        pipeline.train_fcnn(fcnn, epochs=100)
+        field = pipeline.field(0)
+
+        for fraction in FRACTIONS:
+            sample = pipeline.sample(field, fraction, seed=1000)
+            for method_name in ("fcnn",) + METHODS:
+                method = fcnn if method_name == "fcnn" else make_interpolator(method_name)
+                res = pipeline.run_method(method, sample, field)
+                print(
+                    f"{name:10s}  {fraction:6.1%}  {method_name:8s}"
+                    f"  {res.score.snr:9.2f}  {res.reconstruct_seconds:8.3f}"
+                )
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Multivariate workflow: store several attributes at shared locations.
+
+A realistic in situ reducer stores *all* attributes of interest at the same
+sampled locations (one index column, several value columns).  This example
+samples the hurricane simulation's pressure, temperature and wind speed
+with a single pressure-driven importance draw, trains one FCNN per
+attribute, and reconstructs the full multivariate state — reporting SNR per
+attribute against Delaunay linear interpolation.
+"""
+
+import time
+
+from repro.core import MultivariateReconstructor, sample_multivariate
+from repro.datasets import HurricaneDataset
+from repro.interpolation import DelaunayLinearInterpolator
+from repro.metrics import snr
+from repro.sampling import MultiCriteriaSampler
+
+ATTRIBUTES = ("pressure", "temperature", "wind_speed")
+
+
+def main() -> None:
+    grid = HurricaneDataset.default_grid().with_resolution((32, 32, 10))
+    dataset = HurricaneDataset(grid=grid, seed=0)
+    sampler = MultiCriteriaSampler(seed=7)
+    t = 24  # peak-intensity timestep
+
+    fields = {a: dataset.field(t=t, attribute=a) for a in ATTRIBUTES}
+
+    # One shared-location draw per training fraction (driver: pressure).
+    train = {a: [] for a in ATTRIBUTES}
+    for fraction in (0.01, 0.05):
+        drawn = sample_multivariate(dataset, sampler, fraction, timestep=t,
+                                    attributes=ATTRIBUTES)
+        for a in ATTRIBUTES:
+            train[a].append(drawn[a])
+
+    model = MultivariateReconstructor(
+        ATTRIBUTES, hidden_layers=(96, 48, 24, 12), batch_size=4096, seed=0
+    )
+    t0 = time.perf_counter()
+    model.train(fields, train, epochs=100)
+    print(f"trained {len(ATTRIBUTES)} attribute models in {time.perf_counter() - t0:.1f}s")
+
+    test = sample_multivariate(dataset, sampler, 0.01, timestep=t,
+                               attributes=ATTRIBUTES, seed=1000)
+    volumes = model.reconstruct(test)
+    linear = DelaunayLinearInterpolator()
+
+    print()
+    print(f"{'attribute':12s}  {'FCNN SNR':>9s}  {'linear SNR':>10s}")
+    for a in ATTRIBUTES:
+        fcnn_snr = snr(fields[a].values, volumes[a])
+        lin_snr = snr(fields[a].values, linear.reconstruct(test[a]))
+        print(f"{a:12s}  {fcnn_snr:9.2f}  {lin_snr:10.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""In situ across time: pretrain once, fine-tune ~10 epochs per timestep.
+
+Experiment 2 of the paper as a user workflow.  A hurricane simulation
+advances; at each output step only a 3% sample is stored.  One FCNN is
+pretrained at the first step; at every later step it is fine-tuned for 10
+epochs (Case 1) before reconstructing — and compared against (a) itself
+*without* fine-tuning and (b) Delaunay linear interpolation, which must
+start from scratch every time.
+
+Also demonstrates the Case-2 storage scheme: per-timestep checkpoints that
+hold only the last two layers.
+"""
+
+import copy
+import os
+import tempfile
+import time
+
+from repro.core import FCNNReconstructor
+from repro.datasets import HurricaneDataset
+from repro.interpolation import DelaunayLinearInterpolator
+from repro.metrics import snr
+from repro.sampling import MultiCriteriaSampler
+
+FRACTION = 0.03
+TIMESTEPS = (0, 8, 16, 24, 32, 40)
+
+
+def main() -> None:
+    grid = HurricaneDataset.default_grid().with_resolution((36, 36, 10))
+    dataset = HurricaneDataset(grid=grid, seed=0)
+    sampler = MultiCriteriaSampler(seed=7)
+    linear = DelaunayLinearInterpolator()
+
+    # Pretrain at the first stored timestep.
+    first = dataset.field(t=TIMESTEPS[0])
+    train = [sampler.sample(first, 0.01), sampler.sample(first, 0.05)]
+    pretrained = FCNNReconstructor(hidden_layers=(128, 64, 32, 16), seed=0)
+    t0 = time.perf_counter()
+    pretrained.train(first, train, epochs=120)
+    print(f"pretrained at t={TIMESTEPS[0]} in {time.perf_counter() - t0:.1f}s")
+
+    rolling = copy.deepcopy(pretrained)  # fine-tuned copy, carried forward
+
+    print()
+    print(f"{'t':>3s}  {'linear':>7s}  {'pretrained':>10s}  {'fine-tuned':>10s}  {'ft secs':>8s}")
+    with tempfile.TemporaryDirectory() as ckpt_dir:
+        for t in TIMESTEPS:
+            field = dataset.field(t=t)
+            test = sampler.sample(field, FRACTION, seed=1000)
+
+            lin_snr = snr(field.values, linear.reconstruct(test))
+            pre_snr = snr(field.values, pretrained.reconstruct(test))
+
+            t0 = time.perf_counter()
+            if t != TIMESTEPS[0]:
+                new_train = [sampler.sample(field, 0.01), sampler.sample(field, 0.05)]
+                rolling.fine_tune(field, new_train, epochs=10, strategy="full")
+            ft_seconds = time.perf_counter() - t0
+            ft_snr = snr(field.values, rolling.reconstruct(test))
+
+            # Case-2-style storage: per-timestep partial checkpoint.
+            rolling.save_partial(os.path.join(ckpt_dir, f"t{t:02d}.npz"), num_layers=2)
+
+            print(f"{t:3d}  {lin_snr:7.2f}  {pre_snr:10.2f}  {ft_snr:10.2f}  {ft_seconds:8.2f}")
+
+        sizes = sorted(os.listdir(ckpt_dir))
+        partial_bytes = os.path.getsize(os.path.join(ckpt_dir, sizes[-1]))
+        full_path = os.path.join(ckpt_dir, "full.npz")
+        rolling.save(full_path)
+        print()
+        print(f"checkpoints: full model {os.path.getsize(full_path) / 1024:.0f} KiB, "
+              f"per-timestep last-2-layer checkpoint {partial_bytes / 1024:.0f} KiB")
+
+
+if __name__ == "__main__":
+    main()

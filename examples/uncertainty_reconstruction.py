@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Uncertainty-aware reconstruction with deep ensembles (paper future work).
+
+Trains a 3-member deep ensemble, reconstructs with per-voxel uncertainty,
+checks that the uncertainty actually ranks the error, and demonstrates the
+closed loop: feed the uncertainty into an adaptive sampler for the next
+timestep and compare against static sampling.
+"""
+
+import numpy as np
+
+from repro.core import DeepEnsembleReconstructor
+from repro.datasets import HurricaneDataset
+from repro.insitu import run_adaptive_campaign
+from repro.metrics import snr
+from repro.sampling import MultiCriteriaSampler
+
+
+def main() -> None:
+    grid = HurricaneDataset.default_grid().with_resolution((28, 28, 10))
+    dataset = HurricaneDataset(grid=grid, seed=0)
+    sampler = MultiCriteriaSampler(seed=7)
+    field = dataset.field(t=0)
+
+    train = [sampler.sample(field, 0.01), sampler.sample(field, 0.05)]
+    ensemble = DeepEnsembleReconstructor(
+        num_members=3, base_seed=0, hidden_layers=(96, 48, 24, 12), batch_size=4096
+    )
+    ensemble.train(field, train, epochs=80)
+
+    test = sampler.sample(field, 0.02, seed=1000)
+    rec = ensemble.reconstruct_with_uncertainty(test)
+
+    void = test.void_indices()
+    err = np.abs(field.flat[void] - rec.mean.ravel()[void])
+    unc = rec.std.ravel()[void]
+    corr = np.corrcoef(err, unc)[0, 1]
+
+    print(f"ensemble mean SNR      : {snr(field.values, rec.mean):.2f} dB")
+    print(f"2-sigma coverage       : {rec.coverage(field.values, k=2):.1%}")
+    print(f"error/uncertainty corr : {corr:.3f}")
+    top = np.argsort(-unc)[: len(unc) // 10]
+    print(f"error in top-10% most-uncertain voxels: {err[top].mean():.3f} "
+          f"vs overall {err.mean():.3f}")
+
+    # Closed loop: uncertainty drives the next timesteps' sampling.
+    print("\nadaptive vs static sampling across timesteps (2% budget):")
+    ensemble2 = DeepEnsembleReconstructor(
+        num_members=2, base_seed=0, hidden_layers=(64, 32, 16), batch_size=4096
+    )
+    records = run_adaptive_campaign(
+        dataset,
+        timesteps=(0, 12, 24, 36),
+        fraction=0.02,
+        ensemble=ensemble2,
+        pretrain_epochs=60,
+        finetune_epochs=10,
+    )
+    print(f"{'t':>3s}  {'static':>7s}  {'adaptive':>8s}  {'mean std':>9s}")
+    for r in records:
+        print(f"{r['timestep']:3d}  {r['snr_static']:7.2f}  "
+              f"{r['snr_adaptive']:8.2f}  {r['mean_uncertainty']:9.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""Reconstruction error analysis.
+
+Diagnostics that explain *where* and *why* a reconstruction is wrong —
+the questions a practitioner asks after seeing an SNR number:
+
+* :func:`error_field` / :func:`error_summary` — signed per-voxel error and
+  its distribution statistics;
+* :func:`error_vs_sample_distance` — error binned by distance to the
+  nearest sampled point (rule-based error grows with void depth; a good
+  learned model flattens this curve);
+* :func:`error_by_value_band` — error binned by the original scalar's
+  value, exposing feature-selective failures (e.g. the hurricane eye);
+* :func:`worst_regions` — the blocks with the highest RMSE, for triage.
+"""
+
+from repro.analysis.errors import (
+    ErrorSummary,
+    error_by_value_band,
+    error_field,
+    error_summary,
+    error_vs_sample_distance,
+    worst_regions,
+)
+
+__all__ = [
+    "ErrorSummary",
+    "error_field",
+    "error_summary",
+    "error_vs_sample_distance",
+    "error_by_value_band",
+    "worst_regions",
+]

@@ -1,0 +1,210 @@
+"""Command-line entry point.
+
+Two command families (``repro ...`` or ``python -m repro ...``):
+
+**Experiments** — regenerate any table/figure of the paper::
+
+    repro list
+    repro fig9 --profile bench
+    repro all --profile quick
+
+**Data tools** — the paper's file workflow on VTK XML volumes::
+
+    repro generate hurricane out.vti --dims 40 40 12
+    repro sample out.vti cloud.vtp --fraction 0.01
+    repro train out.vti model.npz --epochs 150
+    repro reconstruct cloud.vtp out.vti recon.vti --method fcnn --model model.npz
+    repro evaluate out.vti recon.vti
+    repro render recon.vti view.pgm --mode mip
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.config import PROFILES, get_config
+
+__all__ = ["main"]
+
+_TOOL_COMMANDS = ("generate", "sample", "train", "reconstruct", "evaluate", "render")
+
+
+def _runners() -> dict[str, tuple[str, callable]]:
+    from repro.experiments import (
+        exp_compression,
+        exp_feature_preservation,
+        exp_finetune_cases,
+        exp_gradient_ablation,
+        exp_layers,
+        exp_loss_curves,
+        exp_samplers,
+        exp_sampling_quality,
+        exp_schedules,
+        exp_sampling_time,
+        exp_timesteps,
+        exp_train_mix,
+        exp_training_subset,
+        exp_training_time,
+        exp_uncertainty,
+        exp_upscaling,
+    )
+
+    return {
+        "fig5": ("Case 1 vs Case 2 fine-tuning", exp_finetune_cases.run),
+        "fig6": ("SNR vs hidden-layer count", exp_layers.run),
+        "fig7": ("training sampling-percentage mix", exp_train_mix.run),
+        "fig8": ("gradient-output ablation", exp_gradient_ablation.run),
+        "fig9": ("SNR vs sampling percentage, all methods", exp_sampling_quality.run),
+        "fig10": ("reconstruction time vs sampling percentage", exp_sampling_time.run),
+        "fig11": ("quality across timesteps", exp_timesteps.run),
+        "fig12": ("loss curves: full training vs fine-tuning", exp_loss_curves.run),
+        "fig13": ("volume upscaling across domains", exp_upscaling.run),
+        "fig14": ("training-set sub-sampling (also Table II)", exp_training_subset.run),
+        "tab1": ("training time per dataset/resolution", exp_training_time.run),
+        "tab2": ("alias of fig14", exp_training_subset.run),
+        "ext-features": ("extension: isosurface/feature preservation", exp_feature_preservation.run),
+        "ext-uncertainty": ("extension: deep-ensemble uncertainty", exp_uncertainty.run),
+        "ext-samplers": ("extension: sampling-strategy ablation", exp_samplers.run),
+        "ext-compression": ("extension: sampling vs lossy compression at equal storage", exp_compression.run),
+        "ext-schedules": ("extension: learning-rate-schedule ablation", exp_schedules.run),
+    }
+
+
+def _tool_main(argv: list[str]) -> int:
+    """Dispatcher for the file-based data tools."""
+    from repro import tools
+
+    parser = argparse.ArgumentParser(prog="repro", description="VTK-file workflow tools")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="write a synthetic dataset timestep as .vti")
+    p.add_argument("dataset")
+    p.add_argument("output")
+    p.add_argument("--dims", type=int, nargs=3, default=None)
+    p.add_argument("--timestep", type=int, default=0)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("sample", help="reduce a .vti to a sampled .vtp point cloud")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.add_argument("--fraction", type=float, required=True)
+    p.add_argument("--sampler", default="multicriteria", choices=sorted(tools.SAMPLERS))
+    p.add_argument("--array", default=None)
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("train", help="train an FCNN from a full-resolution .vti")
+    p.add_argument("input")
+    p.add_argument("model_out")
+    p.add_argument("--fractions", type=float, nargs="+", default=[0.01, 0.05])
+    p.add_argument("--sampler", default="multicriteria", choices=sorted(tools.SAMPLERS))
+    p.add_argument("--array", default=None)
+    p.add_argument("--epochs", type=int, default=150)
+    p.add_argument("--hidden", type=int, nargs="+", default=[128, 64, 32, 16])
+    p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("reconstruct", help="rebuild a .vti from a .vtp cloud")
+    p.add_argument("input")
+    p.add_argument("reference")
+    p.add_argument("output")
+    p.add_argument("--method", default="linear")
+    p.add_argument("--model", default=None)
+    p.add_argument("--array", default="scalar")
+
+    p = sub.add_parser("evaluate", help="score a reconstruction against the original")
+    p.add_argument("original")
+    p.add_argument("reconstruction")
+    p.add_argument("--array", default=None)
+
+    p = sub.add_parser("render", help="project a .vti to a PGM image")
+    p.add_argument("input")
+    p.add_argument("output")
+    p.add_argument("--mode", default="mip", choices=["mip", "mean", "slice"])
+    p.add_argument("--axis", type=int, default=2)
+    p.add_argument("--array", default=None)
+
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "generate":
+            msg = tools.cmd_generate(args.dataset, args.output, dims=args.dims,
+                                     timestep=args.timestep, seed=args.seed)
+        elif args.command == "sample":
+            msg = tools.cmd_sample(args.input, args.output, args.fraction,
+                                   sampler=args.sampler, array=args.array, seed=args.seed)
+        elif args.command == "train":
+            msg = tools.cmd_train(args.input, args.model_out, fractions=tuple(args.fractions),
+                                  sampler=args.sampler, array=args.array, epochs=args.epochs,
+                                  hidden=tuple(args.hidden), seed=args.seed)
+        elif args.command == "reconstruct":
+            msg = tools.cmd_reconstruct(args.input, args.reference, args.output,
+                                        method=args.method, model=args.model, array=args.array)
+        elif args.command == "evaluate":
+            msg = tools.cmd_evaluate(args.original, args.reconstruction, array=args.array)
+        else:
+            msg = tools.cmd_render(args.input, args.output, mode=args.mode,
+                                   axis=args.axis, array=args.array)
+    except (ValueError, FileNotFoundError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(msg)
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI dispatcher; returns a process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in _TOOL_COMMANDS:
+        return _tool_main(argv)
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate tables/figures of 'Filling the Void' (SC 2024).",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (fig5..fig14, tab1, tab2), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--profile",
+        default="bench",
+        choices=sorted(PROFILES),
+        help="scale profile (default: bench)",
+    )
+    parser.add_argument("--dataset", default=None, help="override the config's dataset")
+    parser.add_argument("--epochs", type=int, default=None, help="override epoch budget")
+    parser.add_argument("--seed", type=int, default=None, help="override the seed")
+    args = parser.parse_args(argv)
+
+    runners = _runners()
+    if args.experiment == "list":
+        for key, (desc, _) in runners.items():
+            print(f"{key:7s} {desc}")
+        return 0
+
+    overrides = {}
+    if args.dataset:
+        overrides["dataset"] = args.dataset
+    if args.epochs is not None:
+        overrides["epochs"] = args.epochs
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    config = get_config(args.profile, **overrides)
+
+    if args.experiment == "all":
+        names = [k for k in runners if k != "tab2"]
+    elif args.experiment in runners:
+        names = [args.experiment]
+    else:
+        print(f"unknown experiment {args.experiment!r}; try 'repro list'", file=sys.stderr)
+        return 2
+
+    for name in names:
+        _, runner = runners[name]
+        result = runner(config)
+        print(result.format())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+"""Error-bounded lossy compression — the *other* data-reduction path.
+
+The paper positions sampling against the broader reduction landscape via
+Di et al.'s survey of error-bounded lossy compression [24].  This package
+implements a self-contained SZ-style compressor (Lorenzo prediction +
+linear-scaling quantization + DEFLATE entropy coding) so the repo can ask
+the systems question the paper's readers will: *at equal storage, does
+sampling + learned reconstruction beat compression?*  (See
+``repro.experiments.exp_compression``.)
+"""
+
+from repro.compression.szlike import (
+    CompressedField,
+    SZCompressor,
+    compression_ratio,
+)
+
+__all__ = ["SZCompressor", "CompressedField", "compression_ratio"]

@@ -1,0 +1,37 @@
+"""The paper's primary contribution: FCNN-based void reconstruction.
+
+Pieces (Sec III of the paper):
+
+* :class:`FeatureExtractor` — for each void location, find the five nearest
+  sampled points and assemble the ``[1 x 23]`` input feature vector
+  (5 neighbors x (x, y, z, value) + the void's own (x, y, z)); targets are
+  the ``[1 x 4]`` vector (scalar + x/y/z gradients), or scalar-only for the
+  Fig 8 ablation.
+* :class:`Normalizer` — coordinate/value standardization fitted on data
+  available at reconstruction time (the sample itself), which is what lets
+  one model transfer across sampling rates, timesteps and resolutions.
+* :class:`FCNNReconstructor` — train / fine-tune (Case 1 full-layer, Case 2
+  last-two-layer) / reconstruct, with checkpointing.
+* :class:`ReconstructionPipeline` — end-to-end sample → train →
+  reconstruct → score convenience wrapper used by examples and the harness.
+"""
+
+from repro.core.features import FeatureExtractor
+from repro.core.normalization import Normalizer
+from repro.core.reconstructor import FCNNReconstructor, PAPER_HIDDEN_LAYERS
+from repro.core.pipeline import PipelineResult, ReconstructionPipeline
+from repro.core.ensemble import DeepEnsembleReconstructor, EnsembleReconstruction
+from repro.core.multivariate import MultivariateReconstructor, sample_multivariate
+
+__all__ = [
+    "FeatureExtractor",
+    "Normalizer",
+    "FCNNReconstructor",
+    "PAPER_HIDDEN_LAYERS",
+    "ReconstructionPipeline",
+    "PipelineResult",
+    "DeepEnsembleReconstructor",
+    "EnsembleReconstruction",
+    "MultivariateReconstructor",
+    "sample_multivariate",
+]

@@ -1,0 +1,137 @@
+"""k-nearest-neighbor feature engineering (paper Sec III-D, Fig 4).
+
+For each void location the five nearest *sampled* points are found with a
+kd-tree; the input feature vector concatenates, in nearest-first order, each
+neighbor's normalized (x, y, z) and standardized scalar value (5 x 4 = 20
+entries) with the void's own normalized (x, y, z) — 23 features total.
+Targets are the standardized scalar plus the three standardized gradient
+components (4 outputs), or just the scalar for the no-gradient ablation
+(Fig 8).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from repro.core.normalization import Normalizer
+from repro.datasets.base import TimestepField
+from repro.grid import UniformGrid, field_gradients
+from repro.sampling.base import SampledField
+
+__all__ = ["FeatureExtractor"]
+
+
+class FeatureExtractor:
+    """Builds FCNN inputs/targets from a sampled field.
+
+    Parameters
+    ----------
+    num_neighbors:
+        Sampled points per feature vector; the paper uses 5.
+    include_gradients:
+        Whether targets carry the x/y/z gradients alongside the scalar
+        (the paper's design; ``False`` reproduces the Fig 8 ablation).
+    workers:
+        kd-tree query parallelism (-1 = all cores).
+    """
+
+    def __init__(
+        self,
+        num_neighbors: int = 5,
+        include_gradients: bool = True,
+        workers: int = -1,
+    ) -> None:
+        if num_neighbors < 1:
+            raise ValueError(f"num_neighbors must be >= 1, got {num_neighbors}")
+        self.num_neighbors = int(num_neighbors)
+        self.include_gradients = bool(include_gradients)
+        self.workers = int(workers)
+
+    # --------------------------------------------------------------- sizes
+    @property
+    def feature_size(self) -> int:
+        """Input width: k * (x, y, z, value) + void (x, y, z)."""
+        return self.num_neighbors * 4 + 3
+
+    @property
+    def target_size(self) -> int:
+        """Output width: scalar (+ 3 gradients when enabled)."""
+        return 4 if self.include_gradients else 1
+
+    # ------------------------------------------------------------ features
+    def features(
+        self,
+        sample: SampledField,
+        query_points: np.ndarray,
+        normalizer: Normalizer,
+    ) -> np.ndarray:
+        """Assemble ``(Q, feature_size)`` inputs for arbitrary query points."""
+        query_points = np.atleast_2d(np.asarray(query_points, dtype=np.float64))
+        k = min(self.num_neighbors, sample.num_samples)
+        tree = cKDTree(sample.points)
+        _, idx = tree.query(query_points, k=k, workers=self.workers)
+        if k == 1:
+            idx = idx[:, None]
+        if k < self.num_neighbors:
+            # Degenerate sample smaller than k: repeat the farthest neighbor.
+            pad = np.repeat(idx[:, -1:], self.num_neighbors - k, axis=1)
+            idx = np.concatenate([idx, pad], axis=1)
+
+        neighbor_xyz = normalizer.normalize_coords(sample.points[idx.ravel()]).reshape(
+            len(query_points), self.num_neighbors, 3
+        )
+        neighbor_val = normalizer.normalize_values(sample.values[idx])[..., None]
+        neighbor_feat = np.concatenate([neighbor_xyz, neighbor_val], axis=2).reshape(
+            len(query_points), self.num_neighbors * 4
+        )
+        query_feat = normalizer.normalize_coords(query_points)
+        return np.concatenate([neighbor_feat, query_feat], axis=1)
+
+    # ------------------------------------------------------------- targets
+    def targets(
+        self,
+        field: TimestepField,
+        flat_indices: np.ndarray,
+        normalizer: Normalizer,
+    ) -> np.ndarray:
+        """Assemble ``(Q, target_size)`` targets from the full field."""
+        flat_indices = np.asarray(flat_indices, dtype=np.int64)
+        scalar = normalizer.normalize_values(field.flat[flat_indices])[:, None]
+        if not self.include_gradients:
+            return scalar
+        grads = field_gradients(field.grid, field.values)[flat_indices]
+        return np.concatenate([scalar, normalizer.normalize_gradients(grads)], axis=1)
+
+    # ------------------------------------------------------- training sets
+    def training_data(
+        self,
+        field: TimestepField,
+        sample: SampledField,
+        normalizer: Normalizer,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Inputs/targets over the sample's void locations (Fig 4 workflow)."""
+        if field.grid != sample.grid:
+            raise ValueError("field and sample must live on the same grid")
+        void = sample.void_indices()
+        points = field.grid.index_to_position(field.grid.flat_to_multi(void))
+        x = self.features(sample, points, normalizer)
+        y = self.targets(field, void, normalizer)
+        return x, y
+
+    def fit_normalizer(
+        self,
+        sample: SampledField,
+        field: TimestepField | None = None,
+        grid: UniformGrid | None = None,
+    ) -> Normalizer:
+        """Fit normalization statistics.
+
+        At training time pass ``field`` so gradient scales come from real
+        gradients; at inference time the sample alone suffices.
+        """
+        g = grid if grid is not None else sample.grid
+        gradients = None
+        if field is not None and self.include_gradients:
+            gradients = field_gradients(field.grid, field.values)
+        return Normalizer.fit(g, sample.values, gradients)

@@ -1,0 +1,103 @@
+"""Feature/target normalization for the FCNN.
+
+Coordinates are mapped to the unit cube of the *query grid's* extent and
+scalar values standardized by the *sample's* mean/std — both statistics are
+available from the sampled data alone at reconstruction time, so a model
+trained on one timestep can be applied to other timesteps, sampling rates
+and resolutions without peeking at the full field (the paper's in situ
+constraint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.grid import UniformGrid
+
+__all__ = ["Normalizer"]
+
+
+@dataclass
+class Normalizer:
+    """Affine normalization of coordinates, values and gradient targets."""
+
+    origin: np.ndarray          # (3,) coordinate offset
+    span: np.ndarray            # (3,) coordinate scale
+    value_mean: float
+    value_std: float
+    gradient_std: np.ndarray    # (3,) gradient scale (one shared value)
+
+    @classmethod
+    def fit(
+        cls,
+        grid: UniformGrid,
+        sample_values: np.ndarray,
+        gradients: np.ndarray | None = None,
+    ) -> "Normalizer":
+        """Fit statistics from a grid's geometry and the sampled values.
+
+        ``gradients`` (``(N, 3)``), when available at training time, set the
+        gradient-target scale; otherwise a scale derived from the value std
+        and grid spacing is used so inference-only fits stay consistent.
+        """
+        origin = np.asarray(grid.origin, dtype=np.float64)
+        span = (np.asarray(grid.dims, dtype=np.float64) - 1.0) * np.asarray(grid.spacing)
+        span = np.where(span <= 0, 1.0, span)
+
+        values = np.asarray(sample_values, dtype=np.float64)
+        v_mean = float(values.mean())
+        v_std = float(values.std())
+        if v_std <= 0:
+            v_std = 1.0
+
+        if gradients is not None:
+            # One shared scale preserves the relative magnitudes of the
+            # gradient components; per-axis scaling would amplify the
+            # quietest axis's noise into a loud training target.
+            g = float(np.asarray(gradients, dtype=np.float64).std())
+            g_std = np.full(3, g if g > 0 else 1.0)
+        else:
+            g_std = np.full(3, v_std / max(float(np.min(grid.spacing)), 1e-12))
+        return cls(origin=origin, span=span, value_mean=v_mean, value_std=v_std, gradient_std=g_std)
+
+    # ---------------------------------------------------------- coordinates
+    def normalize_coords(self, points: np.ndarray) -> np.ndarray:
+        """Physical positions → unit-cube coordinates (may exceed [0,1])."""
+        return (np.asarray(points, dtype=np.float64) - self.origin) / self.span
+
+    # -------------------------------------------------------------- values
+    def normalize_values(self, values: np.ndarray) -> np.ndarray:
+        return (np.asarray(values, dtype=np.float64) - self.value_mean) / self.value_std
+
+    def denormalize_values(self, values: np.ndarray) -> np.ndarray:
+        return np.asarray(values, dtype=np.float64) * self.value_std + self.value_mean
+
+    # ------------------------------------------------------------ gradients
+    def normalize_gradients(self, gradients: np.ndarray) -> np.ndarray:
+        return np.asarray(gradients, dtype=np.float64) / self.gradient_std
+
+    def denormalize_gradients(self, gradients: np.ndarray) -> np.ndarray:
+        return np.asarray(gradients, dtype=np.float64) * self.gradient_std
+
+    # ------------------------------------------------------------ plumbing
+    def as_dict(self) -> dict:
+        """JSON-friendly form for checkpoints."""
+        return {
+            "origin": self.origin.tolist(),
+            "span": self.span.tolist(),
+            "value_mean": self.value_mean,
+            "value_std": self.value_std,
+            "gradient_std": self.gradient_std.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "Normalizer":
+        return cls(
+            origin=np.asarray(d["origin"], dtype=np.float64),
+            span=np.asarray(d["span"], dtype=np.float64),
+            value_mean=float(d["value_mean"]),
+            value_std=float(d["value_std"]),
+            gradient_std=np.asarray(d["gradient_std"], dtype=np.float64),
+        )

@@ -1,0 +1,135 @@
+"""End-to-end reconstruction pipeline (Fig 1 workflow).
+
+``ReconstructionPipeline`` wires a dataset, a sampler and any set of
+reconstructors together: materialize a timestep, sample it, train the FCNN
+(once), reconstruct with every method, and score against the original.
+Examples and the experiment harness are thin layers over this.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field as dataclass_field
+
+import numpy as np
+
+from repro.core.reconstructor import FCNNReconstructor
+from repro.datasets.base import AnalyticDataset, TimestepField
+from repro.grid import UniformGrid
+from repro.interpolation.base import GridInterpolator
+from repro.metrics import ReconstructionScore, score_reconstruction
+from repro.sampling.base import SampledField, Sampler
+from repro.sampling.importance import MultiCriteriaSampler
+
+__all__ = ["PipelineResult", "ReconstructionPipeline"]
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """One (method, sample) reconstruction with its metrics and timing."""
+
+    method: str
+    fraction: float
+    timestep: int
+    score: ReconstructionScore
+    reconstruct_seconds: float
+    num_samples: int
+    reconstruction: np.ndarray | None = None
+
+    def as_row(self) -> dict:
+        """Flat dict for tabular reporting."""
+        row = {
+            "method": self.method,
+            "fraction": self.fraction,
+            "timestep": self.timestep,
+            "seconds": self.reconstruct_seconds,
+            "num_samples": self.num_samples,
+        }
+        row.update(self.score.as_dict())
+        return row
+
+
+@dataclass
+class ReconstructionPipeline:
+    """Sample → (train) → reconstruct → score, for one dataset.
+
+    Parameters
+    ----------
+    dataset:
+        Field generator.
+    sampler:
+        Defaults to the paper's multi-criteria sampler.
+    train_fractions:
+        Sampling percentages whose union forms the FCNN's training set
+        (paper: 1% + 5%, Fig 7).
+    keep_reconstructions:
+        Retain the reconstructed volumes in results (memory-hungry; off by
+        default).
+    """
+
+    dataset: AnalyticDataset
+    sampler: Sampler = dataclass_field(default_factory=MultiCriteriaSampler)
+    train_fractions: tuple[float, ...] = (0.01, 0.05)
+    keep_reconstructions: bool = False
+
+    # ------------------------------------------------------------- sampling
+    def field(self, timestep: int = 0, grid: UniformGrid | None = None) -> TimestepField:
+        return self.dataset.field(t=timestep, grid=grid)
+
+    def sample(self, field: TimestepField, fraction: float, seed: int | None = None) -> SampledField:
+        """Draw a sample; pass ``seed`` for an independent (e.g. test) draw."""
+        return self.sampler.sample(field, fraction, seed=seed)
+
+    # ------------------------------------------------------------- training
+    def train_fcnn(
+        self,
+        reconstructor: FCNNReconstructor | None = None,
+        timestep: int = 0,
+        epochs: int = 500,
+        train_fraction: float = 1.0,
+        grid: UniformGrid | None = None,
+    ) -> FCNNReconstructor:
+        """Train (or retrain) an FCNN on this dataset's training samples."""
+        recon = reconstructor if reconstructor is not None else FCNNReconstructor()
+        fld = self.field(timestep, grid=grid)
+        samples = [self.sample(fld, f) for f in self.train_fractions]
+        recon.train(fld, samples, epochs=epochs, train_fraction=train_fraction)
+        return recon
+
+    # --------------------------------------------------------- reconstruction
+    def run_method(
+        self,
+        method: GridInterpolator | FCNNReconstructor,
+        sample: SampledField,
+        original: TimestepField,
+        target_grid: UniformGrid | None = None,
+    ) -> PipelineResult:
+        """Reconstruct one sample with one method and score it."""
+        t0 = time.perf_counter()
+        volume = method.reconstruct(sample, target_grid=target_grid)
+        seconds = time.perf_counter() - t0
+        return PipelineResult(
+            method=method.name,
+            fraction=sample.fraction,
+            timestep=sample.timestep,
+            score=score_reconstruction(original.values, volume),
+            reconstruct_seconds=seconds,
+            num_samples=sample.num_samples,
+            reconstruction=volume if self.keep_reconstructions else None,
+        )
+
+    def compare(
+        self,
+        methods,
+        fractions,
+        timestep: int = 0,
+        grid: UniformGrid | None = None,
+    ) -> list[PipelineResult]:
+        """Cross product of methods × sampling fractions on one timestep."""
+        fld = self.field(timestep, grid=grid)
+        results: list[PipelineResult] = []
+        for fraction in fractions:
+            sample = self.sample(fld, fraction)
+            for method in methods:
+                results.append(self.run_method(method, sample, fld))
+        return results

@@ -1,0 +1,346 @@
+"""The FCNN reconstructor (paper Sec III-C/D/E, Fig 5).
+
+Architecture: 23 inputs → five hidden Dense+ReLU layers sized 512, 256,
+128, 64, 16 → linear head with 4 outputs (scalar + x/y/z gradients).
+Training: MSE loss, Adam at lr=0.001, mini-batches, 500 epochs for full
+training.  Fine-tuning: Case 1 retrains all layers for ~10 epochs; Case 2
+freezes everything but the last two Dense layers and retrains for 300–500
+epochs, enabling partial (last-two-layer) checkpoints per timestep.
+
+A trained model reconstructs *any* sample of its field: different sampling
+percentages (Fig 9), later timesteps (Fig 11) and higher-resolution/
+domain-shifted grids (Fig 13) — features are recomputed per sample and
+coordinates renormalized per target grid, value scaling stays fixed at the
+training fit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.features import FeatureExtractor
+from repro.core.normalization import Normalizer
+from repro.datasets.base import TimestepField
+from repro.grid import UniformGrid
+from repro.nn import Adam, MSELoss, Sequential, Trainer, TrainingHistory, WeightedMSELoss, mlp
+from repro.nn.serialization import load_model, save_model, save_partial
+from repro.sampling.base import SampledField
+
+__all__ = ["FCNNReconstructor", "PAPER_HIDDEN_LAYERS"]
+
+#: Fig 5: "five hidden layers of size 512-16"
+PAPER_HIDDEN_LAYERS: tuple[int, ...] = (512, 256, 128, 64, 16)
+
+
+class FCNNReconstructor:
+    """Train an FCNN on sampled data and reconstruct full grids from it.
+
+    Parameters
+    ----------
+    hidden_layers:
+        Hidden widths; defaults to the paper's architecture.
+    num_neighbors:
+        Sampled neighbors per feature vector (paper: 5).
+    include_gradients:
+        Predict gradients alongside the scalar (paper default; ``False``
+        gives the Fig 8 ablation variant).
+    learning_rate:
+        Adam step size (paper: 0.001).
+    batch_size:
+        Mini-batch rows.
+    gradient_loss_weight:
+        Relative MSE weight of each gradient output column versus the
+        scalar column.  The gradient head is an auxiliary task (Fig 8); its
+        targets are noisier than the scalar's, so down-weighting keeps the
+        paper's multi-task benefit without letting gradient error dominate
+        the optimization.
+    seed:
+        Controls weight init and shuffling; same seed → identical run.
+    """
+
+    name = "fcnn"
+
+    def __init__(
+        self,
+        hidden_layers: tuple[int, ...] = PAPER_HIDDEN_LAYERS,
+        num_neighbors: int = 5,
+        include_gradients: bool = True,
+        learning_rate: float = 1e-3,
+        batch_size: int = 4096,
+        gradient_loss_weight: float = 0.1,
+        seed: int = 0,
+    ) -> None:
+        if not hidden_layers:
+            raise ValueError("need at least one hidden layer")
+        self.hidden_layers = tuple(int(h) for h in hidden_layers)
+        self.extractor = FeatureExtractor(
+            num_neighbors=num_neighbors, include_gradients=include_gradients
+        )
+        self.learning_rate = float(learning_rate)
+        self.batch_size = int(batch_size)
+        if gradient_loss_weight < 0:
+            raise ValueError(f"gradient_loss_weight must be >= 0, got {gradient_loss_weight}")
+        self.gradient_loss_weight = float(gradient_loss_weight)
+        self.seed = int(seed)
+        self.model: Sequential | None = None
+        self.normalizer: Normalizer | None = None
+        self.history = TrainingHistory()
+
+    # ------------------------------------------------------------ plumbing
+    @property
+    def is_trained(self) -> bool:
+        return self.model is not None and self.normalizer is not None
+
+    def _require_trained(self) -> tuple[Sequential, Normalizer]:
+        if self.model is None or self.normalizer is None:
+            raise RuntimeError("model is not trained; call train() or load() first")
+        return self.model, self.normalizer
+
+    def _loss(self):
+        if self.extractor.include_gradients:
+            w = self.gradient_loss_weight
+            return WeightedMSELoss([1.0, w, w, w])
+        return MSELoss()
+
+    def _build_model(self) -> Sequential:
+        return mlp(
+            self.extractor.feature_size,
+            list(self.hidden_layers),
+            self.extractor.target_size,
+            activation="ReLU",
+            seed=self.seed,
+        )
+
+    @staticmethod
+    def _as_sample_list(samples: SampledField | list[SampledField]) -> list[SampledField]:
+        if isinstance(samples, SampledField):
+            return [samples]
+        samples = list(samples)
+        if not samples:
+            raise ValueError("need at least one sample to train on")
+        return samples
+
+    def _training_matrix(
+        self,
+        field: TimestepField,
+        samples: list[SampledField],
+        normalizer: Normalizer,
+        train_fraction: float,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        xs, ys = [], []
+        for sample in samples:
+            x, y = self.extractor.training_data(field, sample, normalizer)
+            xs.append(x)
+            ys.append(y)
+        x = np.concatenate(xs, axis=0)
+        y = np.concatenate(ys, axis=0)
+        if not (0.0 < train_fraction <= 1.0):
+            raise ValueError(f"train_fraction must be in (0, 1], got {train_fraction}")
+        if train_fraction < 1.0:
+            keep = max(1, int(round(train_fraction * len(x))))
+            idx = rng.choice(len(x), size=keep, replace=False)
+            x, y = x[idx], y[idx]
+        return x, y
+
+    # -------------------------------------------------------------- training
+    def train(
+        self,
+        field: TimestepField,
+        samples: SampledField | list[SampledField],
+        epochs: int = 500,
+        train_fraction: float = 1.0,
+        validation: tuple[np.ndarray, np.ndarray] | None = None,
+    ) -> TrainingHistory:
+        """Full (pre)training on one timestep's sample(s).
+
+        ``samples`` may be several :class:`SampledField` draws — the paper
+        concatenates a 1% and a 5% sample ("1%+5% model", Fig 7) so the
+        network sees both sparse and dense neighborhoods.
+        ``train_fraction`` sub-samples the assembled training rows
+        (Fig 14 / Table II).
+        """
+        sample_list = self._as_sample_list(samples)
+        combined_values = np.concatenate([s.values for s in sample_list])
+        combined = SampledFieldView(values=combined_values)
+        normalizer = Normalizer.fit(
+            field.grid,
+            combined.values,
+            gradients=_field_gradients_cached(field) if self.extractor.include_gradients else None,
+        )
+
+        rng = np.random.default_rng(self.seed)
+        x, y = self._training_matrix(field, sample_list, normalizer, train_fraction, rng)
+
+        self.model = self._build_model()
+        self.normalizer = normalizer
+        self.history = TrainingHistory()
+        trainer = Trainer(
+            self.model,
+            loss=self._loss(),
+            optimizer=Adam(self.model.parameters(), lr=self.learning_rate),
+            batch_size=self.batch_size,
+            seed=self.seed,
+        )
+        run = trainer.fit(x, y, epochs=epochs, validation=validation)
+        self.history.extend(run)
+        return run
+
+    def fine_tune(
+        self,
+        field: TimestepField,
+        samples: SampledField | list[SampledField],
+        epochs: int = 10,
+        strategy: str = "full",
+        num_trainable: int = 2,
+        train_fraction: float = 1.0,
+    ) -> TrainingHistory:
+        """Adapt a trained model to new data (new timestep / resolution).
+
+        ``strategy="full"`` is the paper's Case 1 (all layers trainable,
+        ~10 epochs); ``strategy="last"`` is Case 2 (only the last
+        ``num_trainable`` Dense layers trainable, 300–500 epochs, enabling
+        partial checkpoints).  Value normalization stays fixed at the
+        pretraining fit so checkpoints remain interchangeable.
+        """
+        model, normalizer = self._require_trained()
+        if strategy == "full":
+            model.set_all_trainable(True)
+        elif strategy == "last":
+            model.freeze_all_but_last(num_trainable)
+        else:
+            raise ValueError(f"strategy must be 'full' or 'last', got {strategy!r}")
+
+        sample_list = self._as_sample_list(samples)
+        # Coordinates renormalize to the new field's grid; value scaling is
+        # retained from pretraining.
+        tuned = dataclasses.replace(
+            normalizer,
+            origin=np.asarray(field.grid.origin, dtype=np.float64),
+            span=_grid_span(field.grid),
+        )
+        rng = np.random.default_rng(self.seed + 1)
+        x, y = self._training_matrix(field, sample_list, tuned, train_fraction, rng)
+
+        trainer = Trainer(
+            model,
+            loss=self._loss(),
+            optimizer=Adam(model.parameters(), lr=self.learning_rate),
+            batch_size=self.batch_size,
+            seed=self.seed + 1,
+        )
+        run = trainer.fit(x, y, epochs=epochs)
+        self.history.extend(run)
+        model.set_all_trainable(True)
+        return run
+
+    # --------------------------------------------------------- reconstruction
+    def predict_values(
+        self,
+        sample: SampledField,
+        points: np.ndarray,
+        grid: UniformGrid | None = None,
+    ) -> np.ndarray:
+        """Predict (denormalized) scalar values at arbitrary positions."""
+        model, normalizer = self._require_trained()
+        g = grid if grid is not None else sample.grid
+        local = dataclasses.replace(
+            normalizer,
+            origin=np.asarray(g.origin, dtype=np.float64),
+            span=_grid_span(g),
+        )
+        x = self.extractor.features(sample, points, local)
+        pred = model.predict(x, batch_size=max(self.batch_size, 16384))
+        return local.denormalize_values(pred[:, 0])
+
+    def reconstruct(
+        self,
+        sample: SampledField,
+        target_grid: UniformGrid | None = None,
+    ) -> np.ndarray:
+        """Reconstruct the full field from a sample (shaped like the grid).
+
+        With ``target_grid`` (Fig 13 upscaling) every grid point is
+        predicted; otherwise sampled locations keep their exact stored
+        values and only void locations are predicted.
+        """
+        self._require_trained()
+        grid = target_grid if target_grid is not None else sample.grid
+        same_grid = target_grid is None or target_grid == sample.grid
+        if same_grid:
+            out = grid.empty_field().ravel()
+            out[sample.indices] = sample.values
+            void = sample.void_indices()
+            if void.size:
+                points = grid.index_to_position(grid.flat_to_multi(void))
+                out[void] = self.predict_values(sample, points, grid)
+            return out.reshape(grid.dims)
+        return self.predict_values(sample, grid.points(), grid).reshape(grid.dims)
+
+    # ----------------------------------------------------------- checkpoints
+    def save(self, path: str | Path) -> None:
+        """Full checkpoint: weights + architecture + normalization stats."""
+        model, normalizer = self._require_trained()
+        meta = {
+            "hidden_layers": list(self.hidden_layers),
+            "num_neighbors": self.extractor.num_neighbors,
+            "include_gradients": self.extractor.include_gradients,
+            "learning_rate": self.learning_rate,
+            "batch_size": self.batch_size,
+            "seed": self.seed,
+            "normalizer": normalizer.as_dict(),
+        }
+        save_model(path, model, meta=meta)
+
+    def save_partial(self, path: str | Path, num_layers: int = 2) -> None:
+        """Case-2 checkpoint: only the last ``num_layers`` Dense layers."""
+        model, normalizer = self._require_trained()
+        save_partial(path, model, num_layers, meta={"normalizer": normalizer.as_dict()})
+
+    @classmethod
+    def load(cls, path: str | Path) -> "FCNNReconstructor":
+        """Restore a reconstructor saved with :meth:`save`."""
+        model, meta = load_model(path)
+        recon = cls(
+            hidden_layers=tuple(meta["hidden_layers"]),
+            num_neighbors=int(meta["num_neighbors"]),
+            include_gradients=bool(meta["include_gradients"]),
+            learning_rate=float(meta["learning_rate"]),
+            batch_size=int(meta["batch_size"]),
+            seed=int(meta["seed"]),
+        )
+        recon.model = model
+        recon.normalizer = Normalizer.from_dict(meta["normalizer"])
+        return recon
+
+    def load_partial(self, path: str | Path) -> None:
+        """Graft a Case-2 partial checkpoint onto this trained model."""
+        model, _ = self._require_trained()
+        from repro.nn.serialization import load_partial as _load_partial
+
+        _load_partial(path, model)
+
+
+# --------------------------------------------------------------------------
+# helpers
+
+
+class SampledFieldView:
+    """Minimal value holder used when blending multiple samples' statistics."""
+
+    def __init__(self, values: np.ndarray) -> None:
+        self.values = values
+
+
+def _grid_span(grid: UniformGrid) -> np.ndarray:
+    span = (np.asarray(grid.dims, dtype=np.float64) - 1.0) * np.asarray(grid.spacing)
+    return np.where(span <= 0, 1.0, span)
+
+
+def _field_gradients_cached(field: TimestepField) -> np.ndarray:
+    from repro.grid import field_gradients
+
+    return field_gradients(field.grid, field.values)

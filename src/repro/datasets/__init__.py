@@ -1,0 +1,28 @@
+"""Synthetic spatiotemporal simulation datasets.
+
+The paper evaluates on Hurricane Isabel (pressure), a turbulent combustion
+simulation (mixture fraction) and an ionization-front instability simulation
+(density).  Those datasets are not redistributable here, so this package
+provides analytic generators with the same qualitative structure — localized
+features, high-gradient regions, temporal evolution — that can be evaluated
+at *any* resolution, timestep and physical domain, which is exactly what the
+paper's three experiments require.
+
+All generators are deterministic given their ``seed``.
+"""
+
+from repro.datasets.base import AnalyticDataset, TimestepField
+from repro.datasets.hurricane import HurricaneDataset
+from repro.datasets.combustion import CombustionDataset
+from repro.datasets.ionization import IonizationDataset
+from repro.datasets.registry import available_datasets, make_dataset
+
+__all__ = [
+    "AnalyticDataset",
+    "TimestepField",
+    "HurricaneDataset",
+    "CombustionDataset",
+    "IonizationDataset",
+    "available_datasets",
+    "make_dataset",
+]

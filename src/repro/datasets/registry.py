@@ -1,0 +1,58 @@
+"""Dataset registry: construct datasets by name.
+
+The experiment harness and CLI refer to datasets by their registry name
+(``"hurricane"``, ``"combustion"``, ``"ionization"``); this module resolves
+those names and applies resolution overrides (the CPU-scale experiment
+configs run on reduced grids, see :mod:`repro.experiments.config`).
+"""
+
+from __future__ import annotations
+
+from repro.datasets.base import AnalyticDataset
+from repro.datasets.combustion import CombustionDataset
+from repro.datasets.hurricane import HurricaneDataset
+from repro.datasets.ionization import IonizationDataset
+from repro.grid import UniformGrid
+
+__all__ = ["available_datasets", "make_dataset", "DATASETS"]
+
+DATASETS: dict[str, type[AnalyticDataset]] = {
+    HurricaneDataset.name: HurricaneDataset,
+    CombustionDataset.name: CombustionDataset,
+    IonizationDataset.name: IonizationDataset,
+}
+
+
+def available_datasets() -> list[str]:
+    """Registry names, sorted."""
+    return sorted(DATASETS)
+
+
+def make_dataset(
+    name: str,
+    dims: tuple[int, int, int] | None = None,
+    seed: int = 0,
+) -> AnalyticDataset:
+    """Instantiate a dataset by name.
+
+    Parameters
+    ----------
+    name:
+        One of :func:`available_datasets`.
+    dims:
+        Optional resolution override; the grid keeps the dataset's reference
+        physical extent (so a smaller ``dims`` is a coarser sampling of the
+        same field, matching how the paper's data would be downsampled).
+    seed:
+        Deterministic variation of the generator's fixed random phases.
+    """
+    try:
+        cls = DATASETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown dataset {name!r}; available: {available_datasets()}"
+        ) from None
+    grid = None
+    if dims is not None:
+        grid = cls.default_grid().with_resolution(tuple(dims))
+    return cls(grid=grid, seed=seed)

@@ -1,0 +1,29 @@
+"""Experiment harness: one runner per table/figure of the paper.
+
+Every runner takes an :class:`~repro.experiments.config.ExperimentConfig`
+(scaled-down CPU defaults; ``profile="paper"`` approaches the paper's
+settings), returns a structured :class:`~repro.experiments.runner.ExperimentResult`
+and can print the same rows/series the paper reports.
+
+| Paper item | Runner |
+|---|---|
+| Fig 6  | :func:`repro.experiments.exp_layers.run` |
+| Fig 7  | :func:`repro.experiments.exp_train_mix.run` |
+| Fig 8  | :func:`repro.experiments.exp_gradient_ablation.run` |
+| Fig 9  | :func:`repro.experiments.exp_sampling_quality.run` |
+| Fig 10 | :func:`repro.experiments.exp_sampling_time.run` |
+| Fig 11 | :func:`repro.experiments.exp_timesteps.run` |
+| Fig 12 | :func:`repro.experiments.exp_loss_curves.run` |
+| Fig 13 | :func:`repro.experiments.exp_upscaling.run` |
+| Fig 14 + Table II | :func:`repro.experiments.exp_training_subset.run` |
+| Table I | :func:`repro.experiments.exp_training_time.run` |
+| Fig 5 Case 1/2 | :func:`repro.experiments.exp_finetune_cases.run` |
+| ext: feature preservation | :func:`repro.experiments.exp_feature_preservation.run` |
+| ext: uncertainty (deep ensembles) | :func:`repro.experiments.exp_uncertainty.run` |
+| ext: sampler ablation | :func:`repro.experiments.exp_samplers.run` |
+"""
+
+from repro.experiments.config import ExperimentConfig, PROFILES
+from repro.experiments.runner import ExperimentResult
+
+__all__ = ["ExperimentConfig", "PROFILES", "ExperimentResult"]

@@ -1,0 +1,91 @@
+"""Fig 5's two fine-tuning cases: full-layer vs last-two-layer retraining.
+
+Pretrains on one timestep, then adapts to a later timestep two ways:
+
+* **Case 1** — all layers trainable, ~10 epochs;
+* **Case 2** — only the last two Dense layers trainable, swept over
+  increasing epoch budgets (the paper needs 300-500 epochs to match
+  Case 1).
+
+Also reports the checkpoint-size trade-off the paper discusses: Case 2 only
+needs to store the last two layers per additional timestep.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import tempfile
+
+from repro.experiments.config import ExperimentConfig, get_config
+from repro.experiments.runner import ExperimentResult, build_pipeline, build_reconstructor, test_samples
+from repro.metrics import snr
+
+__all__ = ["run"]
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    case2_budgets: tuple[int, ...] | None = None,
+) -> ExperimentResult:
+    """Regenerate the Case 1 / Case 2 fine-tuning comparison."""
+    config = config or get_config()
+    if case2_budgets is None:
+        c2 = config.case2_epochs
+        case2_budgets = tuple(sorted({max(1, c2 // 8), max(1, c2 // 3), c2}))
+    timesteps = tuple(config.timesteps)
+    t_train = timesteps[0]
+    t_tune = timesteps[len(timesteps) // 2]
+
+    result = ExperimentResult(
+        experiment="fig05-finetune-cases",
+        notes={
+            "profile": config.profile,
+            "dims": config.dims,
+            "train_timestep": t_train,
+            "finetune_timestep": t_tune,
+        },
+    )
+
+    pipeline = build_pipeline(config)
+    base = build_reconstructor(config)
+    pipeline.train_fcnn(base, timestep=t_train, epochs=config.epochs)
+
+    field = pipeline.field(t_tune)
+    train = [pipeline.sample(field, f) for f in config.train_fractions]
+    test = test_samples(pipeline, field, (config.timestep_fraction,), config)[
+        config.timestep_fraction
+    ]
+
+    def measure(model, label: str, epochs: int, seconds: float) -> None:
+        value = snr(field.values, model.reconstruct(test))
+        result.rows.append(
+            {"case": label, "epochs": epochs, "snr": value, "finetune_seconds": seconds}
+        )
+        result.series.setdefault(label, []).append((epochs, value))
+
+    measure(base, "no-finetune", 0, 0.0)
+
+    case1 = copy.deepcopy(base)
+    hist = case1.fine_tune(field, train, epochs=config.finetune_epochs, strategy="full")
+    measure(case1, "case1-full", config.finetune_epochs, hist.total_seconds)
+
+    for budget in case2_budgets:
+        case2 = copy.deepcopy(base)
+        hist = case2.fine_tune(field, train, epochs=budget, strategy="last", num_trainable=2)
+        measure(case2, "case2-last2", budget, hist.total_seconds)
+
+    # Checkpoint-size trade-off (paper: store the full model once, then only
+    # the last two layers per timestep under Case 2).
+    with tempfile.TemporaryDirectory() as tmp:
+        full_path = os.path.join(tmp, "full.npz")
+        part_path = os.path.join(tmp, "part.npz")
+        case1.save(full_path)
+        case1.save_partial(part_path, num_layers=2)
+        result.notes["full_checkpoint_bytes"] = os.path.getsize(full_path)
+        result.notes["partial_checkpoint_bytes"] = os.path.getsize(part_path)
+    return result
+
+
+if __name__ == "__main__":
+    print(run().format())

@@ -1,0 +1,72 @@
+"""Fig 10 — reconstruction time vs sampling percentage.
+
+Times every method at every test percentage, including both Delaunay
+implementations: the naive sequential Python loop (the paper's slow
+baseline) and the vectorized one (standing in for the paper's C++/CGAL/
+OpenMP build), plus the chunked-parallel wrapper.  Expected shape: FCNN
+time roughly flat with sampling percentage; rule-based times grow; naive
+linear far above everything.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig, get_config
+from repro.experiments.runner import ExperimentResult, build_pipeline, build_reconstructor, test_samples, timed
+from repro.interpolation import make_interpolator
+from repro.parallel import ParallelExecutor, parallel_reconstruct
+
+__all__ = ["run"]
+
+TIMED_METHODS = ("linear", "linear-naive", "natural", "shepard", "nearest")
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    dataset: str | None = None,
+    include_naive: bool = True,
+    include_parallel: bool = True,
+) -> ExperimentResult:
+    """Regenerate Fig 10 for one dataset (default: the config's)."""
+    config = config or get_config()
+    result = ExperimentResult(
+        experiment="fig10-sampling-time",
+        notes={
+            "profile": config.profile,
+            "dims": config.dims,
+            "dataset": dataset or config.dataset,
+        },
+    )
+
+    pipeline = build_pipeline(config, dataset=dataset)
+    fcnn = build_reconstructor(config)
+    pipeline.train_fcnn(fcnn, epochs=config.epochs)
+    field = pipeline.field(0)
+
+    methods = [m for m in TIMED_METHODS if include_naive or m != "linear-naive"]
+    samples = test_samples(pipeline, field, config.test_fractions, config)
+    for fraction, sample in samples.items():
+
+        _, seconds = timed(fcnn.reconstruct, sample)
+        result.rows.append({"method": "fcnn", "fraction": fraction, "seconds": seconds})
+        result.series.setdefault("fcnn", []).append((fraction, seconds))
+
+        for name in methods:
+            method = make_interpolator(name)
+            _, seconds = timed(method.reconstruct, sample)
+            result.rows.append({"method": name, "fraction": fraction, "seconds": seconds})
+            result.series.setdefault(name, []).append((fraction, seconds))
+
+        if include_parallel:
+            executor = ParallelExecutor()
+            _, seconds = timed(
+                parallel_reconstruct, make_interpolator("linear"), sample, executor=executor
+            )
+            result.rows.append(
+                {"method": "linear-parallel", "fraction": fraction, "seconds": seconds}
+            )
+            result.series.setdefault("linear-parallel", []).append((fraction, seconds))
+    return result
+
+
+if __name__ == "__main__":
+    print(run().format())

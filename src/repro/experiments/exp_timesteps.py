@@ -1,0 +1,83 @@
+"""Fig 11 — reconstruction quality across timesteps.
+
+Hurricane dataset at the paper's 3% sampling rate.  Five curves:
+
+* ``linear`` — Delaunay reconstruction from scratch at every timestep;
+* ``fcnn-pre@A`` / ``fcnn-pre@B`` — FCNNs pretrained on the first and the
+  middle evaluated timestep, applied to every timestep *without*
+  fine-tuning (quality degrades away from the training timestep);
+* ``fcnn-ft@A`` / ``fcnn-ft@B`` — the same pretrained models rolled across
+  the timesteps with ~10 epochs of Case-1 fine-tuning at each, which the
+  paper shows recovers quality and beats linear everywhere.
+"""
+
+from __future__ import annotations
+
+import copy
+
+from repro.experiments.config import ExperimentConfig, get_config
+from repro.experiments.runner import ExperimentResult, build_pipeline, build_reconstructor, test_samples
+from repro.metrics import snr
+
+__all__ = ["run"]
+
+
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Regenerate Fig 11."""
+    config = config or get_config()
+    timesteps = tuple(config.timesteps)
+    if len(timesteps) < 2:
+        raise ValueError("need at least two timesteps for the timestep experiment")
+    t_a = timesteps[0]
+    t_b = timesteps[len(timesteps) // 2]
+
+    result = ExperimentResult(
+        experiment="fig11-timesteps",
+        notes={
+            "profile": config.profile,
+            "dims": config.dims,
+            "fraction": config.timestep_fraction,
+            "pretrain_timesteps": (t_a, t_b),
+            "finetune_epochs": config.finetune_epochs,
+        },
+    )
+
+    pipeline = build_pipeline(config)
+    from repro.interpolation import make_interpolator
+
+    linear = make_interpolator("linear")
+
+    # Pretrain the two base models.
+    pretrained = {}
+    for tag, t in (("A", t_a), ("B", t_b)):
+        fcnn = build_reconstructor(config)
+        pipeline.train_fcnn(fcnn, timestep=t, epochs=config.epochs)
+        pretrained[tag] = fcnn
+
+    # Rolling fine-tuned copies (model state carries forward in time).
+    finetuned = {tag: copy.deepcopy(model) for tag, model in pretrained.items()}
+
+    for t in timesteps:
+        field = pipeline.field(t)
+        sample = test_samples(pipeline, field, (config.timestep_fraction,), config)[
+            config.timestep_fraction
+        ]
+
+        record = {"timestep": t}
+        record["linear"] = snr(field.values, linear.reconstruct(sample))
+        for tag, model in pretrained.items():
+            record[f"fcnn-pre@{tag}"] = snr(field.values, model.reconstruct(sample))
+        for tag, model in finetuned.items():
+            train = [pipeline.sample(field, f) for f in config.train_fractions]
+            model.fine_tune(field, train, epochs=config.finetune_epochs, strategy="full")
+            record[f"fcnn-ft@{tag}"] = snr(field.values, model.reconstruct(sample))
+
+        result.rows.append(record)
+        for key, value in record.items():
+            if key != "timestep":
+                result.series.setdefault(key, []).append((t, value))
+    return result
+
+
+if __name__ == "__main__":
+    print(run().format())

@@ -1,0 +1,54 @@
+"""Fig 14 + Table II — training-set sub-sampling.
+
+Trains the Hurricane FCNN on 100%, 50% and 25% of the assembled training
+rows, recording training time (Table II) and SNR across test percentages
+(Fig 14).  Expected shape: training time drops ~linearly with the fraction
+while SNR barely moves.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig, get_config
+from repro.experiments.runner import ExperimentResult, build_pipeline, build_reconstructor, test_samples
+from repro.metrics import snr
+
+__all__ = ["run"]
+
+
+def run(
+    config: ExperimentConfig | None = None,
+    fractions: tuple[float, ...] = (1.0, 0.5, 0.25),
+) -> ExperimentResult:
+    """Regenerate Fig 14 and Table II."""
+    config = config or get_config()
+    result = ExperimentResult(
+        experiment="fig14-tab2-training-subset",
+        notes={"profile": config.profile, "dims": config.dims, "epochs": config.epochs},
+    )
+
+    pipeline = build_pipeline(config)
+    field = pipeline.field(0)
+    samples = test_samples(pipeline, field, config.test_fractions, config)
+
+    for train_fraction in fractions:
+        fcnn = build_reconstructor(config)
+        pipeline.train_fcnn(fcnn, epochs=config.epochs, train_fraction=train_fraction)
+        seconds = fcnn.history.total_seconds
+        label = f"{int(round(train_fraction * 100))}%"
+        for fraction, sample in samples.items():
+            value = snr(field.values, fcnn.reconstruct(sample))
+            result.rows.append(
+                {
+                    "train_data": label,
+                    "fraction": fraction,
+                    "snr": value,
+                    "train_seconds": seconds,
+                }
+            )
+            result.series.setdefault(label, []).append((fraction, value))
+        result.series.setdefault("train_seconds", []).append((train_fraction, seconds))
+    return result
+
+
+if __name__ == "__main__":
+    print(run().format())

@@ -1,0 +1,63 @@
+"""Table I — full-training time per dataset and resolution.
+
+Times the full training run (the profile's epoch budget; 500 in the paper)
+for each dataset at the profile resolution, plus the Hurricane dataset at
+the upscaled resolution — the four rows of Table I.  Expected shape:
+training time scales with the number of training rows (i.e. with grid
+size), with the upscaled Hurricane and the largest dataset costing the
+most.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.config import ExperimentConfig, get_config
+from repro.experiments.runner import ExperimentResult, build_pipeline, build_reconstructor
+from repro.grid import upscaled_grid
+
+__all__ = ["run"]
+
+
+def run(config: ExperimentConfig | None = None) -> ExperimentResult:
+    """Regenerate Table I."""
+    config = config or get_config()
+    result = ExperimentResult(
+        experiment="tab1-training-time",
+        notes={"profile": config.profile, "epochs": config.epochs},
+    )
+
+    jobs: list[tuple[str, str, tuple[int, int, int] | None]] = [
+        ("hurricane", "base", None),
+        ("hurricane", "upscaled", None),  # grid resolved below
+        ("combustion", "base", None),
+        ("ionization", "base", None),
+    ]
+
+    for dataset, variant, _ in jobs:
+        pipeline = build_pipeline(config, dataset=dataset)
+        grid = pipeline.dataset.grid
+        if variant == "upscaled":
+            grid = upscaled_grid(grid, config.upscale_factor)
+        field = pipeline.field(0, grid=grid)
+        train = [pipeline.sample(field, f) for f in config.train_fractions]
+
+        fcnn = build_reconstructor(config)
+        fcnn.train(field, train, epochs=config.epochs)
+        seconds = fcnn.history.total_seconds
+        rows = sum(s.void_indices().size for s in train)
+        result.rows.append(
+            {
+                "dataset": dataset,
+                "resolution": "x".join(str(d) for d in grid.dims),
+                "train_rows": rows,
+                "epochs": config.epochs,
+                "train_seconds": seconds,
+            }
+        )
+        result.series.setdefault("train_seconds", []).append(
+            (f"{dataset}/{variant}", seconds)
+        )
+    return result
+
+
+if __name__ == "__main__":
+    print(run().format())

@@ -1,0 +1,44 @@
+"""ASCII table/series rendering for experiment results."""
+
+from __future__ import annotations
+
+__all__ = ["format_table", "format_series"]
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if abs(value) >= 1000 or (abs(value) < 0.001 and value != 0):
+            return f"{value:.3e}"
+        return f"{value:.4f}" if abs(value) < 10 else f"{value:.2f}"
+    return str(value)
+
+
+def format_table(rows: list[dict]) -> str:
+    """Render dict records as an aligned ASCII table (union of keys)."""
+    if not rows:
+        return "(no rows)"
+    columns: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    cells = [[_fmt(row.get(c, "")) for c in columns] for row in rows]
+    widths = [
+        max(len(c), *(len(line[i]) for line in cells)) for i, c in enumerate(columns)
+    ]
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    rule = "  ".join("-" * w for w in widths)
+    body = "\n".join("  ".join(v.rjust(w) for v, w in zip(line, widths)) for line in cells)
+    return "\n".join([header, rule, body])
+
+
+def format_series(series: dict, x_name: str = "x") -> str:
+    """Render ``{label: [(x, y), ...]}`` curves one label per block."""
+    lines = []
+    for label, points in series.items():
+        lines.append(f"[{label}]")
+        for x, y in points:
+            lines.append(f"  {x_name}={_fmt(x)}  ->  {_fmt(y)}")
+    return "\n".join(lines)

@@ -1,0 +1,82 @@
+"""Shared experiment plumbing: results, builders, timing."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core import FCNNReconstructor
+from repro.core.pipeline import ReconstructionPipeline
+from repro.datasets import make_dataset
+from repro.experiments.config import ExperimentConfig
+from repro.sampling import MultiCriteriaSampler
+
+__all__ = ["ExperimentResult", "build_pipeline", "build_reconstructor", "timed"]
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one experiment runner.
+
+    ``rows`` are flat records (one per measured point, ready for tabular
+    printing); ``series`` groups the same numbers the way the paper's figure
+    draws its curves; ``notes`` records provenance (profile, sizes, seeds).
+    """
+
+    experiment: str
+    rows: list[dict] = field(default_factory=list)
+    series: dict = field(default_factory=dict)
+    notes: dict = field(default_factory=dict)
+
+    def format(self) -> str:
+        """ASCII rendering: notes, then the rows as an aligned table."""
+        from repro.experiments.reporting import format_table
+
+        lines = [f"== {self.experiment} =="]
+        for k, v in self.notes.items():
+            lines.append(f"   {k}: {v}")
+        if self.rows:
+            lines.append(format_table(self.rows))
+        return "\n".join(lines)
+
+
+def build_pipeline(config: ExperimentConfig, dataset: str | None = None) -> ReconstructionPipeline:
+    """Dataset + paper sampler + training fractions from a config."""
+    data = make_dataset(dataset or config.dataset, dims=config.dims, seed=config.seed)
+    sampler = MultiCriteriaSampler(seed=config.seed)
+    return ReconstructionPipeline(
+        dataset=data,
+        sampler=sampler,
+        train_fractions=config.train_fractions,
+    )
+
+
+def build_reconstructor(config: ExperimentConfig, **overrides) -> FCNNReconstructor:
+    """FCNN configured from an :class:`ExperimentConfig`."""
+    kwargs = dict(
+        hidden_layers=config.hidden_layers,
+        num_neighbors=config.num_neighbors,
+        learning_rate=config.learning_rate,
+        batch_size=config.batch_size,
+        gradient_loss_weight=config.gradient_loss_weight,
+        seed=config.seed,
+    )
+    kwargs.update(overrides)
+    return FCNNReconstructor(**kwargs)
+
+
+def test_samples(pipeline, field, fractions, config: ExperimentConfig) -> dict:
+    """Independent test-time sample draws, one per fraction.
+
+    Test draws use a seed offset from the training sampler's so a model is
+    never scored on the very voids it trained on.
+    """
+    seed = config.seed + config.test_seed_offset
+    return {f: pipeline.sample(field, f, seed=seed) for f in fractions}
+
+
+def timed(fn, *args, **kwargs):
+    """``(result, seconds)`` of calling ``fn``."""
+    t0 = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - t0

@@ -1,0 +1,19 @@
+"""Regular-grid data model.
+
+Every dataset in the paper is a 3D regular grid (VTK ImageData).  This
+package provides :class:`UniformGrid` — dimensions, spacing, origin — plus
+coordinate generation, index<->position conversion, gradient computation and
+domain windows used by the volume-upscaling experiment (Fig 13).
+"""
+
+from repro.grid.uniform import UniformGrid
+from repro.grid.gradients import field_gradients, gradient_magnitude
+from repro.grid.domain import DomainWindow, upscaled_grid
+
+__all__ = [
+    "UniformGrid",
+    "field_gradients",
+    "gradient_magnitude",
+    "DomainWindow",
+    "upscaled_grid",
+]

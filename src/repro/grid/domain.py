@@ -1,0 +1,86 @@
+"""Domain windows and resolution changes.
+
+Experiment 3 (Fig 13) trains on a low-resolution grid and reconstructs a
+2x-per-axis higher resolution grid whose *physical extent is shifted* so the
+fine-tuned model must generalize across spatial domains.  These helpers
+express that manipulation explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.grid.uniform import UniformGrid
+
+__all__ = ["DomainWindow", "upscaled_grid"]
+
+
+@dataclass(frozen=True)
+class DomainWindow:
+    """A fractional sub-window of a grid's physical extent.
+
+    ``lo`` and ``hi`` are per-axis fractions in ``[0, 1]`` of the source
+    extent; e.g. ``DomainWindow((0.25, 0.25, 0.0), (0.75, 0.75, 1.0))`` is
+    the centered half-width window in x and y.
+    """
+
+    lo: tuple[float, float, float]
+    hi: tuple[float, float, float]
+
+    def __post_init__(self) -> None:
+        lo = tuple(float(v) for v in self.lo)
+        hi = tuple(float(v) for v in self.hi)
+        if len(lo) != 3 or len(hi) != 3:
+            raise ValueError("DomainWindow lo/hi need 3 entries each")
+        for a, b in zip(lo, hi):
+            if not (0.0 <= a < b <= 1.0):
+                raise ValueError(f"window fractions must satisfy 0 <= lo < hi <= 1, got {lo}..{hi}")
+        object.__setattr__(self, "lo", lo)
+        object.__setattr__(self, "hi", hi)
+
+    def apply(self, grid: UniformGrid, dims: tuple[int, int, int]) -> UniformGrid:
+        """Materialize the window of ``grid`` as a new grid with ``dims`` points."""
+        origin, spacing = [], []
+        for axis in range(3):
+            o, s, d = grid.origin[axis], grid.spacing[axis], grid.dims[axis]
+            span = (d - 1) * s
+            w_lo = o + self.lo[axis] * span
+            w_hi = o + self.hi[axis] * span
+            n = dims[axis]
+            origin.append(w_lo)
+            spacing.append((w_hi - w_lo) / (n - 1) if n > 1 else s)
+        return UniformGrid(tuple(dims), tuple(spacing), tuple(origin))
+
+
+def upscaled_grid(
+    grid: UniformGrid,
+    factor: int | tuple[int, int, int] = 2,
+    shift_fraction: tuple[float, float, float] = (0.0, 0.0, 0.0),
+) -> UniformGrid:
+    """Grid with ``factor``x points per axis, optionally domain-shifted.
+
+    Parameters
+    ----------
+    grid:
+        Source (low-resolution) grid.
+    factor:
+        Per-axis (or scalar) multiplier on the point count.
+    shift_fraction:
+        Physical shift of the origin expressed as a fraction of the source
+        extent per axis — used by Fig 13 to place the high-resolution data
+        over a *different* spatial domain.
+    """
+    if isinstance(factor, int):
+        factor = (factor, factor, factor)
+    if any(f < 1 for f in factor):
+        raise ValueError(f"upscale factor must be >= 1 per axis, got {factor}")
+    dims = tuple(d * f for d, f in zip(grid.dims, factor))
+    base = grid.with_resolution(dims)
+    shift = tuple(
+        sf * (d - 1) * s
+        for sf, d, s in zip(shift_fraction, grid.dims, grid.spacing)
+    )
+    origin = tuple(o + dv for o, dv in zip(base.origin, shift))
+    return UniformGrid(base.dims, base.spacing, origin)

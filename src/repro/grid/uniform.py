@@ -1,0 +1,180 @@
+"""Uniform (regular) 3D grid.
+
+The grid model mirrors VTK ImageData: integer dimensions ``(nx, ny, nz)``,
+per-axis ``spacing`` and an ``origin`` in physical space.  Scalar fields
+living on the grid are stored as C-ordered ``(nx, ny, nz)`` numpy arrays;
+the flat ordering used throughout the package is ``np.ravel(order="C")`` of
+that array, i.e. the z index varies fastest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["UniformGrid"]
+
+
+@dataclass(frozen=True)
+class UniformGrid:
+    """A uniform rectilinear grid in 3D physical space.
+
+    Parameters
+    ----------
+    dims:
+        Number of grid points along each axis, ``(nx, ny, nz)``.  Each entry
+        must be >= 1.
+    spacing:
+        Physical distance between adjacent grid points along each axis.
+        Defaults to unit spacing.
+    origin:
+        Physical coordinates of grid point ``(0, 0, 0)``.
+
+    Notes
+    -----
+    The class is frozen (hashable, safe to share between pipeline stages);
+    derived quantities are computed on demand and cached where cheap.
+    """
+
+    dims: tuple[int, int, int]
+    spacing: tuple[float, float, float] = (1.0, 1.0, 1.0)
+    origin: tuple[float, float, float] = (0.0, 0.0, 0.0)
+
+    def __post_init__(self) -> None:
+        dims = tuple(int(d) for d in self.dims)
+        spacing = tuple(float(s) for s in self.spacing)
+        origin = tuple(float(o) for o in self.origin)
+        if len(dims) != 3 or len(spacing) != 3 or len(origin) != 3:
+            raise ValueError("UniformGrid is strictly 3D: dims/spacing/origin need 3 entries")
+        if any(d < 1 for d in dims):
+            raise ValueError(f"grid dims must be >= 1, got {dims}")
+        if any(s <= 0 for s in spacing):
+            raise ValueError(f"grid spacing must be > 0, got {spacing}")
+        object.__setattr__(self, "dims", dims)
+        object.__setattr__(self, "spacing", spacing)
+        object.__setattr__(self, "origin", origin)
+
+    # ------------------------------------------------------------------ size
+    @property
+    def num_points(self) -> int:
+        """Total number of grid points."""
+        nx, ny, nz = self.dims
+        return nx * ny * nz
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        """Alias for :attr:`dims` (numpy-style name)."""
+        return self.dims
+
+    @property
+    def extent(self) -> tuple[tuple[float, float], tuple[float, float], tuple[float, float]]:
+        """Physical ``((x0, x1), (y0, y1), (z0, z1))`` bounds of the grid."""
+        return tuple(
+            (o, o + (d - 1) * s)
+            for o, d, s in zip(self.origin, self.dims, self.spacing)
+        )  # type: ignore[return-value]
+
+    # ----------------------------------------------------------- coordinates
+    def axis_coordinates(self, axis: int) -> np.ndarray:
+        """Physical coordinates of grid points along one axis (1D array)."""
+        if axis not in (0, 1, 2):
+            raise ValueError(f"axis must be 0, 1 or 2, got {axis}")
+        return self.origin[axis] + self.spacing[axis] * np.arange(self.dims[axis])
+
+    def meshgrid(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(X, Y, Z)`` coordinate arrays, each shaped :attr:`dims`."""
+        return np.meshgrid(
+            self.axis_coordinates(0),
+            self.axis_coordinates(1),
+            self.axis_coordinates(2),
+            indexing="ij",
+        )
+
+    def points(self) -> np.ndarray:
+        """All grid-point coordinates as an ``(N, 3)`` array in flat order.
+
+        Flat order matches ``field.ravel(order="C")`` for a field shaped
+        :attr:`dims`.
+        """
+        x, y, z = self.meshgrid()
+        return np.column_stack([x.ravel(), y.ravel(), z.ravel()])
+
+    # --------------------------------------------------------------- indices
+    def flat_to_multi(self, flat: np.ndarray) -> np.ndarray:
+        """Convert flat indices to ``(N, 3)`` integer multi-indices."""
+        flat = np.asarray(flat)
+        return np.column_stack(np.unravel_index(flat, self.dims))
+
+    def multi_to_flat(self, multi: np.ndarray) -> np.ndarray:
+        """Convert ``(N, 3)`` integer multi-indices to flat indices."""
+        multi = np.asarray(multi)
+        return np.ravel_multi_index((multi[:, 0], multi[:, 1], multi[:, 2]), self.dims)
+
+    def index_to_position(self, multi: np.ndarray) -> np.ndarray:
+        """Physical positions of ``(N, 3)`` integer multi-indices."""
+        multi = np.asarray(multi, dtype=np.float64)
+        return np.asarray(self.origin) + multi * np.asarray(self.spacing)
+
+    def position_to_index(self, positions: np.ndarray) -> np.ndarray:
+        """Nearest integer multi-index for each ``(N, 3)`` physical position.
+
+        Positions outside the grid are clamped to the boundary.
+        """
+        positions = np.atleast_2d(np.asarray(positions, dtype=np.float64))
+        idx = np.rint((positions - np.asarray(self.origin)) / np.asarray(self.spacing))
+        return np.clip(idx, 0, np.asarray(self.dims) - 1).astype(np.int64)
+
+    def contains(self, positions: np.ndarray) -> np.ndarray:
+        """Boolean mask: which of the ``(N, 3)`` positions fall inside the grid."""
+        positions = np.atleast_2d(np.asarray(positions, dtype=np.float64))
+        lo = np.asarray(self.origin)
+        hi = lo + (np.asarray(self.dims) - 1) * np.asarray(self.spacing)
+        eps = 1e-9 * np.maximum(1.0, np.abs(hi - lo))
+        return np.all((positions >= lo - eps) & (positions <= hi + eps), axis=1)
+
+    # ---------------------------------------------------------------- fields
+    def validate_field(self, values: np.ndarray) -> np.ndarray:
+        """Check that ``values`` matches the grid and return it shaped 3D.
+
+        Accepts either a flat ``(num_points,)`` array (C order) or a 3D array
+        shaped :attr:`dims`.
+        """
+        values = np.asarray(values)
+        if values.shape == self.dims:
+            return values
+        if values.shape == (self.num_points,):
+            return values.reshape(self.dims)
+        raise ValueError(
+            f"field shape {values.shape} does not match grid dims {self.dims}"
+        )
+
+    def empty_field(self, fill: float = np.nan, dtype=np.float64) -> np.ndarray:
+        """Allocate a field shaped :attr:`dims` filled with ``fill``."""
+        return np.full(self.dims, fill, dtype=dtype)
+
+    # ------------------------------------------------------------- factories
+    def with_resolution(self, dims: tuple[int, int, int]) -> "UniformGrid":
+        """Resample this grid's physical extent at a new point count.
+
+        The returned grid spans the same physical bounds with ``dims``
+        points per axis (spacing is recomputed; single-point axes keep the
+        original spacing).
+        """
+        new_spacing = []
+        for d_new, d_old, s_old in zip(dims, self.dims, self.spacing):
+            if d_new < 1:
+                raise ValueError(f"new dims must be >= 1, got {dims}")
+            if d_new == 1 or d_old == 1:
+                new_spacing.append(s_old)
+            else:
+                new_spacing.append(s_old * (d_old - 1) / (d_new - 1))
+        return UniformGrid(tuple(dims), tuple(new_spacing), self.origin)
+
+    def describe(self) -> str:
+        """Human-readable one-line summary."""
+        nx, ny, nz = self.dims
+        return (
+            f"UniformGrid {nx}x{ny}x{nz} ({self.num_points} pts), "
+            f"spacing={self.spacing}, origin={self.origin}"
+        )

@@ -1,0 +1,25 @@
+"""Simulated in situ reduction + post hoc reconstruction campaigns.
+
+The paper's deployment story (Sec I, III-D) is an in situ pipeline: at each
+simulation timestep the full field exists only momentarily; a sampler
+reduces it to a point cloud that is all that reaches disk; reconstruction
+happens post hoc from those point clouds.  This package makes that story a
+first-class, testable workflow:
+
+* :class:`~repro.insitu.campaign.InSituWriter` — runs the time loop,
+  samples each timestep, writes ``.vtp`` clouds + a JSON manifest (and can
+  train/fine-tune an FCNN in situ, checkpointing per timestep);
+* :class:`~repro.insitu.campaign.CampaignReader` — loads a manifest and
+  reconstructs any stored timestep with any method;
+"""
+
+from repro.insitu.campaign import CampaignManifest, CampaignReader, InSituWriter
+from repro.insitu.adaptive import AdaptiveSampler, run_adaptive_campaign
+
+__all__ = [
+    "InSituWriter",
+    "CampaignReader",
+    "CampaignManifest",
+    "AdaptiveSampler",
+    "run_adaptive_campaign",
+]

@@ -1,0 +1,135 @@
+"""Uncertainty-driven adaptive sampling across timesteps.
+
+Closes the loop the paper's future work points at: if reconstruction
+uncertainty can be estimated (deep ensembles, :mod:`repro.core.ensemble`),
+the *next* timestep's sampling budget should concentrate where the current
+reconstruction is least certain.  :class:`AdaptiveSampler` blends the
+standard multi-criteria importance with the previous timestep's ensemble
+uncertainty field; :func:`run_adaptive_campaign` drives the closed loop and
+reports per-timestep quality against a static-sampler baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.ensemble import DeepEnsembleReconstructor
+from repro.datasets.base import AnalyticDataset, TimestepField
+from repro.metrics import snr
+from repro.sampling.base import Sampler
+from repro.sampling.importance import MultiCriteriaSampler, _ImportanceSampler
+
+__all__ = ["AdaptiveSampler", "run_adaptive_campaign"]
+
+
+class AdaptiveSampler(_ImportanceSampler):
+    """Multi-criteria importance augmented with an uncertainty prior.
+
+    Parameters
+    ----------
+    uncertainty_weight:
+        Blend weight of the (normalized) uncertainty prior against the
+        static multi-criteria importance.
+    base:
+        The static importance sampler providing the data-driven criteria.
+
+    The prior is set per timestep via :meth:`set_uncertainty` (a flat or
+    grid-shaped per-voxel field, e.g. the ensemble std of the previous
+    timestep's reconstruction); with no prior set, behaviour reduces to the
+    base sampler.
+    """
+
+    name = "adaptive"
+
+    def __init__(
+        self,
+        uncertainty_weight: float = 1.0,
+        base: MultiCriteriaSampler | None = None,
+        seed: int = 0,
+        exact: bool = True,
+    ) -> None:
+        super().__init__(seed=seed, exact=exact)
+        if uncertainty_weight < 0:
+            raise ValueError(f"uncertainty_weight must be >= 0, got {uncertainty_weight}")
+        self.uncertainty_weight = float(uncertainty_weight)
+        self.base = base if base is not None else MultiCriteriaSampler(seed=seed)
+        self._prior: np.ndarray | None = None
+
+    def set_uncertainty(self, uncertainty: np.ndarray | None) -> None:
+        """Install (or clear) the per-voxel uncertainty prior."""
+        if uncertainty is None:
+            self._prior = None
+            return
+        prior = np.asarray(uncertainty, dtype=np.float64).ravel()
+        if np.any(prior < 0) or not np.all(np.isfinite(prior)):
+            raise ValueError("uncertainty prior must be finite and non-negative")
+        self._prior = prior
+
+    def importance(self, field: TimestepField) -> np.ndarray:
+        imp = self.base.importance(field)
+        if self._prior is None or self.uncertainty_weight == 0:
+            return imp
+        if self._prior.size != field.grid.num_points:
+            raise ValueError(
+                f"uncertainty prior has {self._prior.size} entries for "
+                f"{field.grid.num_points} grid points"
+            )
+        peak = self._prior.max()
+        prior = self._prior / peak if peak > 0 else self._prior
+        return imp + self.uncertainty_weight * prior
+
+
+def run_adaptive_campaign(
+    dataset: AnalyticDataset,
+    timesteps,
+    fraction: float,
+    ensemble: DeepEnsembleReconstructor,
+    train_fractions: tuple[float, ...] = (0.01, 0.05),
+    pretrain_epochs: int = 100,
+    finetune_epochs: int = 10,
+    uncertainty_weight: float = 1.0,
+    seed: int = 0,
+) -> list[dict]:
+    """Closed-loop adaptive campaign vs a static baseline.
+
+    At each timestep the adaptive sampler's budget is biased by the
+    ensemble's uncertainty from the *previous* reconstruction; a static
+    multi-criteria sampler with the same budget provides the baseline.
+    The ensemble is pretrained at the first timestep and Case-1 fine-tuned
+    at each subsequent one.  Returns one record per timestep with both
+    SNRs and the uncertainty statistics that drove adaptation.
+    """
+    timesteps = [int(t) for t in timesteps]
+    if not timesteps:
+        raise ValueError("need at least one timestep")
+
+    adaptive = AdaptiveSampler(uncertainty_weight=uncertainty_weight, seed=seed)
+    static = MultiCriteriaSampler(seed=seed)
+
+    records: list[dict] = []
+    for i, t in enumerate(timesteps):
+        field = dataset.field(t=t)
+        train = [static.sample(field, f) for f in train_fractions]
+        if i == 0:
+            ensemble.train(field, train, epochs=pretrain_epochs)
+        else:
+            ensemble.fine_tune(field, train, epochs=finetune_epochs, strategy="full")
+
+        static_sample = static.sample(field, fraction, seed=seed + 1000)
+        adaptive_sample = adaptive.sample(field, fraction, seed=seed + 1000)
+
+        rec = ensemble.reconstruct_with_uncertainty(adaptive_sample)
+        static_rec = ensemble.reconstruct_with_uncertainty(static_sample)
+
+        records.append(
+            {
+                "timestep": t,
+                "snr_static": snr(field.values, static_rec.mean),
+                "snr_adaptive": snr(field.values, rec.mean),
+                "mean_uncertainty": float(rec.std.mean()),
+                "max_uncertainty": float(rec.std.max()),
+            }
+        )
+        # Next timestep's sampling follows this reconstruction's doubt.
+        adaptive.set_uncertainty(rec.std)
+    return records

@@ -1,0 +1,230 @@
+"""In situ campaign writer/reader.
+
+A *campaign* is the on-disk artifact of a reduced simulation run::
+
+    campaign_dir/
+      manifest.json            # grid, dataset, fractions, file index
+      t0000.vtp  t0008.vtp ... # sampled point clouds, one per stored step
+      model_t0000.npz          # (optional) in-situ-trained FCNN
+      model_t0008.npz ...      # (optional) Case-2 partial checkpoints
+
+The writer owns the in situ side (time loop, sampling, optional training);
+the reader owns the post hoc side (load a timestep's cloud, reconstruct it
+with any method, restore the matching model).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field as dataclass_field
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.reconstructor import FCNNReconstructor
+from repro.datasets.base import AnalyticDataset
+from repro.grid import UniformGrid
+from repro.sampling.base import SampledField, Sampler
+
+__all__ = ["CampaignManifest", "InSituWriter", "CampaignReader"]
+
+_MANIFEST_NAME = "manifest.json"
+
+
+@dataclass
+class CampaignManifest:
+    """Everything the post hoc side needs to interpret a campaign."""
+
+    dataset: str
+    attribute: str
+    dims: tuple[int, int, int]
+    spacing: tuple[float, float, float]
+    origin: tuple[float, float, float]
+    fraction: float
+    timesteps: list[int] = dataclass_field(default_factory=list)
+    cloud_files: dict[str, str] = dataclass_field(default_factory=dict)  # str(t) -> filename
+    model_files: dict[str, str] = dataclass_field(default_factory=dict)
+    base_model_file: str | None = None
+
+    @property
+    def grid(self) -> UniformGrid:
+        return UniformGrid(tuple(self.dims), tuple(self.spacing), tuple(self.origin))
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "dataset": self.dataset,
+                "attribute": self.attribute,
+                "dims": list(self.dims),
+                "spacing": list(self.spacing),
+                "origin": list(self.origin),
+                "fraction": self.fraction,
+                "timesteps": self.timesteps,
+                "cloud_files": self.cloud_files,
+                "model_files": self.model_files,
+                "base_model_file": self.base_model_file,
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CampaignManifest":
+        d = json.loads(text)
+        return cls(
+            dataset=d["dataset"],
+            attribute=d["attribute"],
+            dims=tuple(d["dims"]),
+            spacing=tuple(d["spacing"]),
+            origin=tuple(d["origin"]),
+            fraction=float(d["fraction"]),
+            timesteps=list(d["timesteps"]),
+            cloud_files=dict(d["cloud_files"]),
+            model_files=dict(d["model_files"]),
+            base_model_file=d.get("base_model_file"),
+        )
+
+
+class InSituWriter:
+    """Runs the reduced time loop and writes the campaign directory.
+
+    Parameters
+    ----------
+    dataset:
+        The simulation (any :class:`AnalyticDataset`).
+    sampler:
+        The in situ reduction strategy.
+    fraction:
+        Storage budget per timestep.
+    train_model:
+        When True, a :class:`FCNNReconstructor` is trained in situ at the
+        first stored timestep and Case-1 fine-tuned (``finetune_epochs``)
+        at each subsequent one; the base model and per-timestep Case-2
+        partial checkpoints are written alongside the clouds.
+    """
+
+    def __init__(
+        self,
+        dataset: AnalyticDataset,
+        sampler: Sampler,
+        fraction: float,
+        train_model: bool = False,
+        train_fractions: tuple[float, ...] = (0.01, 0.05),
+        epochs: int = 100,
+        finetune_epochs: int = 10,
+        model_kwargs: dict | None = None,
+    ) -> None:
+        if not (0.0 < fraction <= 1.0):
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        self.dataset = dataset
+        self.sampler = sampler
+        self.fraction = float(fraction)
+        self.train_model = bool(train_model)
+        self.train_fractions = tuple(train_fractions)
+        self.epochs = int(epochs)
+        self.finetune_epochs = int(finetune_epochs)
+        self.model_kwargs = dict(model_kwargs or {})
+
+    def run(self, directory: str | Path, timesteps) -> CampaignManifest:
+        """Execute the campaign; returns the written manifest."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        timesteps = [int(t) for t in timesteps]
+        if not timesteps:
+            raise ValueError("a campaign needs at least one timestep")
+
+        grid = self.dataset.grid
+        manifest = CampaignManifest(
+            dataset=self.dataset.name,
+            attribute=self.dataset.attribute,
+            dims=grid.dims,
+            spacing=grid.spacing,
+            origin=grid.origin,
+            fraction=self.fraction,
+        )
+
+        model: FCNNReconstructor | None = None
+        for step_no, t in enumerate(timesteps):
+            field = self.dataset.field(t=t)
+            sample = self.sampler.sample(field, self.fraction)
+
+            cloud_name = f"t{t:04d}.vtp"
+            sample.to_vtp(directory / cloud_name)
+            manifest.timesteps.append(t)
+            manifest.cloud_files[str(t)] = cloud_name
+
+            if self.train_model:
+                train = [self.sampler.sample(field, f) for f in self.train_fractions]
+                if model is None:
+                    model = FCNNReconstructor(**self.model_kwargs)
+                    model.train(field, train, epochs=self.epochs)
+                    manifest.base_model_file = "model_base.npz"
+                    model.save(directory / manifest.base_model_file)
+                else:
+                    model.fine_tune(field, train, epochs=self.finetune_epochs, strategy="last")
+                # Case-2 storage: only the last two layers per timestep.
+                model_name = f"model_t{t:04d}.npz"
+                model.save_partial(directory / model_name, num_layers=2)
+                manifest.model_files[str(t)] = model_name
+
+        (directory / _MANIFEST_NAME).write_text(manifest.to_json())
+        # ParaView animation index over the stored point clouds.
+        from repro.io import write_pvd
+
+        write_pvd(
+            directory / "campaign.pvd",
+            [(float(t), manifest.cloud_files[str(t)]) for t in manifest.timesteps],
+        )
+        return manifest
+
+
+class CampaignReader:
+    """Post hoc access to a written campaign."""
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        manifest_path = self.directory / _MANIFEST_NAME
+        if not manifest_path.exists():
+            raise FileNotFoundError(f"{manifest_path}: no campaign manifest")
+        self.manifest = CampaignManifest.from_json(manifest_path.read_text())
+
+    @property
+    def timesteps(self) -> list[int]:
+        return list(self.manifest.timesteps)
+
+    def load_sample(self, timestep: int) -> SampledField:
+        """The stored point cloud for one timestep."""
+        key = str(int(timestep))
+        if key not in self.manifest.cloud_files:
+            raise KeyError(f"timestep {timestep} not in campaign {sorted(self.manifest.cloud_files)}")
+        path = self.directory / self.manifest.cloud_files[key]
+        return SampledField.from_vtp(
+            path, self.manifest.grid, fraction=self.manifest.fraction, timestep=int(timestep)
+        )
+
+    def load_model(self, timestep: int | None = None) -> FCNNReconstructor:
+        """The in-situ-trained FCNN, optionally specialized to a timestep.
+
+        Loads the base model and, when ``timestep`` has a Case-2 partial
+        checkpoint, grafts it on.
+        """
+        if self.manifest.base_model_file is None:
+            raise ValueError("campaign was written without in situ training")
+        model = FCNNReconstructor.load(self.directory / self.manifest.base_model_file)
+        if timestep is not None:
+            key = str(int(timestep))
+            if key not in self.manifest.model_files:
+                raise KeyError(f"no model checkpoint for timestep {timestep}")
+            model.load_partial(self.directory / self.manifest.model_files[key])
+        return model
+
+    def reconstruct(self, timestep: int, method=None) -> np.ndarray:
+        """Reconstruct one stored timestep.
+
+        ``method`` defaults to the campaign's own FCNN (specialized to the
+        timestep); pass any :class:`GridInterpolator` to use a rule-based
+        method instead.
+        """
+        sample = self.load_sample(timestep)
+        if method is None:
+            method = self.load_model(timestep)
+        return method.reconstruct(sample)

@@ -1,0 +1,41 @@
+"""Rule-based point-cloud → grid reconstruction (paper Sec III-B).
+
+These are the classical methods the FCNN is compared against:
+
+* :class:`NearestNeighborInterpolator` — fastest, blocky.
+* :class:`ModifiedShepardInterpolator` — local inverse-distance weighting
+  with the Franke–Little weight.
+* :class:`DelaunayLinearInterpolator` — piecewise-linear barycentric
+  interpolation over a Delaunay tetrahedralization; ``mode="naive"``
+  reproduces the paper's slow sequential Python implementation,
+  ``mode="vectorized"`` its optimized (CGAL/OpenMP-equivalent) one.
+* :class:`NaturalNeighborInterpolator` — discrete Sibson approximation
+  (Park et al. [26]).
+* :class:`RBFInterpolator` — thin-plate-spline radial basis functions;
+  included for completeness, excluded from the paper's headline plots for
+  cost.
+
+All share the :class:`GridInterpolator` interface used by the experiment
+harness and benchmarks.
+"""
+
+from repro.interpolation.base import GridInterpolator
+from repro.interpolation.nearest import NearestNeighborInterpolator
+from repro.interpolation.shepard import ModifiedShepardInterpolator
+from repro.interpolation.global_shepard import GlobalShepardInterpolator
+from repro.interpolation.linear_delaunay import DelaunayLinearInterpolator
+from repro.interpolation.natural_neighbor import NaturalNeighborInterpolator
+from repro.interpolation.rbf import RBFInterpolator
+from repro.interpolation.registry import available_interpolators, make_interpolator
+
+__all__ = [
+    "GridInterpolator",
+    "NearestNeighborInterpolator",
+    "ModifiedShepardInterpolator",
+    "GlobalShepardInterpolator",
+    "DelaunayLinearInterpolator",
+    "NaturalNeighborInterpolator",
+    "RBFInterpolator",
+    "available_interpolators",
+    "make_interpolator",
+]

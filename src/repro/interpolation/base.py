@@ -1,0 +1,70 @@
+"""Common interface for point-cloud → grid reconstructors."""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.grid import UniformGrid
+from repro.sampling.base import SampledField
+
+__all__ = ["GridInterpolator"]
+
+
+class GridInterpolator(abc.ABC):
+    """Reconstruct a full grid field from an unstructured sample.
+
+    Subclasses implement :meth:`interpolate` — value prediction at arbitrary
+    query positions given the sampled point cloud.  :meth:`reconstruct`
+    wraps it with the shared bookkeeping: when the target grid *is* the
+    sample's source grid, sampled locations keep their exact stored values
+    and only void locations are predicted (matching the paper's setup, where
+    reconstruction means filling the voids).
+    """
+
+    name: str = "interpolator"
+
+    @abc.abstractmethod
+    def interpolate(
+        self,
+        points: np.ndarray,
+        values: np.ndarray,
+        query: np.ndarray,
+        grid: UniformGrid,
+    ) -> np.ndarray:
+        """Predict values at ``query`` ``(Q, 3)`` from samples ``(M, 3)``.
+
+        ``grid`` describes the query points' source grid (several methods
+        need its spacing/extent, e.g. discrete Sibson's rasterization).
+        """
+
+    def reconstruct(
+        self,
+        sample: SampledField,
+        target_grid: UniformGrid | None = None,
+    ) -> np.ndarray:
+        """Reconstruct the full field; returns an array shaped like the grid.
+
+        Parameters
+        ----------
+        sample:
+            The sampled point cloud.
+        target_grid:
+            Grid to reconstruct onto.  Defaults to the sample's own grid;
+            pass a different grid for the upscaling experiment (Fig 13).
+        """
+        grid = target_grid if target_grid is not None else sample.grid
+        same_grid = target_grid is None or target_grid == sample.grid
+
+        out = grid.empty_field()
+        if same_grid:
+            flat = out.ravel()
+            flat[sample.indices] = sample.values
+            void = sample.void_indices()
+            if void.size:
+                query = grid.index_to_position(grid.flat_to_multi(void))
+                flat[void] = self.interpolate(sample.points, sample.values, query, grid)
+            return flat.reshape(grid.dims)
+        query = grid.points()
+        return self.interpolate(sample.points, sample.values, query, grid).reshape(grid.dims)

@@ -1,0 +1,46 @@
+"""Interpolator registry used by the harness, benchmarks and CLI."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.interpolation.base import GridInterpolator
+from repro.interpolation.linear_delaunay import DelaunayLinearInterpolator
+from repro.interpolation.natural_neighbor import NaturalNeighborInterpolator
+from repro.interpolation.nearest import NearestNeighborInterpolator
+from repro.interpolation.rbf import RBFInterpolator
+from repro.interpolation.global_shepard import GlobalShepardInterpolator
+from repro.interpolation.shepard import ModifiedShepardInterpolator
+
+__all__ = ["available_interpolators", "make_interpolator", "INTERPOLATORS"]
+
+INTERPOLATORS: dict[str, Callable[[], GridInterpolator]] = {
+    "nearest": NearestNeighborInterpolator,
+    "shepard": ModifiedShepardInterpolator,
+    "shepard-global": GlobalShepardInterpolator,
+    "linear": DelaunayLinearInterpolator,
+    "linear-naive": lambda: DelaunayLinearInterpolator(mode="naive"),
+    "natural": NaturalNeighborInterpolator,
+    "rbf": RBFInterpolator,
+}
+
+
+def available_interpolators() -> list[str]:
+    """Registry names, sorted."""
+    return sorted(INTERPOLATORS)
+
+
+def make_interpolator(name: str, **kwargs) -> GridInterpolator:
+    """Instantiate an interpolator by registry name."""
+    try:
+        factory = INTERPOLATORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown interpolator {name!r}; available: {available_interpolators()}"
+        ) from None
+    if kwargs:
+        if name == "linear-naive":
+            kwargs.setdefault("mode", "naive")
+            return DelaunayLinearInterpolator(**kwargs)
+        return factory(**kwargs)  # type: ignore[call-arg]
+    return factory()

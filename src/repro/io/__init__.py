@@ -1,0 +1,15 @@
+"""Minimal, dependency-free VTK XML file I/O.
+
+The paper's workflow stores the original regular grid as ``.vti`` (VTK XML
+ImageData), the sampled point cloud as ``.vtp`` (VTK XML PolyData), and the
+reconstruction again as ``.vti``.  This package implements just enough of
+both formats — ASCII and inline base64 binary encodings — to keep that
+on-disk workflow without depending on the VTK library.  Files written here
+are valid VTK XML and load in ParaView.
+"""
+
+from repro.io.vti import read_vti, write_vti
+from repro.io.vtp import read_vtp, write_vtp
+from repro.io.pvd import read_pvd, write_pvd
+
+__all__ = ["read_vti", "write_vti", "read_vtp", "write_vtp", "read_pvd", "write_pvd"]

@@ -1,0 +1,129 @@
+"""Shared pieces of the VTK XML encoders/decoders.
+
+VTK XML stores arrays either as whitespace-separated ASCII or as base64
+blobs prefixed by a base64-encoded byte-count header.  We emit
+``header_type="UInt64"`` and little-endian data, and decode both UInt32 and
+UInt64 headers on read.
+"""
+
+from __future__ import annotations
+
+import base64
+import xml.etree.ElementTree as ET
+
+import numpy as np
+
+__all__ = [
+    "VTK_TYPE_TO_DTYPE",
+    "DTYPE_TO_VTK_TYPE",
+    "encode_data_array",
+    "decode_data_array",
+]
+
+VTK_TYPE_TO_DTYPE: dict[str, np.dtype] = {
+    "Float32": np.dtype("<f4"),
+    "Float64": np.dtype("<f8"),
+    "Int8": np.dtype("<i1"),
+    "Int16": np.dtype("<i2"),
+    "Int32": np.dtype("<i4"),
+    "Int64": np.dtype("<i8"),
+    "UInt8": np.dtype("<u1"),
+    "UInt16": np.dtype("<u2"),
+    "UInt32": np.dtype("<u4"),
+    "UInt64": np.dtype("<u8"),
+}
+
+DTYPE_TO_VTK_TYPE: dict[str, str] = {
+    str(np.dtype(dt)): name for name, dt in VTK_TYPE_TO_DTYPE.items()
+}
+# Native-endian aliases map to the same VTK names.
+for _name, _dt in list(VTK_TYPE_TO_DTYPE.items()):
+    DTYPE_TO_VTK_TYPE[str(np.dtype(_dt.str.lstrip("<>=")))] = _name
+
+
+def vtk_type_for(array: np.ndarray) -> str:
+    """VTK DataArray ``type`` attribute for a numpy array's dtype."""
+    key = str(array.dtype)
+    try:
+        return DTYPE_TO_VTK_TYPE[key]
+    except KeyError:
+        raise TypeError(f"dtype {array.dtype} is not representable in VTK XML") from None
+
+
+def encode_data_array(
+    parent: ET.Element,
+    name: str,
+    array: np.ndarray,
+    binary: bool,
+    num_components: int | None = None,
+) -> ET.Element:
+    """Append a ``<DataArray>`` element holding ``array`` to ``parent``.
+
+    ``array`` may be 1D (scalars) or 2D ``(N, C)`` (vectors); components are
+    interleaved as VTK expects.
+    """
+    array = np.asarray(array)
+    if array.ndim == 2:
+        ncomp = array.shape[1]
+        flat = np.ascontiguousarray(array).reshape(-1)
+    elif array.ndim == 1:
+        ncomp = 1
+        flat = array
+    else:
+        raise ValueError(f"DataArray must be 1D or 2D, got shape {array.shape}")
+    if num_components is not None:
+        ncomp = num_components
+
+    el = ET.SubElement(
+        parent,
+        "DataArray",
+        {
+            "type": vtk_type_for(flat),
+            "Name": name,
+            "NumberOfComponents": str(ncomp),
+            "format": "binary" if binary else "ascii",
+        },
+    )
+    flat = flat.astype(flat.dtype.newbyteorder("<"), copy=False)
+    if binary:
+        raw = flat.tobytes()
+        header = np.uint64(len(raw)).tobytes()
+        el.text = base64.b64encode(header + raw).decode("ascii")
+    else:
+        el.text = " ".join(repr(v) if flat.dtype.kind == "f" else str(v) for v in flat.tolist())
+    return el
+
+
+def decode_data_array(el: ET.Element, header_type: str = "UInt64") -> np.ndarray:
+    """Decode a ``<DataArray>`` element to a numpy array.
+
+    Returns a 1D array for single-component data, else ``(N, C)``.
+    """
+    vtk_type = el.get("type")
+    if vtk_type not in VTK_TYPE_TO_DTYPE:
+        raise ValueError(f"unsupported DataArray type {vtk_type!r}")
+    dtype = VTK_TYPE_TO_DTYPE[vtk_type]
+    ncomp = int(el.get("NumberOfComponents", "1"))
+    fmt = el.get("format", "ascii")
+    text = (el.text or "").strip()
+
+    if fmt == "ascii":
+        flat = _from_ascii(text, dtype)
+    elif fmt == "binary":
+        blob = base64.b64decode(text)
+        hdtype = np.dtype("<u8") if header_type == "UInt64" else np.dtype("<u4")
+        nbytes = int(np.frombuffer(blob[: hdtype.itemsize], dtype=hdtype)[0])
+        payload = blob[hdtype.itemsize : hdtype.itemsize + nbytes]
+        flat = np.frombuffer(payload, dtype=dtype).copy()
+    else:
+        raise ValueError(f"unsupported DataArray format {fmt!r} (appended data not implemented)")
+
+    if ncomp > 1:
+        flat = flat.reshape(-1, ncomp)
+    return flat
+
+
+def _from_ascii(text: str, dtype: np.dtype) -> np.ndarray:
+    if not text:
+        return np.empty(0, dtype=dtype)
+    return np.array(text.split(), dtype=dtype)

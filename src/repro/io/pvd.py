@@ -1,0 +1,53 @@
+"""ParaView data collection (.pvd) time-series index files.
+
+A ``.pvd`` file lists per-timestep dataset files so ParaView can animate a
+campaign.  The in situ writer emits one alongside the per-timestep ``.vtp``
+clouds; reconstruction drivers can emit one over their ``.vti`` outputs.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+__all__ = ["write_pvd", "read_pvd"]
+
+
+def write_pvd(path: str | Path, entries: list[tuple[float, str]]) -> None:
+    """Write a collection index.
+
+    Parameters
+    ----------
+    path:
+        Output ``.pvd`` path.
+    entries:
+        ``(timestep, file)`` pairs; files are stored as given (keep them
+        relative to the ``.pvd`` for a relocatable campaign directory).
+    """
+    if not entries:
+        raise ValueError("a .pvd collection needs at least one entry")
+    root = ET.Element(
+        "VTKFile",
+        {"type": "Collection", "version": "0.1", "byte_order": "LittleEndian"},
+    )
+    coll = ET.SubElement(root, "Collection")
+    for timestep, filename in entries:
+        ET.SubElement(
+            coll,
+            "DataSet",
+            {"timestep": repr(float(timestep)), "group": "", "part": "0", "file": str(filename)},
+        )
+    ET.indent(root)
+    ET.ElementTree(root).write(str(path), xml_declaration=True, encoding="utf-8")
+
+
+def read_pvd(path: str | Path) -> list[tuple[float, str]]:
+    """Read a collection index back to ``(timestep, file)`` pairs."""
+    tree = ET.parse(str(path))
+    root = tree.getroot()
+    if root.tag != "VTKFile" or root.get("type") != "Collection":
+        raise ValueError(f"{path}: not a VTK Collection (.pvd) file")
+    out: list[tuple[float, str]] = []
+    for el in root.findall("Collection/DataSet"):
+        out.append((float(el.get("timestep", "0")), el.get("file", "")))
+    return out

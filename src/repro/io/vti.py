@@ -1,0 +1,123 @@
+"""VTK XML ImageData (.vti) read/write.
+
+A ``.vti`` file stores a uniform grid (:class:`~repro.grid.UniformGrid`)
+plus point-data arrays.  VTK's point ordering has x varying fastest, so
+fields stored as C-ordered ``(nx, ny, nz)`` arrays are transposed to Fortran
+order on write and back on read.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+import numpy as np
+
+from repro.grid import UniformGrid
+from repro.io.common import decode_data_array, encode_data_array
+
+__all__ = ["write_vti", "read_vti"]
+
+
+def write_vti(
+    path: str | Path,
+    grid: UniformGrid,
+    point_data: dict[str, np.ndarray],
+    binary: bool = True,
+) -> None:
+    """Write a uniform grid and its point-data fields as a ``.vti`` file.
+
+    Parameters
+    ----------
+    path:
+        Output file path.
+    grid:
+        Grid geometry.
+    point_data:
+        Mapping of array name to a field that is flat ``(N,)``, shaped
+        ``grid.dims`` (scalars), or ``(N, C)`` (vectors, flat point order).
+    binary:
+        Use inline base64 binary encoding (default) or ASCII.
+    """
+    nx, ny, nz = grid.dims
+    extent = f"0 {nx - 1} 0 {ny - 1} 0 {nz - 1}"
+
+    root = ET.Element(
+        "VTKFile",
+        {
+            "type": "ImageData",
+            "version": "1.0",
+            "byte_order": "LittleEndian",
+            "header_type": "UInt64",
+        },
+    )
+    image = ET.SubElement(
+        root,
+        "ImageData",
+        {
+            "WholeExtent": extent,
+            "Origin": " ".join(repr(v) for v in grid.origin),
+            "Spacing": " ".join(repr(v) for v in grid.spacing),
+        },
+    )
+    piece = ET.SubElement(image, "Piece", {"Extent": extent})
+    pd = ET.SubElement(piece, "PointData")
+    if point_data:
+        pd.set("Scalars", next(iter(point_data)))
+
+    for name, values in point_data.items():
+        values = np.asarray(values)
+        if values.ndim >= 2 and values.shape[-1] not in (1,) and values.ndim == 2 and values.shape[0] == grid.num_points:
+            # (N, C) vector data in flat C order -> reorder points to VTK order.
+            arr = values.reshape(*grid.dims, values.shape[1])
+            arr = np.transpose(arr, (2, 1, 0, 3)).reshape(-1, values.shape[1])
+        else:
+            field = grid.validate_field(values)
+            arr = field.transpose(2, 1, 0).ravel()
+        encode_data_array(pd, name, arr, binary=binary)
+
+    ET.indent(root)
+    tree = ET.ElementTree(root)
+    tree.write(str(path), xml_declaration=True, encoding="utf-8")
+
+
+def read_vti(path: str | Path) -> tuple[UniformGrid, dict[str, np.ndarray]]:
+    """Read a ``.vti`` file written by :func:`write_vti` (or VTK).
+
+    Returns
+    -------
+    ``(grid, point_data)`` where each scalar array is shaped ``grid.dims``
+    (C order) and vector arrays are ``(N, C)`` in flat C point order.
+    """
+    tree = ET.parse(str(path))
+    root = tree.getroot()
+    if root.tag != "VTKFile" or root.get("type") != "ImageData":
+        raise ValueError(f"{path}: not a VTK XML ImageData file")
+    header_type = root.get("header_type", "UInt32")
+
+    image = root.find("ImageData")
+    if image is None:
+        raise ValueError(f"{path}: missing <ImageData> element")
+    ext = [int(v) for v in image.get("WholeExtent", "").split()]
+    if len(ext) != 6:
+        raise ValueError(f"{path}: bad WholeExtent")
+    dims = (ext[1] - ext[0] + 1, ext[3] - ext[2] + 1, ext[5] - ext[4] + 1)
+    origin = tuple(float(v) for v in image.get("Origin", "0 0 0").split())
+    spacing = tuple(float(v) for v in image.get("Spacing", "1 1 1").split())
+    grid = UniformGrid(dims, spacing, origin)
+
+    point_data: dict[str, np.ndarray] = {}
+    piece = image.find("Piece")
+    pd = piece.find("PointData") if piece is not None else None
+    if pd is not None:
+        for el in pd.findall("DataArray"):
+            arr = decode_data_array(el, header_type=header_type)
+            name = el.get("Name", f"array{len(point_data)}")
+            if arr.ndim == 1:
+                nx, ny, nz = dims
+                point_data[name] = arr.reshape(nz, ny, nx).transpose(2, 1, 0)
+            else:
+                ncomp = arr.shape[1]
+                vol = arr.reshape(dims[2], dims[1], dims[0], ncomp)
+                point_data[name] = vol.transpose(2, 1, 0, 3).reshape(-1, ncomp)
+    return grid, point_data

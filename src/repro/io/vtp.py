@@ -1,0 +1,103 @@
+"""VTK XML PolyData (.vtp) read/write for point clouds.
+
+The sampler's output — the surviving points' positions and scalar values —
+is stored as a ``.vtp`` point cloud with one vertex cell per point, which is
+how the paper's pipeline hands sampled data to the reconstructors.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+import numpy as np
+
+from repro.io.common import decode_data_array, encode_data_array
+
+__all__ = ["write_vtp", "read_vtp"]
+
+
+def write_vtp(
+    path: str | Path,
+    points: np.ndarray,
+    point_data: dict[str, np.ndarray] | None = None,
+    binary: bool = True,
+) -> None:
+    """Write an ``(N, 3)`` point cloud with per-point arrays as ``.vtp``.
+
+    Each point becomes a VTK vertex cell so the file renders directly.
+    """
+    points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+    if points.ndim != 2 or points.shape[1] != 3:
+        raise ValueError(f"points must be (N, 3), got {points.shape}")
+    n = points.shape[0]
+    point_data = point_data or {}
+    for name, arr in point_data.items():
+        if np.asarray(arr).shape[0] != n:
+            raise ValueError(f"point_data[{name!r}] has {np.asarray(arr).shape[0]} entries for {n} points")
+
+    root = ET.Element(
+        "VTKFile",
+        {
+            "type": "PolyData",
+            "version": "1.0",
+            "byte_order": "LittleEndian",
+            "header_type": "UInt64",
+        },
+    )
+    poly = ET.SubElement(root, "PolyData")
+    piece = ET.SubElement(
+        poly,
+        "Piece",
+        {
+            "NumberOfPoints": str(n),
+            "NumberOfVerts": str(n),
+            "NumberOfLines": "0",
+            "NumberOfStrips": "0",
+            "NumberOfPolys": "0",
+        },
+    )
+
+    pd = ET.SubElement(piece, "PointData")
+    if point_data:
+        pd.set("Scalars", next(iter(point_data)))
+    for name, arr in point_data.items():
+        encode_data_array(pd, name, np.asarray(arr), binary=binary)
+
+    pts_el = ET.SubElement(piece, "Points")
+    encode_data_array(pts_el, "Points", points, binary=binary, num_components=3)
+
+    verts = ET.SubElement(piece, "Verts")
+    encode_data_array(verts, "connectivity", np.arange(n, dtype=np.int64), binary=binary)
+    encode_data_array(verts, "offsets", np.arange(1, n + 1, dtype=np.int64), binary=binary)
+
+    ET.indent(root)
+    ET.ElementTree(root).write(str(path), xml_declaration=True, encoding="utf-8")
+
+
+def read_vtp(path: str | Path) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+    """Read a ``.vtp`` point cloud: returns ``(points, point_data)``."""
+    tree = ET.parse(str(path))
+    root = tree.getroot()
+    if root.tag != "VTKFile" or root.get("type") != "PolyData":
+        raise ValueError(f"{path}: not a VTK XML PolyData file")
+    header_type = root.get("header_type", "UInt32")
+
+    piece = root.find("PolyData/Piece")
+    if piece is None:
+        raise ValueError(f"{path}: missing <Piece> element")
+
+    pts_el = piece.find("Points/DataArray")
+    if pts_el is None:
+        raise ValueError(f"{path}: missing Points DataArray")
+    points = np.asarray(decode_data_array(pts_el, header_type=header_type), dtype=np.float64)
+    if points.ndim == 1:
+        points = points.reshape(-1, 3)
+
+    point_data: dict[str, np.ndarray] = {}
+    pd = piece.find("PointData")
+    if pd is not None:
+        for el in pd.findall("DataArray"):
+            name = el.get("Name", f"array{len(point_data)}")
+            point_data[name] = decode_data_array(el, header_type=header_type)
+    return points, point_data

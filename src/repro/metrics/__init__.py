@@ -1,0 +1,32 @@
+"""Reconstruction-quality metrics.
+
+The paper scores every reconstruction with the signal-to-noise ratio
+
+    SNR = 20 * log10(sigma_raw / sigma_noise)
+
+where ``sigma_raw`` is the standard deviation of the original field and
+``sigma_noise`` the standard deviation of (original - reconstruction).
+PSNR/RMSE/MAE companions are provided for completeness.
+"""
+
+from repro.metrics.quality import (
+    ReconstructionScore,
+    mae,
+    max_abs_error,
+    psnr,
+    rmse,
+    score_reconstruction,
+    snr,
+)
+from repro.metrics.ssim import ssim3d
+
+__all__ = [
+    "snr",
+    "psnr",
+    "rmse",
+    "mae",
+    "max_abs_error",
+    "score_reconstruction",
+    "ReconstructionScore",
+    "ssim3d",
+]

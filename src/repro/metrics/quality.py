@@ -1,0 +1,105 @@
+"""Scalar-field reconstruction quality metrics (Sec IV of the paper)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "snr",
+    "psnr",
+    "rmse",
+    "mae",
+    "max_abs_error",
+    "ReconstructionScore",
+    "score_reconstruction",
+]
+
+
+def _flatten_pair(original: np.ndarray, reconstructed: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    a = np.asarray(original, dtype=np.float64).ravel()
+    b = np.asarray(reconstructed, dtype=np.float64).ravel()
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: original {a.shape} vs reconstructed {b.shape}")
+    if a.size == 0:
+        raise ValueError("cannot score empty fields")
+    return a, b
+
+
+def snr(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Signal-to-noise ratio in dB, the paper's primary quality metric.
+
+    ``SNR = 20 * log10(std(original) / std(original - reconstructed))``.
+    Returns ``inf`` for a perfect reconstruction and ``-inf`` when the
+    original field is constant but the reconstruction is not.
+    """
+    a, b = _flatten_pair(original, reconstructed)
+    sigma_raw = float(np.std(a))
+    sigma_noise = float(np.std(a - b))
+    if sigma_noise == 0.0:
+        return float("inf")
+    if sigma_raw == 0.0:
+        return float("-inf")
+    return 20.0 * float(np.log10(sigma_raw / sigma_noise))
+
+
+def psnr(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Peak signal-to-noise ratio in dB (peak = original's value range)."""
+    a, b = _flatten_pair(original, reconstructed)
+    peak = float(np.max(a) - np.min(a))
+    mse = float(np.mean((a - b) ** 2))
+    if mse == 0.0:
+        return float("inf")
+    if peak == 0.0:
+        return float("-inf")
+    return 20.0 * float(np.log10(peak)) - 10.0 * float(np.log10(mse))
+
+
+def rmse(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Root-mean-square error."""
+    a, b = _flatten_pair(original, reconstructed)
+    return float(np.sqrt(np.mean((a - b) ** 2)))
+
+
+def mae(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Mean absolute error."""
+    a, b = _flatten_pair(original, reconstructed)
+    return float(np.mean(np.abs(a - b)))
+
+
+def max_abs_error(original: np.ndarray, reconstructed: np.ndarray) -> float:
+    """Worst-case absolute error (L-infinity)."""
+    a, b = _flatten_pair(original, reconstructed)
+    return float(np.max(np.abs(a - b)))
+
+
+@dataclass(frozen=True)
+class ReconstructionScore:
+    """All metrics for one reconstruction, as reported by the harness."""
+
+    snr: float
+    psnr: float
+    rmse: float
+    mae: float
+    max_abs_error: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "snr": self.snr,
+            "psnr": self.psnr,
+            "rmse": self.rmse,
+            "mae": self.mae,
+            "max_abs_error": self.max_abs_error,
+        }
+
+
+def score_reconstruction(original: np.ndarray, reconstructed: np.ndarray) -> ReconstructionScore:
+    """Compute the full metric bundle for a reconstruction."""
+    return ReconstructionScore(
+        snr=snr(original, reconstructed),
+        psnr=psnr(original, reconstructed),
+        rmse=rmse(original, reconstructed),
+        mae=mae(original, reconstructed),
+        max_abs_error=max_abs_error(original, reconstructed),
+    )

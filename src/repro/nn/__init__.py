@@ -1,0 +1,88 @@
+"""A from-scratch, numpy-only neural-network engine.
+
+The paper trains its FCNN in a mainstream framework on A100 GPUs; none is
+available offline, so this package implements the required subset exactly:
+dense layers with ReLU activations, mean-squared-error loss, backprop, the
+Adam optimizer (lr=0.001, the paper's setting), mini-batch training with
+loss history, *layer freezing* (the Case-2 "last two layers trainable"
+fine-tuning protocol of Fig 5) and model (de)serialization including
+partial, last-k-layer checkpoints (the Case-2 storage optimization).
+
+Everything is vectorized over the batch dimension; see
+``tests/test_nn_gradcheck.py`` for finite-difference verification of every
+layer's backward pass.
+"""
+
+from repro.nn.parameter import Parameter
+from repro.nn.layers import Dense, Identity, Layer, LayerNorm, ReLU, Sigmoid, Tanh
+from repro.nn.network import Sequential, mlp
+from repro.nn.losses import HuberLoss, Loss, MAELoss, MSELoss
+from repro.nn.losses_weighted import WeightedMSELoss
+from repro.nn.optimizers import SGD, Adam, Optimizer, RMSProp
+from repro.nn.initializers import he_normal, he_uniform, xavier_normal, xavier_uniform, zeros
+from repro.nn.training import Trainer, TrainingHistory
+from repro.nn.schedules import (
+    ConstantSchedule,
+    CosineAnnealingSchedule,
+    ExponentialDecaySchedule,
+    StepDecaySchedule,
+    WarmupSchedule,
+    apply_schedule,
+)
+from repro.nn.regularization import (
+    Dropout,
+    EarlyStopping,
+    add_l2_gradients,
+    clip_gradients,
+    l2_penalty,
+)
+from repro.nn.serialization import (
+    load_model,
+    load_partial,
+    save_model,
+    save_partial,
+)
+
+__all__ = [
+    "Parameter",
+    "Layer",
+    "Dense",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Identity",
+    "LayerNorm",
+    "Sequential",
+    "mlp",
+    "Loss",
+    "MSELoss",
+    "MAELoss",
+    "WeightedMSELoss",
+    "HuberLoss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "RMSProp",
+    "he_normal",
+    "he_uniform",
+    "xavier_normal",
+    "xavier_uniform",
+    "zeros",
+    "Trainer",
+    "TrainingHistory",
+    "save_model",
+    "load_model",
+    "save_partial",
+    "load_partial",
+    "ConstantSchedule",
+    "StepDecaySchedule",
+    "ExponentialDecaySchedule",
+    "CosineAnnealingSchedule",
+    "WarmupSchedule",
+    "apply_schedule",
+    "Dropout",
+    "EarlyStopping",
+    "l2_penalty",
+    "add_l2_gradients",
+    "clip_gradients",
+]

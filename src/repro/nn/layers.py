@@ -1,0 +1,224 @@
+"""Layers: dense affine maps and element-wise activations.
+
+Every layer implements ``forward`` (caching what backward needs) and
+``backward`` (accumulating parameter gradients, returning the gradient with
+respect to its input).  Batches are rows: activations are ``(B, features)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.initializers import get_initializer
+from repro.nn.parameter import Parameter
+
+__all__ = ["Layer", "Dense", "ReLU", "Tanh", "Sigmoid", "Identity", "LayerNorm"]
+
+
+class Layer:
+    """Base class: a differentiable map with (possibly zero) parameters."""
+
+    def __init__(self) -> None:
+        self.trainable = True
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> list[Parameter]:
+        """Parameters owned by this layer (empty for activations)."""
+        return []
+
+    def set_trainable(self, flag: bool) -> None:
+        """Freeze/unfreeze this layer's parameters."""
+        self.trainable = bool(flag)
+        for p in self.parameters():
+            p.trainable = bool(flag)
+
+    def spec(self) -> dict:
+        """JSON-serializable architecture description (for checkpoints)."""
+        return {"kind": type(self).__name__}
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+class Dense(Layer):
+    """Affine layer ``y = x @ W + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Weight shape.
+    weight_init:
+        Initializer name (see :mod:`repro.nn.initializers`).
+    rng:
+        Generator used for initialization; pass one seeded generator through
+        an entire network for reproducible training runs.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        weight_init: str = "he_normal",
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if in_features < 1 or out_features < 1:
+            raise ValueError(f"Dense needs positive dims, got {in_features}x{out_features}")
+        rng = rng if rng is not None else np.random.default_rng()
+        init = get_initializer(weight_init)
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        self.weight_init = weight_init
+        self.weight = Parameter(init(in_features, out_features, rng), name="weight")
+        self.bias = Parameter(np.zeros(out_features), name="bias")
+        self._input: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ValueError(
+                f"Dense({self.in_features}->{self.out_features}) got input shape {x.shape}"
+            )
+        self._input = x
+        return x @ self.weight.value + self.bias.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._input is None:
+            raise RuntimeError("backward called before forward")
+        x = self._input
+        # Accumulate (+=) so gradient checks can sum over micro-batches.
+        self.weight.grad += x.T @ grad_out
+        self.bias.grad += grad_out.sum(axis=0)
+        return grad_out @ self.weight.value.T
+
+    def parameters(self) -> list[Parameter]:
+        return [self.weight, self.bias]
+
+    def spec(self) -> dict:
+        return {
+            "kind": "Dense",
+            "in_features": self.in_features,
+            "out_features": self.out_features,
+            "weight_init": self.weight_init,
+        }
+
+
+class ReLU(Layer):
+    """Rectified linear activation — the paper's choice (Sec III-C)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad_out, 0.0)
+
+
+class Tanh(Layer):
+    """Hyperbolic-tangent activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._output: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._output = np.tanh(x)
+        return self._output
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * (1.0 - self._output**2)
+
+
+class Sigmoid(Layer):
+    """Logistic activation."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._output: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._output = 1.0 / (1.0 + np.exp(-np.clip(x, -500, 500)))
+        return self._output
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward")
+        return grad_out * self._output * (1.0 - self._output)
+
+
+class LayerNorm(Layer):
+    """Layer normalization over the feature axis, with learned gain/bias.
+
+    Stabilizes deep-ladder training (the Fig 6 nine-layer regime); rows are
+    normalized to zero mean / unit variance before the affine map.
+    """
+
+    def __init__(self, features: int, eps: float = 1e-5) -> None:
+        super().__init__()
+        if features < 1:
+            raise ValueError(f"features must be >= 1, got {features}")
+        self.features = int(features)
+        self.eps = float(eps)
+        self.gain = Parameter(np.ones(features), name="gain")
+        self.bias = Parameter(np.zeros(features), name="bias")
+        self._cache: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.features:
+            raise ValueError(f"LayerNorm({self.features}) got input shape {x.shape}")
+        mu = x.mean(axis=1, keepdims=True)
+        var = x.var(axis=1, keepdims=True)
+        inv = 1.0 / np.sqrt(var + self.eps)
+        xhat = (x - mu) * inv
+        self._cache = (xhat, inv, x)
+        return xhat * self.gain.value + self.bias.value
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        xhat, inv, _ = self._cache
+        self.gain.grad += (grad_out * xhat).sum(axis=0)
+        self.bias.grad += grad_out.sum(axis=0)
+        g = grad_out * self.gain.value
+        # d/dx of (x - mu) / sqrt(var + eps), vectorized per row.
+        return inv * (g - g.mean(axis=1, keepdims=True)
+                      - xhat * (g * xhat).mean(axis=1, keepdims=True))
+
+    def parameters(self) -> list[Parameter]:
+        return [self.gain, self.bias]
+
+    def spec(self) -> dict:
+        return {"kind": "LayerNorm", "features": self.features}
+
+
+class Identity(Layer):
+    """No-op layer (linear output head)."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out
+
+
+#: activations addressable by name in ``mlp()`` and checkpoints
+ACTIVATIONS: dict[str, type[Layer]] = {
+    "ReLU": ReLU,
+    "Tanh": Tanh,
+    "Sigmoid": Sigmoid,
+    "Identity": Identity,
+}

@@ -1,0 +1,170 @@
+"""Sequential network composition and the MLP factory."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import ACTIVATIONS, Dense, Layer
+
+__all__ = ["Sequential", "mlp"]
+
+
+class Sequential:
+    """A straight pipeline of layers with joint forward/backward.
+
+    This is all the paper's FCNN needs: input -> five Dense+ReLU blocks ->
+    linear Dense head (Fig 5).
+    """
+
+    def __init__(self, layers: list[Layer]) -> None:
+        if not layers:
+            raise ValueError("Sequential needs at least one layer")
+        self.layers = list(layers)
+
+    # ------------------------------------------------------------- compute
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Forward propagation, caching intermediates for backward."""
+        out = np.asarray(x, dtype=np.float64)
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backpropagate a loss gradient; returns the input gradient."""
+        grad = np.asarray(grad_out, dtype=np.float64)
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def set_training(self, flag: bool) -> None:
+        """Toggle train/eval mode on layers that distinguish them (Dropout)."""
+        for layer in self.layers:
+            if hasattr(layer, "training"):
+                layer.training = bool(flag)
+
+    def predict(self, x: np.ndarray, batch_size: int = 65536) -> np.ndarray:
+        """Inference over arbitrarily many rows, processed in batches.
+
+        Runs in eval mode (Dropout disabled) and restores train mode after;
+        does not disturb training caches beyond the last batch.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        self.set_training(False)
+        try:
+            if len(x) <= batch_size:
+                return self.forward(x)
+            chunks = [
+                self.forward(x[i : i + batch_size]) for i in range(0, len(x), batch_size)
+            ]
+            return np.concatenate(chunks, axis=0)
+        finally:
+            self.set_training(True)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # ---------------------------------------------------------- parameters
+    def parameters(self):
+        """All parameters, in layer order."""
+        out = []
+        for layer in self.layers:
+            out.extend(layer.parameters())
+        return out
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters())
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    # ------------------------------------------------------------ freezing
+    def dense_layers(self) -> list[Dense]:
+        """The parameterized (Dense) layers, in order."""
+        return [l for l in self.layers if isinstance(l, Dense)]
+
+    def set_all_trainable(self, flag: bool = True) -> None:
+        for layer in self.layers:
+            layer.set_trainable(flag)
+
+    def freeze_all_but_last(self, num_trainable: int) -> None:
+        """Freeze every Dense layer except the last ``num_trainable``.
+
+        This is the paper's Case-2 fine-tuning setup: with
+        ``num_trainable=2`` only the last two layers adapt to a new
+        timestep, so checkpoints for subsequent timesteps need only store
+        those layers (see :func:`repro.nn.save_partial`).
+        """
+        dense = self.dense_layers()
+        if not (1 <= num_trainable <= len(dense)):
+            raise ValueError(
+                f"num_trainable must be in [1, {len(dense)}], got {num_trainable}"
+            )
+        cut = len(dense) - num_trainable
+        for i, layer in enumerate(dense):
+            layer.set_trainable(i >= cut)
+
+    # ---------------------------------------------------------- descriptors
+    def spec(self) -> list[dict]:
+        """Architecture description for checkpointing."""
+        return [layer.spec() for layer in self.layers]
+
+    def clone_architecture(self, rng: np.random.Generator | None = None) -> "Sequential":
+        """A freshly-initialized network with the same architecture."""
+        return from_spec(self.spec(), rng=rng)
+
+
+def from_spec(spec: list[dict], rng: np.random.Generator | None = None) -> Sequential:
+    """Rebuild a :class:`Sequential` from :meth:`Sequential.spec` output."""
+    rng = rng if rng is not None else np.random.default_rng()
+    layers: list[Layer] = []
+    for entry in spec:
+        kind = entry["kind"]
+        if kind == "Dense":
+            layers.append(
+                Dense(
+                    int(entry["in_features"]),
+                    int(entry["out_features"]),
+                    weight_init=entry.get("weight_init", "he_normal"),
+                    rng=rng,
+                )
+            )
+        elif kind == "Dropout":
+            from repro.nn.regularization import Dropout
+
+            layers.append(Dropout(rate=float(entry.get("rate", 0.5))))
+        elif kind == "LayerNorm":
+            from repro.nn.layers import LayerNorm
+
+            layers.append(LayerNorm(int(entry["features"])))
+        elif kind in ACTIVATIONS:
+            layers.append(ACTIVATIONS[kind]())
+        else:
+            raise ValueError(f"unknown layer kind {kind!r} in spec")
+    return Sequential(layers)
+
+
+def mlp(
+    in_features: int,
+    hidden: list[int] | tuple[int, ...],
+    out_features: int,
+    activation: str = "ReLU",
+    weight_init: str = "he_normal",
+    seed: int | None = 0,
+) -> Sequential:
+    """Build a multilayer perceptron: Dense+activation blocks + linear head.
+
+    ``mlp(23, [512, 256, 128, 64, 16], 4)`` is the paper's architecture.
+    """
+    if activation not in ACTIVATIONS:
+        raise ValueError(f"unknown activation {activation!r}; available: {sorted(ACTIVATIONS)}")
+    rng = np.random.default_rng(seed)
+    layers: list[Layer] = []
+    prev = int(in_features)
+    for width in hidden:
+        layers.append(Dense(prev, int(width), weight_init=weight_init, rng=rng))
+        layers.append(ACTIVATIONS[activation]())
+        prev = int(width)
+    layers.append(Dense(prev, int(out_features), weight_init="xavier_normal", rng=rng))
+    return Sequential(layers)

@@ -1,0 +1,118 @@
+"""Gradient-descent optimizers.
+
+:class:`Adam` with ``lr=0.001`` is the paper's configuration (Sec III-C).
+Optimizers respect :attr:`Parameter.trainable`, so freezing layers for
+Case-2 fine-tuning simply stops their updates while per-parameter state
+(Adam moments) stays aligned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.parameter import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "RMSProp"]
+
+
+class Optimizer:
+    """Base class binding an update rule to a list of parameters."""
+
+    def __init__(self, parameters: list[Parameter], lr: float) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.parameters = list(parameters)
+        self.lr = float(lr)
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        raise NotImplementedError
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, parameters: list[Parameter], lr: float = 0.01, momentum: float = 0.0) -> None:
+        super().__init__(parameters, lr)
+        if not (0.0 <= momentum < 1.0):
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = float(momentum)
+        self._velocity = [np.zeros_like(p.value) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, v in zip(self.parameters, self._velocity):
+            if not p.trainable:
+                continue
+            if self.momentum > 0:
+                v *= self.momentum
+                v -= self.lr * p.grad
+                p.value += v
+            else:
+                p.value -= self.lr * p.grad
+
+
+class RMSProp(Optimizer):
+    """RMSProp: per-parameter step sizes from an EMA of squared gradients."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        lr: float = 0.001,
+        rho: float = 0.9,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not (0.0 <= rho < 1.0):
+            raise ValueError(f"rho must be in [0, 1), got {rho}")
+        self.rho = float(rho)
+        self.eps = float(eps)
+        self._sq = [np.zeros_like(p.value) for p in self.parameters]
+
+    def step(self) -> None:
+        for p, sq in zip(self.parameters, self._sq):
+            if not p.trainable:
+                continue
+            sq *= self.rho
+            sq += (1.0 - self.rho) * p.grad**2
+            p.value -= self.lr * p.grad / (np.sqrt(sq) + self.eps)
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias-corrected moment estimates."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        lr: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        super().__init__(parameters, lr)
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {beta1}, {beta2}")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self._m = [np.zeros_like(p.value) for p in self.parameters]
+        self._v = [np.zeros_like(p.value) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1t = 1.0 - self.beta1**self._t
+        b2t = 1.0 - self.beta2**self._t
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            if not p.trainable:
+                continue
+            m *= self.beta1
+            m += (1.0 - self.beta1) * p.grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * p.grad**2
+            m_hat = m / b1t
+            v_hat = v / b2t
+            p.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

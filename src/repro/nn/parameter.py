@@ -1,0 +1,40 @@
+"""Trainable parameter container."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Parameter"]
+
+
+class Parameter:
+    """A weight tensor with its accumulated gradient.
+
+    Optimizers consult :attr:`trainable`; layer freezing (the paper's Case-2
+    fine-tuning) flips that flag rather than detaching the parameter, so an
+    optimizer can be rebuilt against the same network after (un)freezing.
+    """
+
+    __slots__ = ("name", "value", "grad", "trainable")
+
+    def __init__(self, value: np.ndarray, name: str = "param") -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = str(name)
+        self.trainable = True
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.value.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.value.size)
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient in place."""
+        self.grad[...] = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = "" if self.trainable else ", frozen"
+        return f"Parameter({self.name}, shape={self.shape}{flag})"

@@ -1,0 +1,126 @@
+"""Regularization layers and training utilities.
+
+The paper's Fig 6 discussion attributes the nine-layer model's quality drop
+to overfitting; these utilities are the standard mitigations, used by the
+repo's ablation benches: Dropout (train-time only), L2 penalty on Dense
+weights, gradient clipping and early stopping on a validation loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.nn.parameter import Parameter
+
+__all__ = ["Dropout", "l2_penalty", "add_l2_gradients", "clip_gradients", "EarlyStopping"]
+
+
+class Dropout(Layer):
+    """Inverted dropout: active only while :attr:`training` is True.
+
+    The mask is resampled per forward pass from the layer's own generator,
+    so runs remain reproducible given the seed.
+    """
+
+    def __init__(self, rate: float = 0.5, seed: int = 0) -> None:
+        super().__init__()
+        if not (0.0 <= rate < 1.0):
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = float(rate)
+        self.training = True
+        self._rng = np.random.default_rng(seed)
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        return grad_out * self._mask
+
+    def spec(self) -> dict:
+        return {"kind": "Dropout", "rate": self.rate}
+
+
+def l2_penalty(parameters: list[Parameter], weight_decay: float) -> float:
+    """The L2 regularization term ``wd * sum(w^2)`` over weight matrices.
+
+    Biases (1D parameters) are conventionally excluded.
+    """
+    if weight_decay < 0:
+        raise ValueError(f"weight_decay must be >= 0, got {weight_decay}")
+    total = 0.0
+    for p in parameters:
+        if p.value.ndim >= 2:
+            total += float(np.sum(p.value**2))
+    return weight_decay * total
+
+
+def add_l2_gradients(parameters: list[Parameter], weight_decay: float) -> None:
+    """Accumulate the L2 term's gradient (``2 * wd * w``) in place."""
+    if weight_decay < 0:
+        raise ValueError(f"weight_decay must be >= 0, got {weight_decay}")
+    if weight_decay == 0:
+        return
+    for p in parameters:
+        if p.value.ndim >= 2 and p.trainable:
+            p.grad += 2.0 * weight_decay * p.value
+
+
+def clip_gradients(parameters: list[Parameter], max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clip norm.
+    """
+    if max_norm <= 0:
+        raise ValueError(f"max_norm must be positive, got {max_norm}")
+    total = 0.0
+    for p in parameters:
+        total += float(np.sum(p.grad**2))
+    norm = float(np.sqrt(total))
+    if norm > max_norm:
+        scale = max_norm / (norm + 1e-12)
+        for p in parameters:
+            p.grad *= scale
+    return norm
+
+
+class EarlyStopping:
+    """Trainer callback: stop when validation loss stalls.
+
+    Usage::
+
+        stopper = EarlyStopping(patience=20)
+        trainer.fit(x, y, epochs=500, validation=(xv, yv), callback=stopper)
+    """
+
+    def __init__(self, patience: int = 10, min_delta: float = 0.0) -> None:
+        if patience < 1:
+            raise ValueError(f"patience must be >= 1, got {patience}")
+        if min_delta < 0:
+            raise ValueError(f"min_delta must be >= 0, got {min_delta}")
+        self.patience = int(patience)
+        self.min_delta = float(min_delta)
+        self.best = float("inf")
+        self.best_epoch = -1
+        self.stopped_epoch: int | None = None
+
+    def __call__(self, epoch: int, history) -> bool | None:
+        if not history.val_loss:
+            raise RuntimeError("EarlyStopping needs validation data (pass validation=...)")
+        current = history.val_loss[-1]
+        if current < self.best - self.min_delta:
+            self.best = current
+            self.best_epoch = epoch
+            return None
+        if epoch - self.best_epoch >= self.patience:
+            self.stopped_epoch = epoch
+            return False
+        return None

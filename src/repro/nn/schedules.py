@@ -1,0 +1,110 @@
+"""Learning-rate schedules.
+
+The paper trains with a constant ``lr=0.001``; these schedules support the
+repo's ablations (constant vs step vs exponential decay) and long
+paper-profile runs where a decayed tail improves the final SNR.  A schedule
+maps an epoch index to a learning rate; ``apply_schedule`` installs it on
+an optimizer via the Trainer callback hook.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "ConstantSchedule",
+    "StepDecaySchedule",
+    "ExponentialDecaySchedule",
+    "CosineAnnealingSchedule",
+    "WarmupSchedule",
+    "apply_schedule",
+]
+
+
+class Schedule:
+    """Base: callable epoch -> learning rate."""
+
+    def __call__(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class ConstantSchedule(Schedule):
+    """The paper's setting: a fixed learning rate."""
+
+    def __init__(self, lr: float = 1e-3) -> None:
+        if lr <= 0:
+            raise ValueError(f"lr must be positive, got {lr}")
+        self.lr = float(lr)
+
+    def __call__(self, epoch: int) -> float:
+        return self.lr
+
+
+class StepDecaySchedule(Schedule):
+    """Multiply the rate by ``factor`` every ``step_size`` epochs."""
+
+    def __init__(self, lr: float = 1e-3, step_size: int = 100, factor: float = 0.5) -> None:
+        if lr <= 0 or not (0 < factor <= 1) or step_size < 1:
+            raise ValueError("need lr > 0, 0 < factor <= 1, step_size >= 1")
+        self.lr = float(lr)
+        self.step_size = int(step_size)
+        self.factor = float(factor)
+
+    def __call__(self, epoch: int) -> float:
+        return self.lr * self.factor ** (epoch // self.step_size)
+
+
+class ExponentialDecaySchedule(Schedule):
+    """``lr * decay**epoch``."""
+
+    def __init__(self, lr: float = 1e-3, decay: float = 0.995) -> None:
+        if lr <= 0 or not (0 < decay <= 1):
+            raise ValueError("need lr > 0 and 0 < decay <= 1")
+        self.lr = float(lr)
+        self.decay = float(decay)
+
+    def __call__(self, epoch: int) -> float:
+        return self.lr * self.decay**epoch
+
+
+class CosineAnnealingSchedule(Schedule):
+    """Cosine descent from ``lr`` to ``lr_min`` over ``total_epochs``."""
+
+    def __init__(self, lr: float = 1e-3, total_epochs: int = 500, lr_min: float = 1e-5) -> None:
+        if lr <= 0 or lr_min < 0 or lr_min > lr or total_epochs < 1:
+            raise ValueError("need lr > 0, 0 <= lr_min <= lr, total_epochs >= 1")
+        self.lr = float(lr)
+        self.lr_min = float(lr_min)
+        self.total_epochs = int(total_epochs)
+
+    def __call__(self, epoch: int) -> float:
+        t = min(epoch, self.total_epochs) / self.total_epochs
+        return self.lr_min + 0.5 * (self.lr - self.lr_min) * (1 + math.cos(math.pi * t))
+
+
+class WarmupSchedule(Schedule):
+    """Linear ramp over ``warmup_epochs``, then delegate to ``base``."""
+
+    def __init__(self, base: Schedule, warmup_epochs: int = 5) -> None:
+        if warmup_epochs < 1:
+            raise ValueError(f"warmup_epochs must be >= 1, got {warmup_epochs}")
+        self.base = base
+        self.warmup_epochs = int(warmup_epochs)
+
+    def __call__(self, epoch: int) -> float:
+        if epoch < self.warmup_epochs:
+            return self.base(self.warmup_epochs) * (epoch + 1) / self.warmup_epochs
+        return self.base(epoch)
+
+
+def apply_schedule(optimizer, schedule: Schedule):
+    """Build a Trainer callback that updates ``optimizer.lr`` per epoch.
+
+    The rate for epoch ``e+1`` is installed after epoch ``e`` completes
+    (epoch 0 should be started at ``schedule(0)`` by the caller).
+    """
+
+    def callback(epoch: int, history) -> None:
+        optimizer.lr = schedule(epoch + 1)
+
+    return callback

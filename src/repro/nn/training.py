@@ -1,0 +1,131 @@
+"""Mini-batch training loop with loss history.
+
+The :class:`Trainer` reproduces the paper's training protocol: shuffled
+mini-batches, MSE loss, Adam, a fixed epoch budget (500 epochs for full
+training, ~10 for Case-1 fine-tuning, 300-500 for Case-2), and the per-epoch
+loss history that Fig 12 plots.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.nn.losses import Loss, MSELoss
+from repro.nn.network import Sequential
+from repro.nn.optimizers import Adam, Optimizer
+
+__all__ = ["TrainingHistory", "Trainer"]
+
+
+@dataclass
+class TrainingHistory:
+    """Per-epoch record of a training run (feeds Fig 12 and Tables I-II)."""
+
+    train_loss: list[float] = field(default_factory=list)
+    val_loss: list[float] = field(default_factory=list)
+    epoch_seconds: list[float] = field(default_factory=list)
+
+    @property
+    def epochs(self) -> int:
+        return len(self.train_loss)
+
+    @property
+    def total_seconds(self) -> float:
+        return float(sum(self.epoch_seconds))
+
+    def extend(self, other: "TrainingHistory") -> None:
+        """Append another run (e.g. fine-tuning after pretraining)."""
+        self.train_loss.extend(other.train_loss)
+        self.val_loss.extend(other.val_loss)
+        self.epoch_seconds.extend(other.epoch_seconds)
+
+
+class Trainer:
+    """Drives mini-batch gradient descent on a :class:`Sequential` model.
+
+    Parameters
+    ----------
+    model:
+        Network to train (trained in place).
+    loss:
+        Defaults to :class:`MSELoss` per the paper.
+    optimizer:
+        Defaults to Adam with the paper's ``lr=0.001``; note the optimizer
+        must be constructed *after* any layer freezing if you want its state
+        lists to include frozen parameters (they are skipped during
+        updates either way).
+    batch_size:
+        Mini-batch rows per update.
+    seed:
+        Shuffling seed (deterministic epochs).
+    """
+
+    def __init__(
+        self,
+        model: Sequential,
+        loss: Loss | None = None,
+        optimizer: Optimizer | None = None,
+        batch_size: int = 4096,
+        seed: int = 0,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.model = model
+        self.loss = loss if loss is not None else MSELoss()
+        self.optimizer = optimizer if optimizer is not None else Adam(model.parameters())
+        self.batch_size = int(batch_size)
+        self.seed = int(seed)
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int,
+        validation: tuple[np.ndarray, np.ndarray] | None = None,
+        shuffle: bool = True,
+        callback=None,
+    ) -> TrainingHistory:
+        """Train for ``epochs`` passes over ``(x, y)``.
+
+        ``callback(epoch, history)``, when given, runs after each epoch —
+        used by the harness for early stopping and progress reporting.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.ndim != 2 or y.ndim != 2 or len(x) != len(y):
+            raise ValueError(f"expected matching 2D x/y, got {x.shape} and {y.shape}")
+        if epochs < 0:
+            raise ValueError(f"epochs must be >= 0, got {epochs}")
+        n = len(x)
+        rng = np.random.default_rng(self.seed)
+        history = TrainingHistory()
+
+        for epoch in range(epochs):
+            t0 = time.perf_counter()
+            order = rng.permutation(n) if shuffle else np.arange(n)
+            epoch_loss = 0.0
+            for start in range(0, n, self.batch_size):
+                idx = order[start : start + self.batch_size]
+                xb, yb = x[idx], y[idx]
+                pred = self.model.forward(xb)
+                batch_loss = self.loss.value(pred, yb)
+                epoch_loss += batch_loss * len(idx)
+                self.optimizer.zero_grad()
+                self.model.backward(self.loss.gradient(pred, yb))
+                self.optimizer.step()
+            history.train_loss.append(epoch_loss / n)
+            if validation is not None:
+                xv, yv = validation
+                history.val_loss.append(self.evaluate(xv, yv))
+            history.epoch_seconds.append(time.perf_counter() - t0)
+            if callback is not None and callback(epoch, history) is False:
+                break
+        return history
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Loss on held-out data (no parameter updates)."""
+        pred = self.model.predict(np.asarray(x, dtype=np.float64))
+        return self.loss.value(pred, np.asarray(y, dtype=np.float64))

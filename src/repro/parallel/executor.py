@@ -1,0 +1,45 @@
+"""Process-pool map with a serial fallback.
+
+Workers receive picklable task payloads; with ``max_workers=1`` (or on
+platforms where spawning fails) execution degrades gracefully to an in-
+process loop, so every parallel code path is also exercised in serial test
+environments.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+__all__ = ["ParallelExecutor"]
+
+
+class ParallelExecutor:
+    """Map a function over payloads using processes when beneficial.
+
+    Parameters
+    ----------
+    max_workers:
+        Process count; ``None`` uses ``os.cpu_count()``.  With one worker
+        (or one payload) no pool is created.
+    """
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        if max_workers is not None and max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.max_workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+
+    def map(self, fn, payloads: list) -> list:
+        """Ordered results of ``fn`` applied to each payload."""
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        workers = min(self.max_workers, len(payloads))
+        if workers <= 1:
+            return [fn(p) for p in payloads]
+        try:
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                return list(pool.map(fn, payloads))
+        except (OSError, RuntimeError):
+            # Sandboxed/restricted environments: degrade to serial.
+            return [fn(p) for p in payloads]

@@ -1,0 +1,21 @@
+"""Uniform random sampling — the simplest baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.base import TimestepField
+from repro.sampling.base import Sampler
+
+__all__ = ["RandomSampler"]
+
+
+class RandomSampler(Sampler):
+    """Keep a uniform random subset of grid points (without replacement)."""
+
+    name = "random"
+
+    def select(self, field: TimestepField, fraction: float, rng: np.random.Generator) -> np.ndarray:
+        n = field.grid.num_points
+        budget = int(round(fraction * n))
+        return rng.choice(n, size=budget, replace=False)

@@ -1,0 +1,41 @@
+"""Scientific-visualization substrate.
+
+The paper's motivation for feature-preserving sampling is downstream
+visualization — "volume rendering and isosurface contouring" (Sec I).
+This package provides the minimal versions of those consumers so the repo
+can evaluate reconstructions the way the paper's users would:
+
+* :mod:`repro.vis.isosurface` — marching-tetrahedra isosurface extraction
+  (triangle mesh + OBJ export);
+* :mod:`repro.vis.render` — axis-aligned maximum-intensity / average
+  projections and slices, with PGM/PPM export;
+* :mod:`repro.vis.feature_metrics` — feature-preservation scores
+  (isosurface IoU, histogram intersection) used by the extension bench.
+"""
+
+from repro.vis.isosurface import IsoSurface, extract_isosurface
+from repro.vis.render import (
+    average_projection,
+    max_intensity_projection,
+    slice_field,
+    to_image_u8,
+    write_pgm,
+)
+from repro.vis.feature_metrics import (
+    histogram_intersection,
+    isosurface_iou,
+    occupancy,
+)
+
+__all__ = [
+    "IsoSurface",
+    "extract_isosurface",
+    "max_intensity_projection",
+    "average_projection",
+    "slice_field",
+    "to_image_u8",
+    "write_pgm",
+    "occupancy",
+    "isosurface_iou",
+    "histogram_intersection",
+]

@@ -1,0 +1,221 @@
+"""Isosurface extraction by marching tetrahedra.
+
+Each grid cell (cube) is split into six tetrahedra; within a tetrahedron
+the scalar field is treated as linear, so the isosurface crosses each edge
+at most once and the per-tet surface is one or two triangles — no 256-case
+lookup table required, and the result is watertight across shared faces.
+
+The implementation is vectorized over all tetrahedra of the volume: the
+four corner values of every tet are gathered at once, sign patterns are
+classified in bulk, and edge interpolation runs on flat arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.grid import UniformGrid
+
+__all__ = ["IsoSurface", "extract_isosurface"]
+
+# The six tetrahedra of a cube, as corner indices of the cube's 8 vertices
+# (vertex i has offsets ((i>>2)&1, (i>>1)&1, i&1) in x, y, z).  This is the
+# standard diagonal split around the 0-7 main diagonal.
+_CUBE_TETS = np.array(
+    [
+        [0, 5, 1, 7],
+        [0, 1, 3, 7],
+        [0, 3, 2, 7],
+        [0, 2, 6, 7],
+        [0, 6, 4, 7],
+        [0, 4, 5, 7],
+    ],
+    dtype=np.int64,
+)
+
+_CORNER_OFFSETS = np.array(
+    [[(i >> 2) & 1, (i >> 1) & 1, i & 1] for i in range(8)], dtype=np.int64
+)
+
+# For a tetrahedron with corners (a, b, c, d), the six edges:
+_TET_EDGES = np.array(
+    [[0, 1], [0, 2], [0, 3], [1, 2], [1, 3], [2, 3]], dtype=np.int64
+)
+
+_EDGE_ID = {tuple(sorted(e)): k for k, e in enumerate(_TET_EDGES.tolist())}
+
+
+def _build_case_table() -> dict[int, list[tuple[int, int, int]]]:
+    """Triangulation per 4-bit "corner above isovalue" mask.
+
+    One corner separated → the 3 edges touching it cross → 1 triangle.
+    Two corners separated → 4 crossing edges forming a quad; walking the
+    ring (i,k) → (i,l) → (j,l) → (j,k) keeps consecutive crossing points on
+    a shared tet face, so splitting along one diagonal gives a planar-safe
+    pair of triangles.
+    """
+    table: dict[int, list[tuple[int, int, int]]] = {}
+    for mask in range(16):
+        above = [i for i in range(4) if (mask >> i) & 1]
+        below = [i for i in range(4) if not (mask >> i) & 1]
+        if not above or not below:
+            table[mask] = []
+        elif len(above) == 1 or len(below) == 1:
+            solo = above[0] if len(above) == 1 else below[0]
+            edges = [
+                _EDGE_ID[tuple(sorted((solo, o)))] for o in range(4) if o != solo
+            ]
+            table[mask] = [tuple(edges)]
+        else:
+            i, j = above
+            k, l = below
+            ring = [
+                _EDGE_ID[tuple(sorted((i, k)))],
+                _EDGE_ID[tuple(sorted((i, l)))],
+                _EDGE_ID[tuple(sorted((j, l)))],
+                _EDGE_ID[tuple(sorted((j, k)))],
+            ]
+            table[mask] = [
+                (ring[0], ring[1], ring[2]),
+                (ring[0], ring[2], ring[3]),
+            ]
+    return table
+
+
+_TET_TRIANGLES: dict[int, list[tuple[int, int, int]]] = _build_case_table()
+
+
+@dataclass(frozen=True)
+class IsoSurface:
+    """A triangle mesh: ``vertices`` (V, 3) and ``triangles`` (T, 3)."""
+
+    vertices: np.ndarray
+    triangles: np.ndarray
+    isovalue: float
+
+    @property
+    def num_triangles(self) -> int:
+        return int(self.triangles.shape[0])
+
+    @property
+    def num_vertices(self) -> int:
+        return int(self.vertices.shape[0])
+
+    def area(self) -> float:
+        """Total surface area."""
+        if self.num_triangles == 0:
+            return 0.0
+        a = self.vertices[self.triangles[:, 0]]
+        b = self.vertices[self.triangles[:, 1]]
+        c = self.vertices[self.triangles[:, 2]]
+        cross = np.cross(b - a, c - a)
+        return float(0.5 * np.linalg.norm(cross, axis=1).sum())
+
+    def centroid(self) -> np.ndarray:
+        """Area-weighted surface centroid (zero vector for empty meshes)."""
+        if self.num_triangles == 0:
+            return np.zeros(3)
+        a = self.vertices[self.triangles[:, 0]]
+        b = self.vertices[self.triangles[:, 1]]
+        c = self.vertices[self.triangles[:, 2]]
+        centers = (a + b + c) / 3.0
+        weights = 0.5 * np.linalg.norm(np.cross(b - a, c - a), axis=1)
+        total = weights.sum()
+        if total == 0:
+            return centers.mean(axis=0)
+        return (centers * weights[:, None]).sum(axis=0) / total
+
+    def write_obj(self, path: str | Path) -> None:
+        """Export as a Wavefront OBJ file (1-based indices)."""
+        with open(path, "w") as fh:
+            fh.write(f"# isosurface at {self.isovalue}\n")
+            for v in self.vertices:
+                fh.write(f"v {v[0]} {v[1]} {v[2]}\n")
+            for t in self.triangles:
+                fh.write(f"f {t[0] + 1} {t[1] + 1} {t[2] + 1}\n")
+
+
+def extract_isosurface(
+    grid: UniformGrid,
+    values: np.ndarray,
+    isovalue: float,
+) -> IsoSurface:
+    """Extract the ``isovalue`` level set of a scalar field.
+
+    Returns an empty mesh when the isovalue misses the field's range.
+    """
+    field = grid.validate_field(values).astype(np.float64, copy=False)
+    nx, ny, nz = grid.dims
+    if min(nx, ny, nz) < 2 or not (field.min() <= isovalue <= field.max()):
+        return IsoSurface(np.zeros((0, 3)), np.zeros((0, 3), dtype=np.int64), isovalue)
+
+    # Corner scalar values of every cell, shaped (cells, 8).
+    base = np.stack(
+        np.meshgrid(
+            np.arange(nx - 1), np.arange(ny - 1), np.arange(nz - 1), indexing="ij"
+        ),
+        axis=-1,
+    ).reshape(-1, 3)
+    corner_idx = base[:, None, :] + _CORNER_OFFSETS[None, :, :]  # (cells, 8, 3)
+    corner_vals = field[
+        corner_idx[..., 0], corner_idx[..., 1], corner_idx[..., 2]
+    ]  # (cells, 8)
+    corner_pos = (
+        np.asarray(grid.origin)
+        + corner_idx.astype(np.float64) * np.asarray(grid.spacing)
+    )  # (cells, 8, 3)
+
+    # Expand to tetrahedra: (cells*6, 4).
+    tet_vals = corner_vals[:, _CUBE_TETS].reshape(-1, 4)
+    tet_pos = corner_pos[:, _CUBE_TETS, :].reshape(-1, 4, 3)
+
+    above = tet_vals > isovalue
+    mask = (
+        above[:, 0].astype(np.int64)
+        | (above[:, 1] << 1)
+        | (above[:, 2] << 2)
+        | (above[:, 3] << 3)
+    )
+
+    verts: list[np.ndarray] = []
+    tris: list[np.ndarray] = []
+    offset = 0
+    for case, triangles in _TET_TRIANGLES.items():
+        if not triangles:
+            continue
+        rows = np.flatnonzero(mask == case)
+        if rows.size == 0:
+            continue
+        vals = tet_vals[rows]
+        pos = tet_pos[rows]
+        # Interpolated crossing point on each of the 6 edges (only the ones
+        # referenced by the case's triangles are meaningful).
+        edge_pts = np.empty((rows.size, 6, 3))
+        for e, (i, j) in enumerate(_TET_EDGES):
+            vi, vj = vals[:, i], vals[:, j]
+            denom = vj - vi
+            t = np.where(np.abs(denom) > 1e-300, (isovalue - vi) / np.where(denom == 0, 1, denom), 0.5)
+            t = np.clip(t, 0.0, 1.0)
+            edge_pts[:, e, :] = pos[:, i, :] + t[:, None] * (pos[:, j, :] - pos[:, i, :])
+        for tri in triangles:
+            verts.append(edge_pts[:, tri, :].reshape(-1, 3))
+            n = rows.size
+            tris.append(offset + np.arange(3 * n).reshape(n, 3))
+            offset += 3 * n
+
+    if not verts:
+        return IsoSurface(np.zeros((0, 3)), np.zeros((0, 3), dtype=np.int64), isovalue)
+    vertices = np.concatenate(verts, axis=0)
+    triangles = np.concatenate(tris, axis=0)
+
+    # Drop degenerate (zero-area) triangles produced when a crossing lands
+    # exactly on a shared corner.
+    a = vertices[triangles[:, 0]]
+    b = vertices[triangles[:, 1]]
+    c = vertices[triangles[:, 2]]
+    areas = 0.5 * np.linalg.norm(np.cross(b - a, c - a), axis=1)
+    triangles = triangles[areas > 1e-14]
+    return IsoSurface(vertices, triangles, isovalue)

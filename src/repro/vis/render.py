@@ -1,0 +1,76 @@
+"""Axis-aligned projections and slices with PGM/PPM export.
+
+A minimal stand-in for the volume rendering the paper's figures use:
+maximum-intensity and average projections collapse the volume along one
+axis; slices extract a single plane.  Images are float arrays convertible
+to 8-bit and writable as portable graymaps, so reconstructions can be
+eyeballed without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.grid import UniformGrid
+
+__all__ = [
+    "max_intensity_projection",
+    "average_projection",
+    "slice_field",
+    "to_image_u8",
+    "write_pgm",
+]
+
+
+def _validate(grid: UniformGrid, values: np.ndarray, axis: int) -> np.ndarray:
+    if axis not in (0, 1, 2):
+        raise ValueError(f"axis must be 0, 1 or 2, got {axis}")
+    return grid.validate_field(values)
+
+
+def max_intensity_projection(grid: UniformGrid, values: np.ndarray, axis: int = 2) -> np.ndarray:
+    """Maximum along ``axis`` — the classic MIP rendering."""
+    return _validate(grid, values, axis).max(axis=axis)
+
+
+def average_projection(grid: UniformGrid, values: np.ndarray, axis: int = 2) -> np.ndarray:
+    """Mean along ``axis`` (an unweighted emission-only volume rendering)."""
+    return _validate(grid, values, axis).mean(axis=axis)
+
+
+def slice_field(grid: UniformGrid, values: np.ndarray, axis: int = 2, index: int | None = None) -> np.ndarray:
+    """One plane of the volume (defaults to the middle slice)."""
+    field = _validate(grid, values, axis)
+    n = grid.dims[axis]
+    if index is None:
+        index = n // 2
+    if not (0 <= index < n):
+        raise ValueError(f"slice index {index} out of range [0, {n})")
+    return np.take(field, index, axis=axis)
+
+
+def to_image_u8(image: np.ndarray, vmin: float | None = None, vmax: float | None = None) -> np.ndarray:
+    """Normalize a 2D float array to uint8 [0, 255].
+
+    Constant images map to mid-gray.
+    """
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise ValueError(f"expected a 2D image, got shape {image.shape}")
+    lo = float(image.min()) if vmin is None else float(vmin)
+    hi = float(image.max()) if vmax is None else float(vmax)
+    if hi <= lo:
+        return np.full(image.shape, 128, dtype=np.uint8)
+    scaled = np.clip((image - lo) / (hi - lo), 0.0, 1.0)
+    return (scaled * 255.0 + 0.5).astype(np.uint8)
+
+
+def write_pgm(path: str | Path, image: np.ndarray, vmin: float | None = None, vmax: float | None = None) -> None:
+    """Write a 2D array as a binary PGM (P5) image."""
+    u8 = to_image_u8(image, vmin=vmin, vmax=vmax)
+    h, w = u8.shape
+    with open(path, "wb") as fh:
+        fh.write(f"P5\n{w} {h}\n255\n".encode())
+        fh.write(u8.tobytes())

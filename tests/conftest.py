@@ -1,0 +1,45 @@
+"""Shared fixtures: small grids/fields/samples sized for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import HurricaneDataset
+from repro.grid import UniformGrid
+from repro.sampling import MultiCriteriaSampler, RandomSampler
+
+
+@pytest.fixture
+def grid() -> UniformGrid:
+    """A small anisotropic grid (distinct dims expose axis-order bugs)."""
+    return UniformGrid((12, 10, 8), spacing=(1.0, 2.0, 0.5), origin=(-1.0, 3.0, 0.0))
+
+
+@pytest.fixture
+def unit_grid() -> UniformGrid:
+    return UniformGrid((8, 8, 8))
+
+
+@pytest.fixture
+def hurricane_field(grid):
+    """Hurricane field materialized on the small test grid."""
+    data = HurricaneDataset(grid=grid, seed=0)
+    return data.field(t=0)
+
+
+@pytest.fixture
+def sample(hurricane_field):
+    """A 5% multi-criteria sample of the hurricane test field."""
+    return MultiCriteriaSampler(seed=3).sample(hurricane_field, 0.05)
+
+
+@pytest.fixture
+def dense_sample(hurricane_field):
+    """A 20% random sample (dense enough for tight interpolation checks)."""
+    return RandomSampler(seed=5).sample(hurricane_field, 0.20)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)

@@ -1,0 +1,114 @@
+"""Unit tests for the error-analysis diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    error_by_value_band,
+    error_field,
+    error_summary,
+    error_vs_sample_distance,
+    worst_regions,
+)
+from repro.interpolation import NearestNeighborInterpolator
+
+
+class TestErrorField:
+    def test_signed(self, rng):
+        a = rng.normal(size=(4, 4, 4))
+        np.testing.assert_allclose(error_field(a, a + 2.0), 2.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            error_field(np.zeros(3), np.zeros(4))
+
+
+class TestErrorSummary:
+    def test_known_values(self):
+        a = np.zeros(100)
+        b = np.full(100, 3.0)
+        s = error_summary(a, b)
+        assert s.mean == 3.0 and s.std == 0.0 and s.rmse == 3.0
+        assert s.mae == 3.0 and s.max_abs == 3.0 and s.p95_abs == 3.0
+
+    def test_unbiased_noise(self, rng):
+        a = np.zeros(10_000)
+        b = rng.normal(scale=2.0, size=10_000)
+        s = error_summary(a, b)
+        assert abs(s.mean) < 0.1
+        assert s.std == pytest.approx(2.0, rel=0.05)
+        assert s.rmse >= s.mae
+
+    def test_as_dict_keys(self, rng):
+        s = error_summary(rng.normal(size=10), rng.normal(size=10))
+        assert set(s.as_dict()) == {"mean", "std", "rmse", "mae", "p95_abs", "max_abs"}
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            error_summary(np.array([]), np.array([]))
+
+
+class TestErrorVsDistance:
+    def test_rule_based_error_grows_with_void_depth(self, hurricane_field, sample):
+        recon = NearestNeighborInterpolator().reconstruct(sample)
+        rows = error_vs_sample_distance(hurricane_field.values, recon, sample, num_bins=5)
+        assert len(rows) >= 3
+        # Nearest bin (contains sampled points) far lower error than the farthest.
+        assert rows[0]["rmse"] < rows[-1]["rmse"]
+
+    def test_counts_cover_grid(self, hurricane_field, sample):
+        recon = NearestNeighborInterpolator().reconstruct(sample)
+        rows = error_vs_sample_distance(hurricane_field.values, recon, sample, num_bins=6)
+        assert sum(r["count"] for r in rows) == hurricane_field.grid.num_points
+
+    def test_validation(self, hurricane_field, sample):
+        with pytest.raises(ValueError):
+            error_vs_sample_distance(hurricane_field.values, hurricane_field.values, sample, num_bins=1)
+
+
+class TestErrorByValueBand:
+    def test_bands_cover_grid(self, hurricane_field, sample):
+        recon = NearestNeighborInterpolator().reconstruct(sample)
+        rows = error_by_value_band(hurricane_field.values, recon, num_bands=6)
+        assert sum(r["count"] for r in rows) == hurricane_field.grid.num_points
+
+    def test_band_edges_ordered(self, hurricane_field, sample):
+        recon = NearestNeighborInterpolator().reconstruct(sample)
+        rows = error_by_value_band(hurricane_field.values, recon, num_bands=4)
+        for row in rows:
+            assert row["value_lo"] < row["value_hi"]
+
+    def test_localized_error_lands_in_right_band(self):
+        # Corrupt only the large-value half: its bands must carry the error.
+        a = np.linspace(0, 1, 1000)
+        b = a.copy()
+        b[a > 0.5] += 1.0
+        rows = error_by_value_band(a, b, num_bands=2)
+        assert rows[0]["rmse"] == pytest.approx(0.0)
+        assert rows[1]["rmse"] == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            error_by_value_band(np.zeros(4), np.zeros(4), num_bands=1)
+
+
+class TestWorstRegions:
+    def test_finds_corrupted_block(self, grid, hurricane_field):
+        recon = hurricane_field.values.copy()
+        recon[:3, :3, :2] += 50.0  # corrupt one corner
+        rows = worst_regions(grid, hurricane_field.values, recon, blocks=(4, 4, 2), top_k=3)
+        top = rows[0]
+        assert top["x"][0] == 0 and top["y"][0] == 0 and top["z"][0] == 0
+        assert top["rmse"] > rows[-1]["rmse"] or len(rows) == 1
+
+    def test_perfect_reconstruction_all_zero(self, grid, hurricane_field):
+        rows = worst_regions(grid, hurricane_field.values, hurricane_field.values.copy())
+        assert all(r["rmse"] == 0.0 for r in rows)
+
+    def test_top_k_limit(self, grid, hurricane_field):
+        rows = worst_regions(grid, hurricane_field.values, hurricane_field.values, top_k=2)
+        assert len(rows) == 2
+
+    def test_validation(self, grid, hurricane_field):
+        with pytest.raises(ValueError):
+            worst_regions(grid, hurricane_field.values, hurricane_field.values, top_k=0)

@@ -1,0 +1,100 @@
+"""Unit tests for the SZ-style error-bounded compressor."""
+
+import numpy as np
+import pytest
+
+from repro.compression import SZCompressor, compression_ratio
+from repro.compression.szlike import _lorenzo_forward, _lorenzo_inverse
+from repro.grid import UniformGrid
+
+
+class TestLorenzoTransform:
+    def test_exact_inverse(self, rng):
+        q = rng.integers(-1000, 1000, size=(7, 6, 5))
+        np.testing.assert_array_equal(_lorenzo_inverse(_lorenzo_forward(q)), q)
+
+    def test_constant_field_one_nonzero(self):
+        q = np.full((4, 4, 4), 9, dtype=np.int64)
+        d = _lorenzo_forward(q)
+        assert d[0, 0, 0] == 9
+        assert np.count_nonzero(d) == 1
+
+    def test_smooth_field_small_deltas(self):
+        g = UniformGrid((16, 16, 16))
+        x, y, z = g.meshgrid()
+        q = (x + 2 * y + 3 * z).astype(np.int64)
+        d = _lorenzo_forward(q)
+        # Linear integer fields have deltas only on the boundary planes.
+        assert np.abs(d[1:, 1:, 1:]).max() == 0
+
+
+class TestErrorBound:
+    @pytest.mark.parametrize("eb", [1e-1, 1e-2, 1e-3])
+    def test_absolute_bound_respected(self, hurricane_field, eb):
+        comp = SZCompressor(error_bound=eb, mode="absolute")
+        recon, _ = comp.roundtrip(hurricane_field.grid, hurricane_field.values)
+        assert np.abs(recon - hurricane_field.values).max() <= eb + 1e-12
+
+    def test_relative_bound_respected(self, hurricane_field):
+        comp = SZCompressor(error_bound=1e-3, mode="relative")
+        recon, art = comp.roundtrip(hurricane_field.grid, hurricane_field.values)
+        span = hurricane_field.values.max() - hurricane_field.values.min()
+        assert np.abs(recon - hurricane_field.values).max() <= 1e-3 * span + 1e-12
+
+    def test_constant_field(self, grid):
+        comp = SZCompressor(error_bound=1e-3)
+        recon, art = comp.roundtrip(grid, np.full(grid.dims, 7.0))
+        np.testing.assert_allclose(recon, 7.0, atol=1e-3)
+
+    def test_rejects_nan(self, grid):
+        comp = SZCompressor()
+        bad = np.zeros(grid.dims)
+        bad[0, 0, 0] = np.nan
+        with pytest.raises(ValueError):
+            comp.compress(grid, bad)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SZCompressor(error_bound=0.0)
+        with pytest.raises(ValueError):
+            SZCompressor(mode="percentile")
+
+
+class TestCompressionQuality:
+    def test_smooth_field_compresses_well(self, hurricane_field):
+        comp = SZCompressor(error_bound=1e-3, mode="relative")
+        art = comp.compress(hurricane_field.grid, hurricane_field.values)
+        ratio = compression_ratio(hurricane_field.grid, art)
+        assert ratio > 4.0  # smooth data at 1e-3 relative: easily > 4x
+
+    def test_looser_bound_smaller_payload(self, hurricane_field):
+        tight = SZCompressor(error_bound=1e-4, mode="relative").compress(
+            hurricane_field.grid, hurricane_field.values
+        )
+        loose = SZCompressor(error_bound=1e-2, mode="relative").compress(
+            hurricane_field.grid, hurricane_field.values
+        )
+        assert loose.nbytes < tight.nbytes
+
+    def test_noise_compresses_poorly(self, grid, rng):
+        noise = rng.normal(size=grid.dims)
+        art = SZCompressor(error_bound=1e-5, mode="relative").compress(grid, noise)
+        smooth_art = SZCompressor(error_bound=1e-5, mode="relative").compress(
+            grid, np.zeros(grid.dims)
+        )
+        assert art.nbytes > 5 * smooth_art.nbytes
+
+    def test_dims_roundtrip(self, hurricane_field):
+        comp = SZCompressor(error_bound=1e-3)
+        _, art = comp.roundtrip(hurricane_field.grid, hurricane_field.values)
+        assert art.dims == hurricane_field.grid.dims
+        assert art.decompress().shape == hurricane_field.grid.dims
+
+    def test_reconstruction_snr_tracks_bound(self, hurricane_field):
+        from repro.metrics import snr
+
+        comp_tight = SZCompressor(error_bound=1e-4, mode="relative")
+        comp_loose = SZCompressor(error_bound=1e-2, mode="relative")
+        r_tight, _ = comp_tight.roundtrip(hurricane_field.grid, hurricane_field.values)
+        r_loose, _ = comp_loose.roundtrip(hurricane_field.grid, hurricane_field.values)
+        assert snr(hurricane_field.values, r_tight) > snr(hurricane_field.values, r_loose)

@@ -1,0 +1,161 @@
+"""Unit tests for deep-ensemble uncertainty reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import DeepEnsembleReconstructor, EnsembleReconstruction
+from repro.datasets import HurricaneDataset
+from repro.sampling import MultiCriteriaSampler
+
+
+@pytest.fixture(scope="module")
+def trained():
+    grid = HurricaneDataset.default_grid().with_resolution((14, 14, 6))
+    data = HurricaneDataset(grid=grid, seed=0)
+    field = data.field(t=0)
+    sampler = MultiCriteriaSampler(seed=3)
+    train = [sampler.sample(field, 0.03), sampler.sample(field, 0.10)]
+    ensemble = DeepEnsembleReconstructor(
+        num_members=3, base_seed=0, hidden_layers=(24, 12), batch_size=1024
+    )
+    ensemble.train(field, train, epochs=20)
+    test = sampler.sample(field, 0.05, seed=77)
+    return field, ensemble, test
+
+
+class TestConstruction:
+    def test_member_count(self):
+        e = DeepEnsembleReconstructor(num_members=4, hidden_layers=(8,))
+        assert e.num_members == 4
+
+    def test_members_have_distinct_seeds(self):
+        e = DeepEnsembleReconstructor(num_members=3, base_seed=10, hidden_layers=(8,))
+        assert [m.seed for m in e.members] == [10, 11, 12]
+
+    def test_rejects_single_member(self):
+        with pytest.raises(ValueError):
+            DeepEnsembleReconstructor(num_members=1)
+
+    def test_untrained_flag(self):
+        e = DeepEnsembleReconstructor(hidden_layers=(8,))
+        assert not e.is_trained
+
+
+class TestReconstruction:
+    def test_mean_and_std_shapes(self, trained):
+        field, ensemble, test = trained
+        rec = ensemble.reconstruct_with_uncertainty(test)
+        assert rec.mean.shape == field.grid.dims
+        assert rec.std.shape == field.grid.dims
+        assert rec.members == 3
+
+    def test_std_nonnegative(self, trained):
+        _, ensemble, test = trained
+        rec = ensemble.reconstruct_with_uncertainty(test)
+        assert (rec.std >= 0).all()
+
+    def test_sampled_voxels_zero_uncertainty(self, trained):
+        _, ensemble, test = trained
+        rec = ensemble.reconstruct_with_uncertainty(test)
+        np.testing.assert_allclose(rec.std.ravel()[test.indices], 0.0, atol=1e-12)
+
+    def test_mean_matches_member_average(self, trained):
+        _, ensemble, test = trained
+        rec = ensemble.reconstruct_with_uncertainty(test)
+        manual = np.mean([m.reconstruct(test) for m in ensemble.members], axis=0)
+        np.testing.assert_allclose(rec.mean, manual)
+
+    def test_reconstruct_returns_mean(self, trained):
+        _, ensemble, test = trained
+        np.testing.assert_allclose(
+            ensemble.reconstruct(test), ensemble.reconstruct_with_uncertainty(test).mean
+        )
+
+    def test_interval_symmetric(self, trained):
+        _, ensemble, test = trained
+        rec = ensemble.reconstruct_with_uncertainty(test)
+        lo, hi = rec.interval(k=2.0)
+        np.testing.assert_allclose(hi - rec.mean, rec.mean - lo)
+
+    def test_coverage_monotone_in_k(self, trained):
+        field, ensemble, test = trained
+        rec = ensemble.reconstruct_with_uncertainty(test)
+        assert rec.coverage(field.values, k=3.0) >= rec.coverage(field.values, k=1.0)
+
+    def test_coverage_bounds(self, trained):
+        field, ensemble, test = trained
+        rec = ensemble.reconstruct_with_uncertainty(test)
+        c = rec.coverage(field.values, k=2.0)
+        assert 0.0 <= c <= 1.0
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, trained, tmp_path):
+        field, ensemble, test = trained
+        ensemble.save(tmp_path / "ens")
+        loaded = DeepEnsembleReconstructor.load(tmp_path / "ens")
+        assert loaded.num_members == ensemble.num_members
+        a = ensemble.reconstruct_with_uncertainty(test)
+        b = loaded.reconstruct_with_uncertainty(test)
+        np.testing.assert_allclose(a.mean, b.mean)
+        np.testing.assert_allclose(a.std, b.std)
+
+    def test_load_rejects_too_few(self, tmp_path):
+        (tmp_path / "empty").mkdir()
+        with pytest.raises(ValueError):
+            DeepEnsembleReconstructor.load(tmp_path / "empty")
+
+
+class TestFineTune:
+    def test_fine_tune_all_members(self, trained):
+        import copy
+
+        field, ensemble, test = trained
+        tuned = copy.deepcopy(ensemble)
+        grid = field.grid
+        data = HurricaneDataset(grid=grid, seed=0)
+        field2 = data.field(t=30)
+        sampler = MultiCriteriaSampler(seed=3)
+        train2 = [sampler.sample(field2, 0.05)]
+        histories = tuned.fine_tune(field2, train2, epochs=3)
+        assert len(histories) == 3
+        # Members actually changed.
+        before = ensemble.members[0].model.dense_layers()[0].weight.value
+        after = tuned.members[0].model.dense_layers()[0].weight.value
+        assert not np.array_equal(before, after)
+
+
+class TestCalibration:
+    def test_factor_reaches_target_coverage(self, trained):
+        field, ensemble, test = trained
+        rec = ensemble.reconstruct_with_uncertainty(test)
+        factor = rec.calibration_factor(field.values, target=0.9, k=2.0)
+        calibrated = rec.scaled(factor)
+        cov = calibrated.coverage(field.values, k=2.0)
+        # Sampled voxels (zero width, exact) only help coverage, so the
+        # calibrated band must reach at least the target.
+        assert cov >= 0.9 - 1e-9
+
+    def test_underdispersed_ensemble_needs_factor_above_one(self, trained):
+        field, ensemble, test = trained
+        rec = ensemble.reconstruct_with_uncertainty(test)
+        if rec.coverage(field.values, k=2.0) < 0.95:
+            assert rec.calibration_factor(field.values, target=0.95) > 1.0
+
+    def test_scaled_preserves_mean(self, trained):
+        field, ensemble, test = trained
+        rec = ensemble.reconstruct_with_uncertainty(test)
+        import numpy as np
+
+        np.testing.assert_array_equal(rec.scaled(2.0).mean, rec.mean)
+        np.testing.assert_allclose(rec.scaled(2.0).std, 2.0 * rec.std)
+
+    def test_validation(self, trained):
+        field, ensemble, test = trained
+        rec = ensemble.reconstruct_with_uncertainty(test)
+        import pytest
+
+        with pytest.raises(ValueError):
+            rec.calibration_factor(field.values, target=1.5)
+        with pytest.raises(ValueError):
+            rec.scaled(0.0)

@@ -1,0 +1,154 @@
+"""Unit tests for feature extraction and normalization (paper Fig 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FeatureExtractor, Normalizer
+from repro.datasets.base import TimestepField
+from repro.grid import UniformGrid, field_gradients
+
+
+@pytest.fixture
+def extractor():
+    return FeatureExtractor(num_neighbors=5)
+
+
+@pytest.fixture
+def normalizer(sample, hurricane_field):
+    return FeatureExtractor().fit_normalizer(sample, field=hurricane_field)
+
+
+class TestNormalizer:
+    def test_coords_map_to_unit_cube(self, grid):
+        n = Normalizer.fit(grid, np.array([1.0, 2.0]))
+        corners = np.array([
+            [grid.origin[0], grid.origin[1], grid.origin[2]],
+            [grid.extent[0][1], grid.extent[1][1], grid.extent[2][1]],
+        ])
+        u = n.normalize_coords(corners)
+        np.testing.assert_allclose(u[0], [0, 0, 0], atol=1e-12)
+        np.testing.assert_allclose(u[1], [1, 1, 1], atol=1e-12)
+
+    def test_outside_domain_allowed(self, grid):
+        n = Normalizer.fit(grid, np.array([1.0, 2.0]))
+        u = n.normalize_coords(np.array([[1e6, 0.0, 0.0]]))
+        assert u[0, 0] > 1.0  # no clamping — Fig 13 relies on this
+
+    def test_value_roundtrip(self, grid, rng):
+        values = rng.normal(loc=100, scale=30, size=500)
+        n = Normalizer.fit(grid, values)
+        z = n.normalize_values(values)
+        assert abs(z.mean()) < 1e-9 and z.std() == pytest.approx(1.0)
+        np.testing.assert_allclose(n.denormalize_values(z), values)
+
+    def test_constant_values_no_divzero(self, grid):
+        n = Normalizer.fit(grid, np.full(10, 7.0))
+        assert n.value_std == 1.0
+        np.testing.assert_allclose(n.normalize_values(np.array([7.0])), [0.0])
+
+    def test_gradient_roundtrip(self, grid, rng):
+        grads = rng.normal(size=(100, 3)) * [1.0, 10.0, 0.1]
+        n = Normalizer.fit(grid, rng.normal(size=100), gradients=grads)
+        np.testing.assert_allclose(n.denormalize_gradients(n.normalize_gradients(grads)), grads)
+
+    def test_gradient_scale_shared_across_axes(self, grid, rng):
+        grads = rng.normal(size=(100, 3)) * [1.0, 10.0, 0.1]
+        n = Normalizer.fit(grid, rng.normal(size=100), gradients=grads)
+        assert n.gradient_std[0] == n.gradient_std[1] == n.gradient_std[2]
+
+    def test_dict_roundtrip(self, grid, rng):
+        n = Normalizer.fit(grid, rng.normal(size=50), gradients=rng.normal(size=(50, 3)))
+        n2 = Normalizer.from_dict(n.as_dict())
+        np.testing.assert_allclose(n2.origin, n.origin)
+        np.testing.assert_allclose(n2.span, n.span)
+        assert n2.value_mean == n.value_mean and n2.value_std == n.value_std
+        np.testing.assert_allclose(n2.gradient_std, n.gradient_std)
+
+
+class TestFeatureVector:
+    def test_paper_dimensions(self, extractor):
+        # 5 neighbors x (x, y, z, value) + void (x, y, z) = 23 (Sec III-D).
+        assert extractor.feature_size == 23
+        assert extractor.target_size == 4
+
+    def test_no_gradient_target_size(self):
+        assert FeatureExtractor(include_gradients=False).target_size == 1
+
+    def test_features_shape(self, extractor, sample, normalizer):
+        q = sample.void_points()[:50]
+        x = extractor.features(sample, q, normalizer)
+        assert x.shape == (50, 23)
+
+    def test_feature_layout(self, sample, normalizer):
+        # The last 3 entries are the void location's own coordinates.
+        extractor = FeatureExtractor(num_neighbors=5)
+        q = sample.void_points()[:10]
+        x = extractor.features(sample, q, normalizer)
+        np.testing.assert_allclose(x[:, 20:], normalizer.normalize_coords(q))
+
+    def test_neighbors_are_nearest(self, sample, normalizer):
+        from scipy.spatial import cKDTree
+
+        extractor = FeatureExtractor(num_neighbors=5)
+        q = sample.void_points()[:20]
+        x = extractor.features(sample, q, normalizer)
+        tree = cKDTree(sample.points)
+        _, idx = tree.query(q, k=5)
+        expected = normalizer.normalize_coords(sample.points[idx[:, 0]])
+        np.testing.assert_allclose(x[:, 0:3], expected)
+
+    def test_neighbor_values_standardized(self, sample, normalizer):
+        extractor = FeatureExtractor(num_neighbors=5)
+        q = sample.void_points()[:1000]
+        x = extractor.features(sample, q, normalizer)
+        vals = x[:, 3::4][:, :5]  # value slots of the 5 neighbors
+        assert np.abs(vals.mean()) < 1.0  # standardized scale
+
+    def test_fewer_samples_than_k_pads(self, grid, hurricane_field, normalizer):
+        from repro.sampling.base import SampledField
+
+        tiny = SampledField(
+            grid, np.array([0, 50, 100]), hurricane_field.flat[[0, 50, 100]], 0.01
+        )
+        extractor = FeatureExtractor(num_neighbors=5)
+        x = extractor.features(tiny, grid.points()[:10], normalizer)
+        assert x.shape == (10, 23)
+        assert np.isfinite(x).all()
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            FeatureExtractor(num_neighbors=0)
+
+
+class TestTargets:
+    def test_targets_with_gradients(self, extractor, hurricane_field, sample, normalizer):
+        void = sample.void_indices()[:40]
+        y = extractor.targets(hurricane_field, void, normalizer)
+        assert y.shape == (40, 4)
+        expected_scalar = normalizer.normalize_values(hurricane_field.flat[void])
+        np.testing.assert_allclose(y[:, 0], expected_scalar)
+
+    def test_targets_gradient_columns(self, extractor, hurricane_field, sample, normalizer):
+        void = sample.void_indices()[:40]
+        y = extractor.targets(hurricane_field, void, normalizer)
+        grads = field_gradients(hurricane_field.grid, hurricane_field.values)[void]
+        np.testing.assert_allclose(y[:, 1:], normalizer.normalize_gradients(grads))
+
+    def test_training_data_covers_voids(self, extractor, hurricane_field, sample, normalizer):
+        x, y = extractor.training_data(hurricane_field, sample, normalizer)
+        n_void = sample.void_indices().size
+        assert x.shape == (n_void, 23) and y.shape == (n_void, 4)
+
+    def test_training_data_grid_mismatch(self, extractor, hurricane_field, normalizer):
+        from repro.datasets import HurricaneDataset
+        from repro.sampling import RandomSampler
+
+        other_grid = UniformGrid((6, 6, 6))
+        other_field = HurricaneDataset(grid=other_grid).field(0)
+        other_sample = RandomSampler(seed=0).sample(other_field, 0.2)
+        with pytest.raises(ValueError):
+            extractor.training_data(hurricane_field, other_sample, normalizer)
+
+    def test_fit_normalizer_without_field(self, extractor, sample):
+        n = extractor.fit_normalizer(sample)
+        assert n.value_std > 0

@@ -1,0 +1,125 @@
+"""Tests for shared-location multivariate sampling and reconstruction."""
+
+import numpy as np
+import pytest
+
+from repro.core import MultivariateReconstructor, sample_multivariate
+from repro.datasets import HurricaneDataset
+from repro.metrics import snr
+from repro.sampling import MultiCriteriaSampler
+
+
+@pytest.fixture(scope="module")
+def setup():
+    data = HurricaneDataset(
+        grid=HurricaneDataset.default_grid().with_resolution((14, 14, 6)), seed=0
+    )
+    sampler = MultiCriteriaSampler(seed=3)
+    return data, sampler
+
+
+class TestSampleMultivariate:
+    def test_shared_indices(self, setup):
+        data, sampler = setup
+        samples = sample_multivariate(data, sampler, 0.05)
+        assert set(samples) == set(data.attributes)
+        base = samples[data.attribute].indices
+        for s in samples.values():
+            np.testing.assert_array_equal(s.indices, base)
+
+    def test_values_match_each_attribute(self, setup):
+        data, sampler = setup
+        samples = sample_multivariate(data, sampler, 0.05, timestep=10)
+        for a, s in samples.items():
+            field = data.field(t=10, attribute=a)
+            np.testing.assert_allclose(s.values, field.flat[s.indices])
+
+    def test_attribute_subset(self, setup):
+        data, sampler = setup
+        samples = sample_multivariate(
+            data, sampler, 0.05, attributes=("pressure", "wind_speed")
+        )
+        assert set(samples) == {"pressure", "wind_speed"}
+
+    def test_unknown_attribute(self, setup):
+        data, sampler = setup
+        with pytest.raises(ValueError):
+            sample_multivariate(data, sampler, 0.05, attributes=("vorticity",))
+
+    def test_driver_changes_selection(self, setup):
+        data, sampler = setup
+        a = sample_multivariate(data, sampler, 0.05, driver="pressure")
+        b = sample_multivariate(data, sampler, 0.05, driver="wind_speed")
+        assert not np.array_equal(
+            a["pressure"].indices, b["pressure"].indices
+        )
+
+
+class TestMultivariateReconstructor:
+    @pytest.fixture(scope="class")
+    def trained(self, setup):
+        data, sampler = setup
+        attrs = ("pressure", "wind_speed")
+        fields = {a: data.field(t=0, attribute=a) for a in attrs}
+        samples = {
+            a: [s]
+            for a, s in sample_multivariate(
+                data, sampler, 0.10, attributes=attrs
+            ).items()
+        }
+        model = MultivariateReconstructor(
+            attrs, hidden_layers=(24, 12), batch_size=1024, seed=0
+        )
+        model.train(fields, samples, epochs=15)
+        test = sample_multivariate(data, sampler, 0.05, attributes=attrs, seed=99)
+        return data, model, fields, test
+
+    def test_reconstructs_all_attributes(self, trained):
+        data, model, fields, test = trained
+        volumes = model.reconstruct(test)
+        assert set(volumes) == {"pressure", "wind_speed"}
+        for a, vol in volumes.items():
+            assert vol.shape == data.grid.dims
+            assert snr(fields[a].values, vol) > 0
+
+    def test_is_trained(self, trained):
+        _, model, *_ = trained
+        assert model.is_trained
+
+    def test_missing_attribute_rejected(self, trained):
+        _, model, fields, test = trained
+        with pytest.raises(ValueError, match="missing attributes"):
+            model.reconstruct({"pressure": test["pressure"]})
+
+    def test_save_load_roundtrip(self, trained, tmp_path):
+        data, model, fields, test = trained
+        model.save(tmp_path / "mv")
+        loaded = MultivariateReconstructor.load(tmp_path / "mv")
+        assert set(loaded.attributes) == set(model.attributes)
+        a = model.reconstruct(test)["pressure"]
+        b = loaded.reconstruct(test)["pressure"]
+        np.testing.assert_allclose(a, b)
+
+    def test_load_empty_dir(self, tmp_path):
+        (tmp_path / "nothing").mkdir()
+        with pytest.raises(ValueError):
+            MultivariateReconstructor.load(tmp_path / "nothing")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultivariateReconstructor(())
+
+    def test_fine_tune_all(self, trained, setup):
+        import copy
+
+        data, model, fields, test = trained
+        _, sampler = setup
+        tuned = copy.deepcopy(model)
+        attrs = tuple(model.attributes)
+        fields2 = {a: data.field(t=30, attribute=a) for a in attrs}
+        samples2 = {
+            a: s for a, s in sample_multivariate(data, sampler, 0.10, timestep=30,
+                                                 attributes=attrs).items()
+        }
+        histories = tuned.fine_tune(fields2, samples2, epochs=3)
+        assert set(histories) == set(attrs)

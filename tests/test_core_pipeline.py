@@ -1,0 +1,73 @@
+"""Unit tests for the end-to-end reconstruction pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import FCNNReconstructor, ReconstructionPipeline
+from repro.datasets import HurricaneDataset
+from repro.interpolation import NearestNeighborInterpolator, make_interpolator
+from repro.sampling import MultiCriteriaSampler
+
+
+@pytest.fixture
+def pipeline():
+    data = HurricaneDataset(
+        grid=HurricaneDataset.default_grid().with_resolution((14, 14, 6))
+    )
+    return ReconstructionPipeline(
+        dataset=data,
+        sampler=MultiCriteriaSampler(seed=2),
+        train_fractions=(0.02, 0.08),
+    )
+
+
+class TestPipeline:
+    def test_field_and_sample(self, pipeline):
+        field = pipeline.field(0)
+        sample = pipeline.sample(field, 0.05)
+        assert sample.num_samples == int(round(0.05 * field.grid.num_points))
+
+    def test_sample_seed_override(self, pipeline):
+        field = pipeline.field(0)
+        a = pipeline.sample(field, 0.05)
+        b = pipeline.sample(field, 0.05, seed=99)
+        assert not np.array_equal(a.indices, b.indices)
+
+    def test_train_fcnn_default(self, pipeline):
+        model = pipeline.train_fcnn(
+            FCNNReconstructor(hidden_layers=(16, 8), batch_size=512), epochs=3
+        )
+        assert model.is_trained
+
+    def test_run_method_result(self, pipeline):
+        field = pipeline.field(0)
+        sample = pipeline.sample(field, 0.1)
+        res = pipeline.run_method(NearestNeighborInterpolator(), sample, field)
+        assert res.method == "nearest"
+        assert res.fraction == 0.1
+        assert res.reconstruct_seconds > 0
+        assert res.num_samples == sample.num_samples
+        assert res.reconstruction is None  # keep_reconstructions off
+
+    def test_keep_reconstructions(self, pipeline):
+        pipeline.keep_reconstructions = True
+        field = pipeline.field(0)
+        sample = pipeline.sample(field, 0.1)
+        res = pipeline.run_method(NearestNeighborInterpolator(), sample, field)
+        assert res.reconstruction is not None
+        assert res.reconstruction.shape == field.grid.dims
+
+    def test_result_as_row(self, pipeline):
+        field = pipeline.field(0)
+        sample = pipeline.sample(field, 0.1)
+        row = pipeline.run_method(NearestNeighborInterpolator(), sample, field).as_row()
+        assert {"method", "fraction", "snr", "rmse", "seconds"} <= set(row)
+
+    def test_compare_cross_product(self, pipeline):
+        methods = [make_interpolator("nearest"), make_interpolator("shepard")]
+        results = pipeline.compare(methods, fractions=(0.05, 0.1))
+        assert len(results) == 4
+        labels = {(r.method, r.fraction) for r in results}
+        assert labels == {
+            ("nearest", 0.05), ("nearest", 0.1), ("shepard", 0.05), ("shepard", 0.1)
+        }

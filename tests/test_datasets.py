@@ -1,0 +1,168 @@
+"""Unit tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    CombustionDataset,
+    HurricaneDataset,
+    IonizationDataset,
+    available_datasets,
+    make_dataset,
+)
+from repro.grid import UniformGrid, upscaled_grid
+
+ALL = [HurricaneDataset, CombustionDataset, IonizationDataset]
+
+
+def small(cls, dims=(16, 16, 8)) -> UniformGrid:
+    """Coarse grid spanning the dataset's full reference domain."""
+    return cls.default_grid().with_resolution(dims)
+
+
+@pytest.fixture(params=ALL, ids=[c.name for c in ALL])
+def dataset(request):
+    cls = request.param
+    return cls(grid=cls.default_grid().with_resolution((16, 16, 8)), seed=0)
+
+
+class TestCommonBehaviour:
+    def test_field_shape(self, dataset):
+        f = dataset.field(t=0)
+        assert f.values.shape == dataset.grid.dims
+
+    def test_finite(self, dataset):
+        f = dataset.field(t=0)
+        assert np.isfinite(f.values).all()
+
+    def test_deterministic_per_seed(self, dataset):
+        other = type(dataset)(grid=dataset.grid, seed=dataset.seed)
+        np.testing.assert_array_equal(
+            dataset.field(t=3).values, other.field(t=3).values
+        )
+
+    def test_seed_changes_field(self, dataset):
+        other = type(dataset)(grid=dataset.grid, seed=99)
+        assert not np.array_equal(dataset.field(t=0).values, other.field(t=0).values)
+
+    def test_evolves_in_time(self, dataset):
+        a = dataset.field(t=0).values
+        b = dataset.field(t=dataset.num_timesteps - 1).values
+        assert not np.allclose(a, b)
+
+    def test_evolution_is_gradual(self, dataset):
+        # Adjacent timesteps differ less than distant ones.
+        f0 = dataset.field(t=0).values
+        f1 = dataset.field(t=1).values
+        f_far = dataset.field(t=dataset.num_timesteps // 2).values
+        near = np.abs(f1 - f0).mean()
+        far = np.abs(f_far - f0).mean()
+        assert near < far
+
+    def test_resolution_consistency(self, dataset):
+        # A finer grid samples the same underlying field: coarse values
+        # must appear (to numerical precision) at matching positions.
+        coarse = dataset.grid
+        fine = coarse.with_resolution(tuple(2 * d - 1 for d in coarse.dims))
+        fc = dataset.field(t=2, grid=coarse).values
+        ff = dataset.field(t=2, grid=fine).values
+        np.testing.assert_allclose(fc, ff[::2, ::2, ::2], rtol=1e-10, atol=1e-10)
+
+    def test_evaluate_matches_field(self, dataset):
+        pts = dataset.grid.points()[:100]
+        direct = dataset.evaluate(pts, t=1)
+        via_field = dataset.field(t=1).flat[:100]
+        np.testing.assert_allclose(direct, via_field)
+
+    def test_shifted_domain_is_defined(self, dataset):
+        hi = upscaled_grid(dataset.grid, 2, shift_fraction=(0.2, 0.2, 0.0))
+        f = dataset.field(t=0, grid=hi)
+        assert np.isfinite(f.values).all()
+
+    def test_has_spatial_structure(self, dataset):
+        f = dataset.field(t=dataset.num_timesteps // 2)
+        assert f.values.std() > 1e-3
+
+    def test_time_fraction_bounds(self, dataset):
+        assert dataset.time_fraction(0) == 0.0
+        assert dataset.time_fraction(dataset.num_timesteps - 1) == pytest.approx(1.0)
+
+
+class TestHurricane:
+    def test_eye_is_minimum_at_surface(self):
+        data = HurricaneDataset(grid=HurricaneDataset.default_grid().with_resolution((40, 40, 8)))
+        f = data.field(t=24).values  # mid-simulation, strongest storm
+        surface = f[:, :, 0]
+        eye_idx = np.unravel_index(np.argmin(surface), surface.shape)
+        cx, cy = data._eye_center(data.time_fraction(24))
+        assert abs(eye_idx[0] / 39 - cx) < 0.12
+        assert abs(eye_idx[1] / 39 - cy) < 0.12
+
+    def test_pressure_magnitude_reasonable(self):
+        f = HurricaneDataset(grid=small(HurricaneDataset)).field(t=20).values
+        assert 850.0 < f.min() < 1010.0
+        assert 990.0 < f.max() < 1050.0
+
+    def test_paper_reference_resolution(self):
+        assert HurricaneDataset.default_grid().dims == (250, 250, 50)
+        assert HurricaneDataset.num_timesteps == 48
+
+
+class TestCombustion:
+    def test_mixfrac_bounded(self):
+        f = CombustionDataset(grid=small(CombustionDataset)).field(t=50).values
+        assert f.min() >= 0.0 and f.max() <= 1.0
+
+    def test_flame_front_moves_downstream(self):
+        data = CombustionDataset(grid=CombustionDataset.default_grid().with_resolution((40, 16, 8)))
+        def front_x(t):
+            f = data.field(t=t).values
+            profile = f.mean(axis=(1, 2))
+            return int(np.argmin(np.abs(profile - 0.5)))
+        assert front_x(100) > front_x(10)
+
+    def test_paper_reference_resolution(self):
+        assert CombustionDataset.default_grid().dims == (240, 360, 60)
+        assert CombustionDataset.num_timesteps == 122
+
+
+class TestIonization:
+    def test_front_advances(self):
+        data = IonizationDataset(grid=IonizationDataset.default_grid().with_resolution((60, 12, 12)))
+        def front_x(t):
+            f = data.field(t=t).values
+            profile = f.mean(axis=(1, 2))
+            return int(np.argmax(np.diff(profile)))
+        assert front_x(150) > front_x(20)
+
+    def test_density_contrast(self):
+        f = IonizationDataset(grid=small(IonizationDataset)).field(t=100).values
+        assert f.min() < 0.3  # ionized region
+        assert f.max() > 0.9  # neutral gas / shell
+
+    def test_paper_reference_resolution(self):
+        assert IonizationDataset.default_grid().dims == (600, 248, 248)
+        assert IonizationDataset.num_timesteps == 200
+
+
+class TestRegistry:
+    def test_available(self):
+        assert available_datasets() == ["combustion", "hurricane", "ionization"]
+
+    def test_make_dataset_default(self):
+        d = make_dataset("hurricane")
+        assert d.grid.dims == (250, 250, 50)
+
+    def test_make_dataset_with_dims_keeps_extent(self):
+        d = make_dataset("hurricane", dims=(25, 25, 5))
+        ref = HurricaneDataset.default_grid()
+        np.testing.assert_allclose(np.asarray(d.grid.extent), np.asarray(ref.extent))
+
+    def test_make_dataset_unknown(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            make_dataset("nope")
+
+    def test_make_dataset_seed(self):
+        a = make_dataset("combustion", dims=(8, 8, 4), seed=1)
+        b = make_dataset("combustion", dims=(8, 8, 4), seed=2)
+        assert not np.array_equal(a.field(0).values, b.field(0).values)

@@ -1,0 +1,109 @@
+"""Tests for the datasets' additional physical attributes."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import CombustionDataset, HurricaneDataset, IonizationDataset
+
+
+def small(cls, dims=(20, 20, 8)):
+    return cls(grid=cls.default_grid().with_resolution(dims), seed=0)
+
+
+class TestAttributeContract:
+    @pytest.mark.parametrize("cls", [HurricaneDataset, CombustionDataset, IonizationDataset])
+    def test_all_attributes_evaluate(self, cls):
+        data = small(cls)
+        for a in data.attributes:
+            f = data.field(t=5, attribute=a)
+            assert f.values.shape == data.grid.dims
+            assert np.isfinite(f.values).all()
+            assert f.name == a
+
+    @pytest.mark.parametrize("cls", [HurricaneDataset, CombustionDataset, IonizationDataset])
+    def test_default_attribute_first(self, cls):
+        assert cls.attribute == cls.attributes[0]
+
+    @pytest.mark.parametrize("cls", [HurricaneDataset, CombustionDataset, IonizationDataset])
+    def test_unknown_attribute_rejected(self, cls):
+        data = small(cls)
+        with pytest.raises(ValueError, match="no attribute"):
+            data.field(t=0, attribute="entropy")
+
+    @pytest.mark.parametrize("cls", [HurricaneDataset, CombustionDataset, IonizationDataset])
+    def test_attributes_are_distinct_fields(self, cls):
+        data = small(cls)
+        fields = [data.field(t=10, attribute=a).values for a in data.attributes]
+        for i in range(len(fields)):
+            for j in range(i + 1, len(fields)):
+                assert not np.allclose(fields[i], fields[j])
+
+
+class TestHurricaneAttributes:
+    def test_warm_core_at_eye(self):
+        data = small(HurricaneDataset, dims=(40, 40, 8))
+        t = 24
+        temp = data.field(t=t, attribute="temperature").values
+        cx, cy = data._eye_center(data.time_fraction(t))
+        ix, iy = int(round(cx * 39)), int(round(cy * 39))
+        mid = temp.shape[2] // 2
+        eye_temp = temp[ix, iy, mid]
+        ambient = np.median(temp[:, :, mid])
+        assert eye_temp > ambient + 1.0  # warm core
+
+    def test_calm_eye_windy_ring(self):
+        data = small(HurricaneDataset, dims=(40, 40, 8))
+        t = 24
+        wind = data.field(t=t, attribute="wind_speed").values[:, :, 0]
+        cx, cy = data._eye_center(data.time_fraction(t))
+        ix, iy = int(round(cx * 39)), int(round(cy * 39))
+        assert wind.max() > wind[ix, iy] + 15.0  # ring of max winds >> eye
+
+    def test_temperature_decreases_with_altitude(self):
+        data = small(HurricaneDataset)
+        temp = data.field(t=0, attribute="temperature").values
+        assert temp[:, :, 0].mean() > temp[:, :, -1].mean()
+
+
+class TestCombustionAttributes:
+    def test_flame_temperature_range(self):
+        data = small(CombustionDataset)
+        temp = data.field(t=60, attribute="temperature").values
+        assert temp.min() >= 300.0 - 1e-9
+        assert 1800.0 < temp.max() <= 2200.0 + 1e-9
+
+    def test_temperature_peaks_at_stoichiometric(self):
+        data = small(CombustionDataset)
+        mix = data.field(t=60, attribute="mixfrac").values
+        temp = data.field(t=60, attribute="temperature").values
+        hottest = np.unravel_index(np.argmax(temp), temp.shape)
+        assert abs(mix[hottest] - 0.4) < 0.1
+
+    def test_product_bounded(self):
+        data = small(CombustionDataset)
+        prod = data.field(t=60, attribute="product").values
+        assert prod.min() >= 0.0 and prod.max() <= 1.0
+
+
+class TestIonizationAttributes:
+    def test_ionization_fraction_bounds(self):
+        data = small(IonizationDataset)
+        ion = data.field(t=100, attribute="ionization_fraction").values
+        assert -1e-9 <= ion.min() and ion.max() <= 1.0 + 1e-9
+
+    def test_ionized_region_hot(self):
+        data = small(IonizationDataset, dims=(40, 12, 12))
+        t = 100
+        ion = data.field(t=t, attribute="ionization_fraction").values
+        temp = data.field(t=t, attribute="temperature").values
+        hot = temp[ion > 0.9]
+        cold = temp[ion < 0.1]
+        # Cold side includes the shock-heated shell, so compare to 10x
+        # rather than the raw photoheating contrast (~100x).
+        assert hot.mean() > 10 * cold.mean()
+
+    def test_fraction_anticorrelates_with_density(self):
+        data = small(IonizationDataset, dims=(40, 12, 12))
+        ion = data.field(t=100, attribute="ionization_fraction").flat
+        dens = data.field(t=100, attribute="density").flat
+        assert np.corrcoef(ion, dens)[0, 1] < -0.5

@@ -1,0 +1,69 @@
+"""Tests for experiment-runner plumbing not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import get_config
+from repro.experiments.runner import (
+    ExperimentResult,
+    build_pipeline,
+    build_reconstructor,
+    test_samples as draw_test_samples,
+    timed,
+)
+
+CFG = get_config("quick", dims=(10, 10, 4))
+
+
+class TestBuilders:
+    def test_build_pipeline_uses_config(self):
+        pipeline = build_pipeline(CFG)
+        assert pipeline.dataset.grid.dims == (10, 10, 4)
+        assert pipeline.train_fractions == CFG.train_fractions
+
+    def test_build_pipeline_dataset_override(self):
+        pipeline = build_pipeline(CFG, dataset="combustion")
+        assert pipeline.dataset.name == "combustion"
+
+    def test_build_reconstructor_overrides(self):
+        fcnn = build_reconstructor(CFG, hidden_layers=(4,), include_gradients=False)
+        assert fcnn.hidden_layers == (4,)
+        assert not fcnn.extractor.include_gradients
+
+    def test_test_samples_independent_of_training_draws(self):
+        pipeline = build_pipeline(CFG)
+        field = pipeline.field(0)
+        train = pipeline.sample(field, 0.05)
+        test = draw_test_samples(pipeline, field, (0.05,), CFG)[0.05]
+        assert not np.array_equal(train.indices, test.indices)
+
+    def test_timed(self):
+        value, seconds = timed(sum, [1, 2, 3])
+        assert value == 6 and seconds >= 0.0
+
+
+class TestExperimentResult:
+    def test_format_includes_notes_and_rows(self):
+        res = ExperimentResult(
+            experiment="demo",
+            rows=[{"a": 1.0, "b": 2}],
+            notes={"profile": "quick"},
+        )
+        text = res.format()
+        assert "demo" in text and "profile: quick" in text and "a" in text
+
+    def test_format_without_rows(self):
+        res = ExperimentResult(experiment="empty")
+        assert "empty" in res.format()
+
+
+class TestCLIExperimentPath:
+    def test_dataset_and_seed_overrides(self, capsys):
+        from repro.cli import main
+
+        code = main([
+            "fig7", "--profile", "quick", "--epochs", "2",
+            "--dataset", "combustion", "--seed", "11",
+        ])
+        assert code == 0
+        assert "fig07-train-mix" in capsys.readouterr().out

@@ -1,0 +1,72 @@
+"""Unit tests for repro.grid.domain (windows, upscaling)."""
+
+import numpy as np
+import pytest
+
+from repro.grid import DomainWindow, UniformGrid, upscaled_grid
+
+
+class TestDomainWindow:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DomainWindow((0.5, 0, 0), (0.5, 1, 1))  # lo == hi
+        with pytest.raises(ValueError):
+            DomainWindow((-0.1, 0, 0), (1, 1, 1))
+        with pytest.raises(ValueError):
+            DomainWindow((0, 0, 0), (1, 1, 1.2))
+
+    def test_apply_full_window_preserves_extent(self):
+        g = UniformGrid((11, 11, 11), spacing=(1, 1, 1), origin=(5, 5, 5))
+        w = DomainWindow((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+        sub = w.apply(g, (21, 21, 21))
+        assert sub.extent == g.extent
+        assert sub.dims == (21, 21, 21)
+
+    def test_apply_half_window(self):
+        g = UniformGrid((11, 11, 11))  # extent 0..10 per axis
+        w = DomainWindow((0.25, 0.0, 0.0), (0.75, 1.0, 1.0))
+        sub = w.apply(g, (6, 11, 11))
+        assert sub.extent[0] == (2.5, 7.5)
+
+    def test_apply_single_point_axis(self):
+        g = UniformGrid((11, 11, 11))
+        w = DomainWindow((0.0, 0.0, 0.0), (1.0, 1.0, 1.0))
+        sub = w.apply(g, (1, 11, 11))
+        assert sub.dims[0] == 1
+
+
+class TestUpscaledGrid:
+    def test_doubles_points(self):
+        g = UniformGrid((10, 12, 6))
+        hi = upscaled_grid(g, 2)
+        assert hi.dims == (20, 24, 12)
+
+    def test_preserves_extent_without_shift(self):
+        g = UniformGrid((10, 10, 10), spacing=(1, 1, 1), origin=(3, 3, 3))
+        hi = upscaled_grid(g, 2)
+        np.testing.assert_allclose(np.asarray(hi.extent), np.asarray(g.extent))
+
+    def test_shift_moves_origin(self):
+        g = UniformGrid((11, 11, 11))  # extent span 10
+        hi = upscaled_grid(g, 2, shift_fraction=(0.1, 0.0, 0.0))
+        assert hi.origin[0] == pytest.approx(1.0)
+        assert hi.origin[1] == 0.0
+
+    def test_per_axis_factor(self):
+        g = UniformGrid((4, 4, 4))
+        hi = upscaled_grid(g, (2, 3, 1))
+        assert hi.dims == (8, 12, 4)
+
+    def test_rejects_factor_below_one(self):
+        with pytest.raises(ValueError):
+            upscaled_grid(UniformGrid((4, 4, 4)), 0)
+
+    def test_shifted_grid_overlaps_reference(self):
+        # The Fig 13 setup: the shifted high-res grid must still overlap
+        # the training domain so transfer is meaningful.
+        g = UniformGrid((10, 10, 10))
+        hi = upscaled_grid(g, 2, shift_fraction=(0.15, 0.15, 0.0))
+        lo_ext = np.asarray(g.extent)
+        hi_ext = np.asarray(hi.extent)
+        overlap = np.minimum(lo_ext[:, 1], hi_ext[:, 1]) - np.maximum(lo_ext[:, 0], hi_ext[:, 0])
+        assert (overlap > 0).all()

@@ -1,0 +1,82 @@
+"""Unit tests for repro.grid.gradients."""
+
+import numpy as np
+import pytest
+
+from repro.grid import UniformGrid, field_gradients, gradient_magnitude
+
+
+class TestFieldGradients:
+    def test_linear_field_exact(self):
+        g = UniformGrid((6, 5, 4), spacing=(1.0, 2.0, 0.5))
+        x, y, z = g.meshgrid()
+        field = 2.0 * x - 3.0 * y + 4.0 * z
+        grads = field_gradients(g, field)
+        np.testing.assert_allclose(grads[:, 0], 2.0)
+        np.testing.assert_allclose(grads[:, 1], -3.0)
+        np.testing.assert_allclose(grads[:, 2], 4.0)
+
+    def test_constant_field_zero(self, grid):
+        grads = field_gradients(grid, np.full(grid.dims, 5.0))
+        np.testing.assert_allclose(grads, 0.0)
+
+    def test_quadratic_interior(self):
+        # Central differences are exact for quadratics at interior points.
+        g = UniformGrid((7, 7, 7))
+        x, _, _ = g.meshgrid()
+        field = x**2
+        grads = field_gradients(g, field).reshape(7, 7, 7, 3)
+        interior = grads[1:-1, :, :, 0]
+        expected = (2.0 * x)[1:-1]
+        np.testing.assert_allclose(interior, expected)
+
+    def test_accepts_flat_field(self, grid):
+        x, _, _ = grid.meshgrid()
+        flat = x.ravel()
+        grads = field_gradients(grid, flat)
+        np.testing.assert_allclose(grads[:, 0], 1.0)
+
+    def test_single_point_axis_gets_zero(self):
+        g = UniformGrid((5, 5, 1))
+        x, y, _ = g.meshgrid()
+        grads = field_gradients(g, x + y)
+        np.testing.assert_allclose(grads[:, 2], 0.0)
+        np.testing.assert_allclose(grads[:, 0], 1.0)
+
+    def test_spacing_respected(self):
+        # Same values, doubled spacing → halved gradient.
+        f = np.random.default_rng(0).normal(size=(6, 6, 6))
+        g1 = UniformGrid((6, 6, 6), spacing=(1, 1, 1))
+        g2 = UniformGrid((6, 6, 6), spacing=(2, 2, 2))
+        np.testing.assert_allclose(
+            field_gradients(g1, f), 2.0 * field_gradients(g2, f)
+        )
+
+    def test_shape(self, grid, hurricane_field):
+        grads = field_gradients(grid, hurricane_field.values)
+        assert grads.shape == (grid.num_points, 3)
+
+    def test_rejects_wrong_shape(self, grid):
+        with pytest.raises(ValueError):
+            field_gradients(grid, np.zeros((3, 3, 3)))
+
+
+class TestGradientMagnitude:
+    def test_magnitude_of_linear_field(self):
+        g = UniformGrid((5, 5, 5))
+        x, y, z = g.meshgrid()
+        mag = gradient_magnitude(g, 3.0 * x + 4.0 * y)
+        np.testing.assert_allclose(mag, 5.0)
+
+    def test_non_negative(self, grid, hurricane_field):
+        mag = gradient_magnitude(grid, hurricane_field.values)
+        assert (mag >= 0).all()
+
+    def test_highlights_front(self):
+        # A step-like field has its largest gradient at the step.
+        g = UniformGrid((20, 4, 4))
+        x, _, _ = g.meshgrid()
+        field = np.tanh((x - 10.0) / 1.5)
+        mag = gradient_magnitude(g, field).reshape(g.dims)
+        peak_x = np.unravel_index(np.argmax(mag), g.dims)[0]
+        assert 8 <= peak_x <= 12

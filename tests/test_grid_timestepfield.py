@@ -1,0 +1,64 @@
+"""Tests for the TimestepField container and misc dataset plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import TimestepField
+from repro.grid import UniformGrid
+
+
+class TestTimestepField:
+    def test_accepts_flat_values(self, grid):
+        f = TimestepField(grid, np.arange(grid.num_points, dtype=float), timestep=0)
+        assert f.values.shape == grid.dims
+
+    def test_accepts_3d_values(self, grid):
+        vol = np.zeros(grid.dims)
+        f = TimestepField(grid, vol, timestep=0)
+        assert f.values.shape == grid.dims
+
+    def test_rejects_wrong_shape(self, grid):
+        with pytest.raises(ValueError):
+            TimestepField(grid, np.zeros(7), timestep=0)
+
+    def test_flat_matches_c_order(self, grid):
+        vol = np.arange(grid.num_points, dtype=float).reshape(grid.dims)
+        f = TimestepField(grid, vol, timestep=0)
+        np.testing.assert_array_equal(f.flat, vol.ravel())
+
+    def test_frozen(self, grid):
+        f = TimestepField(grid, np.zeros(grid.dims), timestep=0)
+        with pytest.raises(Exception):
+            f.timestep = 5  # type: ignore[misc]
+
+    def test_name_defaults(self, grid):
+        f = TimestepField(grid, np.zeros(grid.dims), timestep=0)
+        assert f.name == "field"
+
+
+class TestDatasetPlumbing:
+    def test_fields_iterator(self):
+        from repro.datasets import HurricaneDataset
+
+        data = HurricaneDataset(
+            grid=HurricaneDataset.default_grid().with_resolution((6, 6, 4))
+        )
+        fields = list(data.fields([0, 5, 10]))
+        assert [f.timestep for f in fields] == [0, 5, 10]
+
+    def test_normalized_reference_domain(self):
+        from repro.datasets import HurricaneDataset
+
+        data = HurricaneDataset()
+        ref = HurricaneDataset.default_grid()
+        corners = np.array([ref.origin,
+                            [e[1] for e in ref.extent]])
+        u = data.normalized(corners)
+        np.testing.assert_allclose(u[0], [0, 0, 0], atol=1e-12)
+        np.testing.assert_allclose(u[1], [1, 1, 1], atol=1e-12)
+
+    def test_grid_property(self):
+        from repro.datasets import HurricaneDataset
+
+        g = HurricaneDataset.default_grid().with_resolution((5, 5, 5))
+        assert HurricaneDataset(grid=g).grid == g

@@ -1,0 +1,149 @@
+"""Unit tests for repro.grid.uniform.UniformGrid."""
+
+import numpy as np
+import pytest
+
+from repro.grid import UniformGrid
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        g = UniformGrid((4, 5, 6), spacing=(1.0, 2.0, 3.0), origin=(10.0, 20.0, 30.0))
+        assert g.num_points == 120
+        assert g.shape == (4, 5, 6)
+
+    def test_extent(self):
+        g = UniformGrid((3, 2, 5), spacing=(1.0, 4.0, 0.5), origin=(0.0, 1.0, -1.0))
+        assert g.extent == ((0.0, 2.0), (1.0, 5.0), (-1.0, 1.0))
+
+    def test_defaults(self):
+        g = UniformGrid((2, 2, 2))
+        assert g.spacing == (1.0, 1.0, 1.0)
+        assert g.origin == (0.0, 0.0, 0.0)
+
+    def test_rejects_bad_dims(self):
+        with pytest.raises(ValueError):
+            UniformGrid((0, 2, 2))
+        with pytest.raises(ValueError):
+            UniformGrid((2, 2))  # type: ignore[arg-type]
+
+    def test_rejects_bad_spacing(self):
+        with pytest.raises(ValueError):
+            UniformGrid((2, 2, 2), spacing=(1.0, 0.0, 1.0))
+        with pytest.raises(ValueError):
+            UniformGrid((2, 2, 2), spacing=(1.0, -1.0, 1.0))
+
+    def test_frozen_and_hashable(self):
+        g = UniformGrid((2, 2, 2))
+        assert hash(g) == hash(UniformGrid((2, 2, 2)))
+        with pytest.raises(Exception):
+            g.dims = (3, 3, 3)  # type: ignore[misc]
+
+    def test_equality(self):
+        a = UniformGrid((2, 3, 4), spacing=(1, 1, 1))
+        b = UniformGrid((2, 3, 4), spacing=(1, 1, 1))
+        c = UniformGrid((2, 3, 4), spacing=(2, 1, 1))
+        assert a == b and a != c
+
+    def test_coerces_types(self):
+        g = UniformGrid((np.int64(2), 3, 4))
+        assert isinstance(g.dims[0], int)
+
+
+class TestCoordinates:
+    def test_axis_coordinates(self):
+        g = UniformGrid((3, 2, 2), spacing=(0.5, 1, 1), origin=(1.0, 0, 0))
+        np.testing.assert_allclose(g.axis_coordinates(0), [1.0, 1.5, 2.0])
+
+    def test_axis_coordinates_bad_axis(self):
+        with pytest.raises(ValueError):
+            UniformGrid((2, 2, 2)).axis_coordinates(3)
+
+    def test_points_shape_and_order(self):
+        g = UniformGrid((2, 3, 4))
+        pts = g.points()
+        assert pts.shape == (24, 3)
+        # C order: z fastest
+        np.testing.assert_allclose(pts[0], [0, 0, 0])
+        np.testing.assert_allclose(pts[1], [0, 0, 1])
+        np.testing.assert_allclose(pts[4], [0, 1, 0])
+        np.testing.assert_allclose(pts[12], [1, 0, 0])
+
+    def test_points_match_flat_field_order(self, grid):
+        x, y, z = grid.meshgrid()
+        field = 2 * x + 3 * y - z
+        pts = grid.points()
+        recomputed = 2 * pts[:, 0] + 3 * pts[:, 1] - pts[:, 2]
+        np.testing.assert_allclose(recomputed, field.ravel())
+
+
+class TestIndexing:
+    def test_flat_multi_roundtrip(self, grid):
+        flat = np.arange(grid.num_points)
+        multi = grid.flat_to_multi(flat)
+        np.testing.assert_array_equal(grid.multi_to_flat(multi), flat)
+
+    def test_index_to_position(self):
+        g = UniformGrid((4, 4, 4), spacing=(2, 2, 2), origin=(1, 1, 1))
+        pos = g.index_to_position(np.array([[1, 2, 3]]))
+        np.testing.assert_allclose(pos, [[3.0, 5.0, 7.0]])
+
+    def test_position_to_index_rounds_to_nearest(self):
+        g = UniformGrid((4, 4, 4))
+        idx = g.position_to_index(np.array([[0.4, 1.6, 2.5]]))
+        assert idx[0, 0] == 0 and idx[0, 1] == 2
+
+    def test_position_to_index_clamps(self):
+        g = UniformGrid((4, 4, 4))
+        idx = g.position_to_index(np.array([[-5.0, 10.0, 1.0]]))
+        np.testing.assert_array_equal(idx[0], [0, 3, 1])
+
+    def test_contains(self):
+        g = UniformGrid((3, 3, 3), spacing=(1, 1, 1), origin=(0, 0, 0))
+        inside = g.contains(np.array([[0, 0, 0], [2, 2, 2], [1, 1, 1]]))
+        outside = g.contains(np.array([[-0.5, 0, 0], [0, 0, 2.5]]))
+        assert inside.all()
+        assert not outside.any()
+
+
+class TestFields:
+    def test_validate_field_flat(self, grid):
+        flat = np.zeros(grid.num_points)
+        assert grid.validate_field(flat).shape == grid.dims
+
+    def test_validate_field_3d(self, grid):
+        vol = np.zeros(grid.dims)
+        assert grid.validate_field(vol) is vol
+
+    def test_validate_field_rejects_wrong_shape(self, grid):
+        with pytest.raises(ValueError):
+            grid.validate_field(np.zeros(grid.num_points + 1))
+
+    def test_empty_field(self, grid):
+        f = grid.empty_field()
+        assert f.shape == grid.dims and np.isnan(f).all()
+
+    def test_empty_field_fill(self, grid):
+        f = grid.empty_field(fill=7.0)
+        assert (f == 7.0).all()
+
+
+class TestResolution:
+    def test_with_resolution_preserves_extent(self):
+        g = UniformGrid((5, 5, 5), spacing=(1, 1, 1))
+        fine = g.with_resolution((9, 9, 9))
+        assert fine.extent == g.extent
+        assert fine.spacing == (0.5, 0.5, 0.5)
+
+    def test_with_resolution_single_point_axis(self):
+        g = UniformGrid((5, 5, 1))
+        fine = g.with_resolution((9, 9, 1))
+        assert fine.spacing[2] == g.spacing[2]
+
+    def test_with_resolution_rejects_zero(self):
+        with pytest.raises(ValueError):
+            UniformGrid((5, 5, 5)).with_resolution((0, 5, 5))
+
+    def test_describe_mentions_dims(self, grid):
+        text = grid.describe()
+        assert "12x10x8" in text

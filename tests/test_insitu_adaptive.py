@@ -1,0 +1,91 @@
+"""Tests for uncertainty-driven adaptive sampling."""
+
+import numpy as np
+import pytest
+
+from repro.core.ensemble import DeepEnsembleReconstructor
+from repro.datasets import HurricaneDataset
+from repro.insitu import AdaptiveSampler, run_adaptive_campaign
+from repro.sampling import MultiCriteriaSampler
+
+
+@pytest.fixture
+def dataset():
+    return HurricaneDataset(
+        grid=HurricaneDataset.default_grid().with_resolution((12, 12, 6)), seed=0
+    )
+
+
+class TestAdaptiveSampler:
+    def test_no_prior_matches_base(self, dataset):
+        field = dataset.field(0)
+        base = MultiCriteriaSampler(seed=4)
+        adaptive = AdaptiveSampler(seed=4, base=MultiCriteriaSampler(seed=4))
+        a = adaptive.sample(field, 0.05)
+        b = base.sample(field, 0.05)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_prior_biases_selection(self, dataset):
+        field = dataset.field(0)
+        n = field.grid.num_points
+        adaptive = AdaptiveSampler(seed=4, uncertainty_weight=50.0)
+        # A prior concentrated on the first 10% of flat indices.
+        prior = np.zeros(n)
+        hot = np.arange(n // 10)
+        prior[hot] = 1.0
+        adaptive.set_uncertainty(prior)
+        s = adaptive.sample(field, 0.05)
+        hit_rate = np.isin(s.indices, hot).mean()
+        assert hit_rate > 0.5  # hot region is only 10% of the grid
+
+    def test_clear_prior(self, dataset):
+        field = dataset.field(0)
+        adaptive = AdaptiveSampler(seed=4)
+        adaptive.set_uncertainty(np.ones(field.grid.num_points))
+        adaptive.set_uncertainty(None)
+        base = MultiCriteriaSampler(seed=4)
+        np.testing.assert_array_equal(
+            adaptive.sample(field, 0.05).indices, base.sample(field, 0.05).indices
+        )
+
+    def test_prior_size_checked(self, dataset):
+        field = dataset.field(0)
+        adaptive = AdaptiveSampler(seed=4)
+        adaptive.set_uncertainty(np.ones(7))
+        with pytest.raises(ValueError):
+            adaptive.sample(field, 0.05)
+
+    def test_prior_validation(self):
+        adaptive = AdaptiveSampler()
+        with pytest.raises(ValueError):
+            adaptive.set_uncertainty(np.array([-1.0]))
+        with pytest.raises(ValueError):
+            adaptive.set_uncertainty(np.array([np.nan]))
+        with pytest.raises(ValueError):
+            AdaptiveSampler(uncertainty_weight=-1.0)
+
+
+class TestAdaptiveCampaign:
+    def test_campaign_records(self, dataset):
+        ensemble = DeepEnsembleReconstructor(
+            num_members=2, base_seed=0, hidden_layers=(16, 8), batch_size=512
+        )
+        records = run_adaptive_campaign(
+            dataset,
+            timesteps=(0, 16),
+            fraction=0.05,
+            ensemble=ensemble,
+            train_fractions=(0.03, 0.10),
+            pretrain_epochs=10,
+            finetune_epochs=3,
+        )
+        assert [r["timestep"] for r in records] == [0, 16]
+        for r in records:
+            assert np.isfinite(r["snr_static"]) and np.isfinite(r["snr_adaptive"])
+            assert r["mean_uncertainty"] >= 0.0
+            assert r["max_uncertainty"] >= r["mean_uncertainty"]
+
+    def test_empty_timesteps(self, dataset):
+        ensemble = DeepEnsembleReconstructor(num_members=2, hidden_layers=(8,))
+        with pytest.raises(ValueError):
+            run_adaptive_campaign(dataset, (), 0.05, ensemble)

@@ -1,0 +1,168 @@
+"""End-to-end integration tests across subsystem boundaries.
+
+Each test walks a complete user workflow through the public API only —
+the scenarios README and the paper's Fig 1 describe.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import FCNNReconstructor, ReconstructionPipeline
+from repro.datasets import make_dataset
+from repro.interpolation import make_interpolator
+from repro.io import read_vti, write_vti
+from repro.metrics import score_reconstruction, snr
+from repro.sampling import MultiCriteriaSampler, SampledField
+
+
+@pytest.fixture(scope="module")
+def world():
+    """Dataset + pipeline + a modestly trained model, shared read-only."""
+    dataset = make_dataset("hurricane", dims=(16, 16, 8), seed=0)
+    pipeline = ReconstructionPipeline(
+        dataset=dataset,
+        sampler=MultiCriteriaSampler(seed=7),
+        train_fractions=(0.02, 0.08),
+    )
+    model = FCNNReconstructor(hidden_layers=(32, 16, 8), batch_size=1024, seed=0)
+    pipeline.train_fcnn(model, epochs=30)
+    return dataset, pipeline, model
+
+
+class TestPaperWorkflow:
+    """Fig 1: grid data -> sample -> train -> reconstruct -> evaluate."""
+
+    def test_fcnn_beats_nearest_everywhere(self, world):
+        dataset, pipeline, model = world
+        field = pipeline.field(0)
+        nearest = make_interpolator("nearest")
+        for fraction in (0.01, 0.03):
+            sample = pipeline.sample(field, fraction, seed=999)
+            assert snr(field.values, model.reconstruct(sample)) > snr(
+                field.values, nearest.reconstruct(sample)
+            )
+
+    def test_single_model_covers_all_fractions(self, world):
+        dataset, pipeline, model = world
+        field = pipeline.field(0)
+        values = []
+        for fraction in (0.005, 0.02, 0.08):
+            sample = pipeline.sample(field, fraction, seed=999)
+            values.append(snr(field.values, model.reconstruct(sample)))
+        # One trained model reconstructs every rate; quality rises with rate.
+        assert values[0] < values[-1]
+
+    def test_roundtrip_through_disk(self, world, tmp_path):
+        dataset, pipeline, model = world
+        field = pipeline.field(0)
+        sample = pipeline.sample(field, 0.05, seed=999)
+
+        # sample -> .vtp -> reload -> reconstruct -> .vti -> reload -> score
+        sample.to_vtp(tmp_path / "s.vtp")
+        loaded = SampledField.from_vtp(tmp_path / "s.vtp", field.grid, fraction=0.05)
+        volume = model.reconstruct(loaded)
+        write_vti(tmp_path / "r.vti", field.grid, {"pressure": volume})
+        _, data = read_vti(tmp_path / "r.vti")
+        score = score_reconstruction(field.values, data["pressure"])
+        assert np.isfinite(score.snr)
+        direct = score_reconstruction(field.values, volume)
+        assert score.snr == pytest.approx(direct.snr, rel=1e-6)
+
+    def test_model_roundtrip_through_disk(self, world, tmp_path):
+        dataset, pipeline, model = world
+        field = pipeline.field(0)
+        sample = pipeline.sample(field, 0.03, seed=12)
+        model.save(tmp_path / "m.npz")
+        loaded = FCNNReconstructor.load(tmp_path / "m.npz")
+        np.testing.assert_allclose(loaded.reconstruct(sample), model.reconstruct(sample))
+
+
+class TestExperiment2Workflow:
+    """Pretrain -> fine-tune at a later timestep -> reconstruct."""
+
+    def test_finetune_then_case2_checkpoint_chain(self, world, tmp_path):
+        import copy
+
+        dataset, pipeline, model = world
+        base = copy.deepcopy(model)
+        base_path = tmp_path / "base.npz"
+        base.save(base_path)
+
+        field2 = pipeline.field(24)
+        train2 = [pipeline.sample(field2, f) for f in (0.02, 0.08)]
+        tuned = copy.deepcopy(base)
+        tuned.fine_tune(field2, train2, epochs=5, strategy="last", num_trainable=2)
+        tuned.save_partial(tmp_path / "t24.npz", num_layers=2)
+
+        # A fresh consumer restores base + partial and reproduces exactly.
+        consumer = FCNNReconstructor.load(base_path)
+        consumer.load_partial(tmp_path / "t24.npz")
+        test = pipeline.sample(field2, 0.03, seed=4)
+        np.testing.assert_allclose(
+            consumer.reconstruct(test), tuned.reconstruct(test)
+        )
+
+
+class TestExperiment3Workflow:
+    """Upscale: low-res model applied to a finer, shifted grid."""
+
+    def test_cross_resolution_reconstruction(self, world):
+        from repro.grid import upscaled_grid
+
+        dataset, pipeline, model = world
+        hi = upscaled_grid(dataset.grid, 2, shift_fraction=(0.1, 0.1, 0.0))
+        field_hi = dataset.field(t=0, grid=hi)
+        sample_hi = pipeline.sampler.sample(field_hi, 0.03, seed=5)
+        volume = model.reconstruct(sample_hi, target_grid=hi)
+        assert volume.shape == hi.dims
+        # Transfer without fine-tuning already beats nearest neighbor.
+        nearest = make_interpolator("nearest").reconstruct(sample_hi, target_grid=hi)
+        assert snr(field_hi.values, volume) > snr(field_hi.values, nearest) - 1.0
+
+
+class TestVisualizationConsumers:
+    """Reconstruction -> isosurface / projection consumers."""
+
+    def test_isosurface_from_reconstruction(self, world):
+        from repro.experiments.exp_feature_preservation import feature_isovalue
+        from repro.vis import extract_isosurface, isosurface_iou
+
+        dataset, pipeline, model = world
+        field = pipeline.field(0)
+        sample = pipeline.sample(field, 0.05, seed=999)
+        volume = model.reconstruct(sample)
+        isovalue = feature_isovalue(field.values)
+        truth = extract_isosurface(field.grid, field.values, isovalue)
+        recon = extract_isosurface(field.grid, volume, isovalue)
+        if truth.num_triangles > 0:
+            assert recon.num_triangles > 0
+        assert isosurface_iou(field.values, volume, isovalue) > 0.5
+
+    def test_render_from_reconstruction(self, world, tmp_path):
+        from repro.vis import max_intensity_projection, write_pgm
+
+        dataset, pipeline, model = world
+        field = pipeline.field(0)
+        sample = pipeline.sample(field, 0.05, seed=999)
+        image = max_intensity_projection(field.grid, model.reconstruct(sample))
+        write_pgm(tmp_path / "mip.pgm", image)
+        assert (tmp_path / "mip.pgm").stat().st_size > 0
+
+
+class TestReductionComparison:
+    """Sampling path vs compression path on the same field."""
+
+    def test_both_paths_bounded_and_scored(self, world):
+        from repro.compression import SZCompressor
+
+        dataset, pipeline, model = world
+        field = pipeline.field(0)
+        sample = pipeline.sample(field, 0.05, seed=999)
+        sampled_volume = model.reconstruct(sample)
+
+        recon, artifact = SZCompressor(error_bound=1e-3, mode="relative").roundtrip(
+            field.grid, field.values
+        )
+        assert np.isfinite(snr(field.values, sampled_volume))
+        span = field.values.max() - field.values.min()
+        assert np.abs(recon - field.values).max() <= 1e-3 * span + 1e-12

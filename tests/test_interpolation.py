@@ -1,0 +1,169 @@
+"""Unit tests for the rule-based interpolators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.base import TimestepField
+from repro.grid import UniformGrid
+from repro.interpolation import (
+    DelaunayLinearInterpolator,
+    ModifiedShepardInterpolator,
+    NaturalNeighborInterpolator,
+    NearestNeighborInterpolator,
+    RBFInterpolator,
+    available_interpolators,
+    make_interpolator,
+)
+from repro.metrics import snr
+from repro.sampling import RandomSampler
+
+ALL = [
+    NearestNeighborInterpolator,
+    ModifiedShepardInterpolator,
+    DelaunayLinearInterpolator,
+    NaturalNeighborInterpolator,
+    RBFInterpolator,
+]
+
+
+@pytest.fixture(params=ALL, ids=[c.name for c in ALL])
+def interpolator(request):
+    return request.param()
+
+
+def linear_field(grid: UniformGrid) -> TimestepField:
+    x, y, z = grid.meshgrid()
+    return TimestepField(grid, 2.0 * x - 0.5 * y + 3.0 * z + 1.0, timestep=0)
+
+
+class TestContract:
+    def test_reconstruct_shape(self, interpolator, sample):
+        out = interpolator.reconstruct(sample)
+        assert out.shape == sample.grid.dims
+        assert np.isfinite(out).all()
+
+    def test_sampled_points_kept_exact(self, interpolator, sample):
+        out = interpolator.reconstruct(sample).ravel()
+        np.testing.assert_allclose(out[sample.indices], sample.values)
+
+    def test_target_grid_reconstruction(self, interpolator, sample):
+        target = sample.grid.with_resolution((6, 5, 4))
+        out = interpolator.reconstruct(sample, target_grid=target)
+        assert out.shape == (6, 5, 4)
+        assert np.isfinite(out).all()
+
+    def test_full_sample_is_identity(self, interpolator, hurricane_field):
+        full = RandomSampler(seed=0).sample(hurricane_field, 1.0)
+        out = interpolator.reconstruct(full)
+        np.testing.assert_allclose(out, hurricane_field.values)
+
+    def test_positive_snr_on_dense_sample(self, interpolator, hurricane_field, dense_sample):
+        out = interpolator.reconstruct(dense_sample)
+        assert snr(hurricane_field.values, out) > 3.0
+
+
+class TestLinearExactness:
+    """Linear-reproducing methods must be exact on affine fields."""
+
+    @pytest.mark.parametrize("cls", [DelaunayLinearInterpolator, RBFInterpolator])
+    def test_exact_on_linear_field(self, grid, cls):
+        field = linear_field(grid)
+        sample = RandomSampler(seed=1).sample(field, 0.3)
+        out = cls().reconstruct(sample)
+        # Hull interior must be exact; allow boundary fallback slack by
+        # checking the median error.
+        err = np.abs(out - field.values)
+        assert np.median(err) < 1e-8
+
+    def test_constant_field_exact_for_all(self, grid, interpolator):
+        field = TimestepField(grid, np.full(grid.dims, 4.2), timestep=0)
+        sample = RandomSampler(seed=1).sample(field, 0.1)
+        out = interpolator.reconstruct(sample)
+        np.testing.assert_allclose(out, 4.2, rtol=1e-6)
+
+
+class TestDelaunay:
+    def test_naive_matches_vectorized(self, grid):
+        field = linear_field(grid)
+        # nonlinear bump so interpolation is non-trivial
+        x, _, _ = grid.meshgrid()
+        field = TimestepField(grid, field.values + np.sin(x), timestep=0)
+        sample = RandomSampler(seed=2).sample(field, 0.25)
+        fast = DelaunayLinearInterpolator(mode="vectorized").reconstruct(sample)
+        slow = DelaunayLinearInterpolator(mode="naive").reconstruct(sample)
+        # Grid-aligned samples create sliver tetrahedra; a query point lying
+        # on a shared face may legitimately resolve to either neighbor, so
+        # we require agreement almost everywhere rather than exactly
+        # everywhere.
+        close = np.isclose(fast, slow, rtol=1e-8, atol=1e-8)
+        assert close.mean() > 0.99
+        assert np.abs(fast - slow).max() < 1.0  # disagreements stay local/small
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            DelaunayLinearInterpolator(mode="gpu")
+
+    def test_tiny_sample_falls_back_to_nearest(self, grid, hurricane_field):
+        sample = RandomSampler(seed=3).sample(hurricane_field, 4 / grid.num_points)
+        assert sample.num_samples < 5
+        out = DelaunayLinearInterpolator().reconstruct(sample)
+        assert np.isfinite(out).all()
+
+    def test_outside_hull_filled(self, unit_grid):
+        # Samples clustered centrally leave the boundary outside the hull.
+        from repro.sampling.base import SampledField
+
+        center = np.array([idx for idx in range(unit_grid.num_points)
+                           if np.all(np.abs(unit_grid.flat_to_multi(np.array([idx]))[0] - 3.5) < 2)])
+        x, y, z = unit_grid.meshgrid()
+        values = (x + y + z).ravel()[center]
+        sample = SampledField(unit_grid, center, values, fraction=len(center) / unit_grid.num_points)
+        out = DelaunayLinearInterpolator().reconstruct(sample)
+        assert np.isfinite(out).all()
+
+
+class TestShepard:
+    def test_respects_neighbor_count(self, dense_sample):
+        out = ModifiedShepardInterpolator(num_neighbors=4).reconstruct(dense_sample)
+        assert np.isfinite(out).all()
+
+    def test_rejects_bad_neighbors(self):
+        with pytest.raises(ValueError):
+            ModifiedShepardInterpolator(num_neighbors=1)
+
+    def test_prediction_within_sample_range(self, dense_sample):
+        # IDW is a convex combination: bounded by sample min/max.
+        out = ModifiedShepardInterpolator().reconstruct(dense_sample)
+        assert out.min() >= dense_sample.values.min() - 1e-9
+        assert out.max() <= dense_sample.values.max() + 1e-9
+
+
+class TestNaturalNeighbor:
+    def test_smoother_than_nearest(self, hurricane_field, sample):
+        nn = NearestNeighborInterpolator().reconstruct(sample)
+        nat = NaturalNeighborInterpolator().reconstruct(sample)
+        assert snr(hurricane_field.values, nat) > snr(hurricane_field.values, nn)
+
+    def test_prediction_within_sample_range(self, sample):
+        out = NaturalNeighborInterpolator().reconstruct(sample)
+        assert out.min() >= sample.values.min() - 1e-9
+        assert out.max() <= sample.values.max() + 1e-9
+
+
+class TestRegistry:
+    def test_available(self):
+        names = available_interpolators()
+        assert {"linear", "linear-naive", "natural", "nearest", "rbf", "shepard"} <= set(names)
+
+    def test_make_each(self):
+        for name in available_interpolators():
+            method = make_interpolator(name)
+            assert method.name == name
+
+    def test_make_with_kwargs(self):
+        m = make_interpolator("shepard", num_neighbors=12)
+        assert m.num_neighbors == 12
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown interpolator"):
+            make_interpolator("quantum")

@@ -1,0 +1,75 @@
+"""Unit tests for the shared VTK XML encode/decode layer."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+
+from repro.io.common import (
+    DTYPE_TO_VTK_TYPE,
+    VTK_TYPE_TO_DTYPE,
+    decode_data_array,
+    encode_data_array,
+)
+
+
+def roundtrip(array, binary):
+    parent = ET.Element("PointData")
+    encode_data_array(parent, "x", array, binary=binary)
+    return decode_data_array(parent.find("DataArray"))
+
+
+class TestEncodeDecode:
+    @pytest.mark.parametrize("binary", [True, False])
+    @pytest.mark.parametrize(
+        "dtype", [np.float64, np.float32, np.int64, np.int32, np.uint8]
+    )
+    def test_roundtrip_dtypes(self, binary, dtype, rng):
+        if np.issubdtype(dtype, np.floating):
+            arr = rng.normal(size=17).astype(dtype)
+        else:
+            arr = rng.integers(0, 100, size=17).astype(dtype)
+        out = roundtrip(arr, binary)
+        np.testing.assert_array_equal(out, arr)
+        assert out.dtype == np.dtype(dtype).newbyteorder("<") or out.dtype == dtype
+
+    @pytest.mark.parametrize("binary", [True, False])
+    def test_roundtrip_2d_components(self, binary, rng):
+        arr = rng.normal(size=(9, 3))
+        out = roundtrip(arr, binary)
+        assert out.shape == (9, 3)
+        np.testing.assert_allclose(out, arr)
+
+    def test_ascii_float_full_precision(self):
+        # repr-based ASCII encoding must not lose bits.
+        arr = np.array([1 / 3, np.pi, 1e-300])
+        out = roundtrip(arr, binary=False)
+        np.testing.assert_array_equal(out, arr)
+
+    def test_empty_array(self):
+        out = roundtrip(np.array([], dtype=np.float64), binary=False)
+        assert out.size == 0
+
+    def test_rejects_3d(self):
+        parent = ET.Element("PointData")
+        with pytest.raises(ValueError):
+            encode_data_array(parent, "x", np.zeros((2, 2, 2)), binary=False)
+
+    def test_rejects_unsupported_dtype(self):
+        parent = ET.Element("PointData")
+        with pytest.raises(TypeError):
+            encode_data_array(parent, "x", np.zeros(3, dtype=np.complex128), binary=False)
+
+    def test_decode_rejects_unknown_type(self):
+        el = ET.Element("DataArray", {"type": "Float128", "format": "ascii"})
+        with pytest.raises(ValueError):
+            decode_data_array(el)
+
+    def test_decode_rejects_appended_format(self):
+        el = ET.Element("DataArray", {"type": "Float64", "format": "appended"})
+        with pytest.raises(ValueError):
+            decode_data_array(el)
+
+    def test_type_maps_consistent(self):
+        for name, dt in VTK_TYPE_TO_DTYPE.items():
+            assert DTYPE_TO_VTK_TYPE[str(dt)] == name

@@ -1,0 +1,45 @@
+"""Unit tests for .pvd collection files."""
+
+import pytest
+
+from repro.io import read_pvd, write_pvd
+
+
+class TestPVD:
+    def test_roundtrip(self, tmp_path):
+        entries = [(0.0, "t0000.vtp"), (8.0, "t0008.vtp"), (16.0, "t0016.vtp")]
+        path = tmp_path / "c.pvd"
+        write_pvd(path, entries)
+        assert read_pvd(path) == entries
+
+    def test_is_collection_xml(self, tmp_path):
+        path = tmp_path / "c.pvd"
+        write_pvd(path, [(0.0, "a.vti")])
+        text = path.read_text()
+        assert 'type="Collection"' in text and "DataSet" in text
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_pvd(tmp_path / "c.pvd", [])
+
+    def test_read_rejects_other_vtk(self, tmp_path):
+        path = tmp_path / "x.pvd"
+        path.write_text("<VTKFile type='ImageData'/>")
+        with pytest.raises(ValueError):
+            read_pvd(path)
+
+    def test_campaign_writes_pvd(self, tmp_path):
+        from repro.datasets import HurricaneDataset
+        from repro.insitu import InSituWriter
+        from repro.sampling import RandomSampler
+
+        data = HurricaneDataset(
+            grid=HurricaneDataset.default_grid().with_resolution((8, 8, 4))
+        )
+        InSituWriter(data, RandomSampler(seed=0), fraction=0.1).run(
+            tmp_path / "camp", timesteps=[0, 10]
+        )
+        entries = read_pvd(tmp_path / "camp" / "campaign.pvd")
+        assert [t for t, _ in entries] == [0.0, 10.0]
+        for _, fname in entries:
+            assert (tmp_path / "camp" / fname).exists()

@@ -1,0 +1,96 @@
+"""Unit tests for VTK XML ImageData (.vti) I/O."""
+
+import numpy as np
+import pytest
+
+from repro.grid import UniformGrid
+from repro.io import read_vti, write_vti
+
+
+@pytest.fixture
+def vti_grid():
+    return UniformGrid((5, 4, 3), spacing=(0.5, 1.0, 2.0), origin=(1.0, -2.0, 3.0))
+
+
+@pytest.fixture
+def field(vti_grid, rng):
+    return rng.normal(size=vti_grid.dims)
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("binary", [True, False], ids=["binary", "ascii"])
+    def test_scalar_roundtrip(self, tmp_path, vti_grid, field, binary):
+        path = tmp_path / "f.vti"
+        write_vti(path, vti_grid, {"pressure": field}, binary=binary)
+        grid2, data = read_vti(path)
+        assert grid2 == vti_grid
+        np.testing.assert_allclose(data["pressure"], field)
+
+    def test_flat_field_accepted(self, tmp_path, vti_grid, field):
+        path = tmp_path / "f.vti"
+        write_vti(path, vti_grid, {"v": field.ravel()})
+        _, data = read_vti(path)
+        np.testing.assert_allclose(data["v"], field)
+
+    def test_multiple_arrays(self, tmp_path, vti_grid, field):
+        path = tmp_path / "f.vti"
+        write_vti(path, vti_grid, {"a": field, "b": field * 2})
+        _, data = read_vti(path)
+        assert set(data) == {"a", "b"}
+        np.testing.assert_allclose(data["b"], 2 * field)
+
+    def test_vector_array_roundtrip(self, tmp_path, vti_grid, rng):
+        vec = rng.normal(size=(vti_grid.num_points, 3))
+        path = tmp_path / "f.vti"
+        write_vti(path, vti_grid, {"grad": vec})
+        _, data = read_vti(path)
+        np.testing.assert_allclose(data["grad"], vec)
+
+    def test_float32_preserved(self, tmp_path, vti_grid, field):
+        path = tmp_path / "f.vti"
+        write_vti(path, vti_grid, {"v": field.astype(np.float32)})
+        _, data = read_vti(path)
+        assert data["v"].dtype == np.float32
+
+    def test_integer_array(self, tmp_path, vti_grid):
+        ints = np.arange(vti_grid.num_points, dtype=np.int64).reshape(vti_grid.dims)
+        path = tmp_path / "f.vti"
+        write_vti(path, vti_grid, {"ids": ints})
+        _, data = read_vti(path)
+        np.testing.assert_array_equal(data["ids"], ints)
+
+    def test_empty_point_data(self, tmp_path, vti_grid):
+        path = tmp_path / "f.vti"
+        write_vti(path, vti_grid, {})
+        grid2, data = read_vti(path)
+        assert grid2 == vti_grid and data == {}
+
+
+class TestFormat:
+    def test_is_valid_xml_with_vtk_header(self, tmp_path, vti_grid, field):
+        path = tmp_path / "f.vti"
+        write_vti(path, vti_grid, {"v": field})
+        text = path.read_text()
+        assert "<VTKFile" in text and 'type="ImageData"' in text
+
+    def test_point_order_is_x_fastest(self, tmp_path):
+        # VTK convention: x varies fastest in the serialized stream.
+        grid = UniformGrid((2, 2, 2))
+        vol = np.arange(8, dtype=np.float64).reshape(2, 2, 2)  # C order, z fastest
+        path = tmp_path / "f.vti"
+        write_vti(path, grid, {"v": vol}, binary=False)
+        text = path.read_text()
+        line = [l for l in text.splitlines() if 'Name="v"' in l][0]
+        # After transpose: first two serialized values step in x: vol[0,0,0], vol[1,0,0]
+        values = [float(tok) for tok in line.split(">")[1].split("<")[0].split()]
+        assert values[0] == vol[0, 0, 0] and values[1] == vol[1, 0, 0]
+
+    def test_read_rejects_non_vti(self, tmp_path):
+        path = tmp_path / "bad.vti"
+        path.write_text("<VTKFile type='PolyData'><PolyData/></VTKFile>")
+        with pytest.raises(ValueError):
+            read_vti(path)
+
+    def test_rejects_mismatched_field(self, tmp_path, vti_grid):
+        with pytest.raises(ValueError):
+            write_vti(tmp_path / "f.vti", vti_grid, {"v": np.zeros((2, 2, 2))})

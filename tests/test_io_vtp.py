@@ -1,0 +1,66 @@
+"""Unit tests for VTK XML PolyData (.vtp) point-cloud I/O."""
+
+import numpy as np
+import pytest
+
+from repro.io import read_vtp, write_vtp
+
+
+@pytest.fixture
+def cloud(rng):
+    points = rng.normal(size=(37, 3))
+    data = {"scalar": rng.normal(size=37), "flat_index": np.arange(37, dtype=np.int64)}
+    return points, data
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("binary", [True, False], ids=["binary", "ascii"])
+    def test_roundtrip(self, tmp_path, cloud, binary):
+        points, data = cloud
+        path = tmp_path / "c.vtp"
+        write_vtp(path, points, data, binary=binary)
+        pts2, data2 = read_vtp(path)
+        np.testing.assert_allclose(pts2, points)
+        np.testing.assert_allclose(data2["scalar"], data["scalar"])
+        np.testing.assert_array_equal(data2["flat_index"], data["flat_index"])
+
+    def test_no_point_data(self, tmp_path, cloud):
+        points, _ = cloud
+        path = tmp_path / "c.vtp"
+        write_vtp(path, points)
+        pts2, data2 = read_vtp(path)
+        np.testing.assert_allclose(pts2, points)
+        assert data2 == {}
+
+    def test_single_point(self, tmp_path):
+        path = tmp_path / "c.vtp"
+        write_vtp(path, np.array([[1.0, 2.0, 3.0]]), {"scalar": np.array([4.0])})
+        pts, data = read_vtp(path)
+        assert pts.shape == (1, 3)
+        assert data["scalar"][0] == 4.0
+
+
+class TestValidation:
+    def test_rejects_non_3d_points(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_vtp(tmp_path / "c.vtp", np.zeros((5, 2)))
+
+    def test_rejects_mismatched_data(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_vtp(tmp_path / "c.vtp", np.zeros((5, 3)), {"v": np.zeros(4)})
+
+    def test_read_rejects_non_vtp(self, tmp_path):
+        path = tmp_path / "bad.vtp"
+        path.write_text("<VTKFile type='ImageData'><ImageData/></VTKFile>")
+        with pytest.raises(ValueError):
+            read_vtp(path)
+
+
+class TestStructure:
+    def test_has_vertex_cells(self, tmp_path, cloud):
+        points, data = cloud
+        path = tmp_path / "c.vtp"
+        write_vtp(path, points, data, binary=False)
+        text = path.read_text()
+        assert f'NumberOfVerts="{len(points)}"' in text
+        assert "connectivity" in text and "offsets" in text

@@ -1,0 +1,99 @@
+"""Unit tests for reconstruction metrics (paper Sec IV definition)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    mae,
+    max_abs_error,
+    psnr,
+    rmse,
+    score_reconstruction,
+    snr,
+)
+
+
+@pytest.fixture
+def original(rng):
+    return rng.normal(loc=5.0, scale=2.0, size=(6, 6, 6))
+
+
+class TestSNR:
+    def test_perfect_reconstruction_is_inf(self, original):
+        assert snr(original, original.copy()) == float("inf")
+
+    def test_matches_paper_formula(self, original, rng):
+        noise = rng.normal(scale=0.1, size=original.shape)
+        recon = original + noise
+        expected = 20 * np.log10(original.std() / (original - recon).std())
+        assert snr(original, recon) == pytest.approx(expected)
+
+    def test_lower_noise_higher_snr(self, original, rng):
+        n = rng.normal(size=original.shape)
+        assert snr(original, original + 0.01 * n) > snr(original, original + 0.5 * n)
+
+    def test_constant_original_with_error(self):
+        const = np.full(10, 3.0)
+        assert snr(const, const + 1e-3 * np.arange(10)) == float("-inf")
+
+    def test_constant_offset_is_near_infinite_snr(self, original):
+        # A constant-offset error has (numerically almost) zero std, so the
+        # paper's SNR is unboundedly large — rounding may leave ulp-level
+        # noise, hence ">= 200 dB" rather than exactly inf.
+        assert snr(original, original + 10.0) >= 200.0
+
+    def test_shape_mismatch(self, original):
+        with pytest.raises(ValueError):
+            snr(original, original[:-1])
+
+    def test_flattens_any_shape(self, original):
+        assert snr(original, original * 1.01) == pytest.approx(
+            snr(original.ravel(), original.ravel() * 1.01)
+        )
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            snr(np.array([]), np.array([]))
+
+
+class TestOtherMetrics:
+    def test_rmse_known_value(self):
+        a = np.zeros(4)
+        b = np.array([1.0, -1.0, 1.0, -1.0])
+        assert rmse(a, b) == pytest.approx(1.0)
+
+    def test_mae_known_value(self):
+        a = np.zeros(4)
+        b = np.array([1.0, -3.0, 0.0, 0.0])
+        assert mae(a, b) == pytest.approx(1.0)
+
+    def test_max_abs_error(self):
+        a = np.zeros(4)
+        b = np.array([0.1, -2.5, 0.3, 0.0])
+        assert max_abs_error(a, b) == pytest.approx(2.5)
+
+    def test_psnr_perfect_is_inf(self, original):
+        assert psnr(original, original) == float("inf")
+
+    def test_psnr_decreases_with_noise(self, original, rng):
+        n = rng.normal(size=original.shape)
+        assert psnr(original, original + 0.01 * n) > psnr(original, original + n)
+
+    def test_rmse_mae_inequality(self, original, rng):
+        recon = original + rng.normal(size=original.shape)
+        assert rmse(original, recon) >= mae(original, recon)
+
+
+class TestScoreBundle:
+    def test_contains_all_metrics(self, original, rng):
+        recon = original + 0.1 * rng.normal(size=original.shape)
+        score = score_reconstruction(original, recon)
+        d = score.as_dict()
+        assert set(d) == {"snr", "psnr", "rmse", "mae", "max_abs_error"}
+        assert d["snr"] == pytest.approx(snr(original, recon))
+        assert d["rmse"] == pytest.approx(rmse(original, recon))
+
+    def test_frozen(self, original):
+        score = score_reconstruction(original, original)
+        with pytest.raises(Exception):
+            score.snr = 0.0  # type: ignore[misc]

@@ -1,0 +1,72 @@
+"""Unit tests for the 3D SSIM metric."""
+
+import numpy as np
+import pytest
+
+from repro.metrics import ssim3d
+from repro.metrics.ssim import _box_mean
+
+
+class TestBoxMean:
+    def test_matches_direct_convolution(self, rng):
+        v = rng.normal(size=(6, 7, 8))
+        bm = _box_mean(v, 3)
+        pad = np.pad(v, 1, mode="edge")
+        direct = np.empty_like(v)
+        for i in range(6):
+            for j in range(7):
+                for k in range(8):
+                    direct[i, j, k] = pad[i : i + 3, j : j + 3, k : k + 3].mean()
+        np.testing.assert_allclose(bm, direct, atol=1e-12)
+
+    def test_window_one_is_identity(self, rng):
+        v = rng.normal(size=(4, 4, 4))
+        np.testing.assert_allclose(_box_mean(v, 1), v)
+
+    def test_constant_volume(self):
+        v = np.full((5, 5, 5), 3.0)
+        np.testing.assert_allclose(_box_mean(v, 3), 3.0)
+
+
+class TestSSIM:
+    def test_identical_is_one(self, rng):
+        v = rng.normal(size=(8, 8, 8))
+        assert ssim3d(v, v.copy()) == pytest.approx(1.0)
+
+    def test_decreases_with_noise(self, rng):
+        v = rng.normal(size=(10, 10, 10))
+        low = ssim3d(v, v + 0.05 * rng.normal(size=v.shape))
+        high = ssim3d(v, v + 1.0 * rng.normal(size=v.shape))
+        assert low > high
+
+    def test_unrelated_near_zero(self, rng):
+        a = rng.normal(size=(10, 10, 10))
+        b = rng.normal(size=(10, 10, 10))
+        assert abs(ssim3d(a, b)) < 0.2
+
+    def test_constant_fields_equal(self):
+        a = np.full((6, 6, 6), 4.0)
+        assert ssim3d(a, a.copy()) == pytest.approx(1.0)
+
+    def test_blur_penalized(self, rng):
+        # SSIM must penalize structure loss even at matched means.
+        v = rng.normal(size=(12, 12, 12))
+        blurred = _box_mean(v, 5)
+        assert ssim3d(v, blurred) < 0.9
+
+    def test_validation(self, rng):
+        v = rng.normal(size=(6, 6, 6))
+        with pytest.raises(ValueError):
+            ssim3d(v, v[:-1])
+        with pytest.raises(ValueError):
+            ssim3d(v.ravel(), v.ravel())
+        with pytest.raises(ValueError):
+            ssim3d(v, v, window=4)
+        with pytest.raises(ValueError):
+            ssim3d(v, v, window=7)  # larger than the volume
+
+    def test_bounded(self, rng):
+        a = rng.normal(size=(8, 8, 8))
+        b = -a
+        s = ssim3d(a, b)
+        assert -1.0 - 1e-9 <= s <= 1.0 + 1e-9

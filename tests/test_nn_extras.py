@@ -1,0 +1,147 @@
+"""Tests for the extra nn pieces: HuberLoss, RMSProp, LayerNorm."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dense, HuberLoss, LayerNorm, MSELoss, Parameter, RMSProp, Sequential
+from repro.nn.network import from_spec
+
+
+class TestHuberLoss:
+    def test_quadratic_inside_delta(self, rng):
+        loss = HuberLoss(delta=10.0)  # everything inside: behaves like 0.5*MSE
+        p, t = rng.normal(size=(5, 3)), rng.normal(size=(5, 3))
+        assert loss.value(p, t) == pytest.approx(0.5 * MSELoss().value(p, t))
+
+    def test_linear_outside_delta(self):
+        loss = HuberLoss(delta=1.0)
+        p = np.array([[10.0]])
+        t = np.array([[0.0]])
+        assert loss.value(p, t) == pytest.approx(1.0 * (10.0 - 0.5))
+
+    def test_gradient_clipped(self):
+        loss = HuberLoss(delta=1.0)
+        p = np.array([[100.0, -100.0, 0.5]])
+        t = np.zeros((1, 3))
+        g = loss.gradient(p, t) * p.size
+        np.testing.assert_allclose(g, [[1.0, -1.0, 0.5]])
+
+    def test_gradient_matches_finite_difference(self, rng):
+        loss = HuberLoss(delta=0.7)
+        p = rng.normal(size=(4, 2))
+        t = rng.normal(size=(4, 2))
+        g = loss.gradient(p, t)
+        eps = 1e-6
+        num = np.zeros_like(p)
+        for i in range(p.size):
+            pp = p.copy().ravel(); pp[i] += eps
+            pm = p.copy().ravel(); pm[i] -= eps
+            num.ravel()[i] = (loss.value(pp.reshape(p.shape), t) - loss.value(pm.reshape(p.shape), t)) / (2 * eps)
+        np.testing.assert_allclose(g, num, atol=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HuberLoss(delta=0.0)
+
+
+class TestRMSProp:
+    def test_converges(self):
+        p = Parameter(np.zeros(4))
+        opt = RMSProp([p], lr=0.05)
+        for _ in range(600):
+            p.grad[...] = 2 * (p.value - 3.0)
+            opt.step()
+        np.testing.assert_allclose(p.value, 3.0, atol=1e-3)
+
+    def test_skips_frozen(self):
+        p = Parameter(np.zeros(1))
+        p.trainable = False
+        opt = RMSProp([p])
+        p.grad[...] = 5.0
+        opt.step()
+        assert p.value[0] == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RMSProp([Parameter(np.zeros(1))], rho=1.0)
+
+
+class TestLayerNorm:
+    def test_normalizes_rows(self, rng):
+        ln = LayerNorm(8)
+        out = ln.forward(rng.normal(loc=5, scale=3, size=(10, 8)))
+        np.testing.assert_allclose(out.mean(axis=1), 0.0, atol=1e-10)
+        np.testing.assert_allclose(out.std(axis=1), 1.0, atol=1e-3)
+
+    def test_gain_bias_applied(self, rng):
+        ln = LayerNorm(4)
+        ln.gain.value[...] = 2.0
+        ln.bias.value[...] = 1.0
+        out = ln.forward(rng.normal(size=(6, 4)))
+        np.testing.assert_allclose(out.mean(axis=1), 1.0, atol=1e-10)
+
+    def test_gradcheck_parameters(self, rng):
+        ln = LayerNorm(5)
+        loss = MSELoss()
+        x = rng.normal(size=(3, 5))
+        t = rng.normal(size=(3, 5))
+        out = ln.forward(x)
+        ln.backward(loss.gradient(out, t))
+        eps = 1e-6
+        for p in ln.parameters():
+            numeric = np.zeros_like(p.value)
+            for i in range(p.value.size):
+                p.value.ravel()[i] += eps
+                up = loss.value(ln.forward(x), t)
+                p.value.ravel()[i] -= 2 * eps
+                dn = loss.value(ln.forward(x), t)
+                p.value.ravel()[i] += eps
+                numeric.ravel()[i] = (up - dn) / (2 * eps)
+            np.testing.assert_allclose(p.grad, numeric, atol=1e-7)
+
+    def test_gradcheck_input(self, rng):
+        ln = LayerNorm(5)
+        loss = MSELoss()
+        x = rng.normal(size=(3, 5))
+        t = rng.normal(size=(3, 5))
+        dx = ln.backward(loss.gradient(ln.forward(x), t))
+        eps = 1e-6
+        num = np.zeros_like(x)
+        for i in range(x.size):
+            xp = x.copy().ravel(); xp[i] += eps
+            xm = x.copy().ravel(); xm[i] -= eps
+            num.ravel()[i] = (
+                loss.value(ln.forward(xp.reshape(x.shape)), t)
+                - loss.value(ln.forward(xm.reshape(x.shape)), t)
+            ) / (2 * eps)
+        np.testing.assert_allclose(dx, num, atol=1e-7)
+
+    def test_shape_check(self, rng):
+        with pytest.raises(ValueError):
+            LayerNorm(4).forward(rng.normal(size=(2, 5)))
+        with pytest.raises(ValueError):
+            LayerNorm(0)
+
+    def test_spec_roundtrip(self, rng):
+        net = Sequential([
+            Dense(4, 6, rng=np.random.default_rng(1)),
+            LayerNorm(6),
+            Dense(6, 2, rng=np.random.default_rng(2)),
+        ])
+        rebuilt = from_spec(net.spec())
+        assert rebuilt.layers[1].features == 6
+
+    def test_checkpoint_includes_layernorm_params(self, rng, tmp_path):
+        from repro.nn import load_model, save_model
+
+        net = Sequential([
+            Dense(4, 6, rng=np.random.default_rng(1)),
+            LayerNorm(6),
+            Dense(6, 2, rng=np.random.default_rng(2)),
+        ])
+        net.layers[1].gain.value[...] = rng.normal(size=6)
+        path = tmp_path / "ln.npz"
+        save_model(path, net)
+        loaded, _ = load_model(path)
+        x = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(loaded.forward(x), net.forward(x))

@@ -1,0 +1,116 @@
+"""Unit tests for Sequential composition, the mlp factory and freezing."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dense, ReLU, Sequential, mlp
+from repro.nn.network import from_spec
+
+
+class TestSequential:
+    def test_forward_composes(self, rng):
+        gen = np.random.default_rng(0)
+        model = Sequential([Dense(2, 3, rng=gen), ReLU(), Dense(3, 1, rng=gen)])
+        out = model.forward(rng.normal(size=(5, 2)))
+        assert out.shape == (5, 1)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+    def test_predict_matches_forward(self, rng):
+        model = mlp(4, [8], 2, seed=1)
+        x = rng.normal(size=(10, 4))
+        np.testing.assert_allclose(model.predict(x), model.forward(x))
+
+    def test_predict_batches(self, rng):
+        model = mlp(4, [8], 2, seed=1)
+        x = rng.normal(size=(100, 4))
+        np.testing.assert_allclose(model.predict(x, batch_size=7), model.forward(x))
+
+    def test_num_parameters(self):
+        model = mlp(23, [512, 256, 128, 64, 16], 4, seed=0)
+        expected = (23 * 512 + 512) + (512 * 256 + 256) + (256 * 128 + 128) \
+            + (128 * 64 + 64) + (64 * 16 + 16) + (16 * 4 + 4)
+        assert model.num_parameters() == expected
+
+    def test_zero_grad(self, rng):
+        model = mlp(2, [4], 1, seed=0)
+        x = rng.normal(size=(3, 2))
+        model.forward(x)
+        model.backward(np.ones((3, 1)))
+        model.zero_grad()
+        assert all((p.grad == 0).all() for p in model.parameters())
+
+    def test_dense_layers(self):
+        model = mlp(2, [4, 4], 1, seed=0)
+        assert len(model.dense_layers()) == 3
+
+
+class TestFreezing:
+    def test_freeze_all_but_last(self):
+        model = mlp(23, [512, 256, 128, 64, 16], 4, seed=0)
+        model.freeze_all_but_last(2)
+        dense = model.dense_layers()
+        assert [l.trainable for l in dense] == [False, False, False, False, True, True]
+
+    def test_freeze_validation(self):
+        model = mlp(2, [4], 1, seed=0)
+        with pytest.raises(ValueError):
+            model.freeze_all_but_last(0)
+        with pytest.raises(ValueError):
+            model.freeze_all_but_last(3)
+
+    def test_set_all_trainable(self):
+        model = mlp(2, [4, 4], 1, seed=0)
+        model.freeze_all_but_last(1)
+        model.set_all_trainable(True)
+        assert all(l.trainable for l in model.dense_layers())
+
+    def test_frozen_params_flagged(self):
+        model = mlp(2, [4, 4], 1, seed=0)
+        model.freeze_all_but_last(1)
+        frozen = [p for layer in model.dense_layers()[:-1] for p in layer.parameters()]
+        assert all(not p.trainable for p in frozen)
+
+
+class TestSpecRoundtrip:
+    def test_spec_structure(self):
+        model = mlp(23, [16, 8], 4, seed=0)
+        spec = model.spec()
+        kinds = [s["kind"] for s in spec]
+        assert kinds == ["Dense", "ReLU", "Dense", "ReLU", "Dense"]
+
+    def test_from_spec_same_architecture(self, rng):
+        model = mlp(5, [7, 3], 2, seed=0)
+        rebuilt = from_spec(model.spec(), rng=np.random.default_rng(1))
+        assert [l.spec() for l in rebuilt.layers] == [l.spec() for l in model.layers]
+
+    def test_from_spec_unknown_kind(self):
+        with pytest.raises(ValueError):
+            from_spec([{"kind": "Conv3D"}])
+
+    def test_clone_architecture_fresh_weights(self):
+        model = mlp(3, [4], 1, seed=0)
+        clone = model.clone_architecture(rng=np.random.default_rng(99))
+        assert not np.allclose(
+            model.dense_layers()[0].weight.value, clone.dense_layers()[0].weight.value
+        )
+
+
+class TestMlpFactory:
+    def test_paper_architecture(self):
+        model = mlp(23, [512, 256, 128, 64, 16], 4, seed=0)
+        widths = [(l.in_features, l.out_features) for l in model.dense_layers()]
+        assert widths == [(23, 512), (512, 256), (256, 128), (128, 64), (64, 16), (16, 4)]
+
+    def test_seed_reproducible(self):
+        a = mlp(4, [8], 2, seed=42)
+        b = mlp(4, [8], 2, seed=42)
+        np.testing.assert_array_equal(
+            a.dense_layers()[0].weight.value, b.dense_layers()[0].weight.value
+        )
+
+    def test_unknown_activation(self):
+        with pytest.raises(ValueError):
+            mlp(4, [8], 2, activation="Swish")

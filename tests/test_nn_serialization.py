@@ -1,0 +1,108 @@
+"""Unit tests for full and partial model checkpoints."""
+
+import numpy as np
+import pytest
+
+from repro.nn import load_model, load_partial, mlp, save_model, save_partial
+
+
+@pytest.fixture
+def model():
+    return mlp(23, [32, 16, 8, 4, 4], 4, seed=1)
+
+
+class TestFullCheckpoint:
+    def test_roundtrip_weights(self, tmp_path, model, rng):
+        path = tmp_path / "m.npz"
+        save_model(path, model, meta={"note": "hello"})
+        loaded, meta = load_model(path)
+        assert meta == {"note": "hello"}
+        x = rng.normal(size=(6, 23))
+        np.testing.assert_allclose(loaded.predict(x), model.predict(x))
+
+    def test_roundtrip_architecture(self, tmp_path, model):
+        path = tmp_path / "m.npz"
+        save_model(path, model)
+        loaded, _ = load_model(path)
+        assert loaded.spec() == model.spec()
+
+    def test_meta_defaults_empty(self, tmp_path, model):
+        path = tmp_path / "m.npz"
+        save_model(path, model)
+        _, meta = load_model(path)
+        assert meta == {}
+
+    def test_load_rejects_partial(self, tmp_path, model):
+        path = tmp_path / "p.npz"
+        save_partial(path, model, num_layers=2)
+        with pytest.raises(ValueError):
+            load_model(path)
+
+
+class TestPartialCheckpoint:
+    def test_partial_smaller_than_full(self, tmp_path):
+        model = mlp(23, [256, 128, 64, 32, 16], 4, seed=1)
+        full, part = tmp_path / "f.npz", tmp_path / "p.npz"
+        save_model(full, model)
+        save_partial(part, model, num_layers=2)
+        assert part.stat().st_size < 0.5 * full.stat().st_size
+
+    def test_graft_restores_last_layers(self, tmp_path, model, rng):
+        path = tmp_path / "p.npz"
+        save_partial(path, model, num_layers=2, meta={"t": 5})
+
+        # Perturb everything, then graft: last two layers restored exactly.
+        perturbed = mlp(23, [32, 16, 8, 4, 4], 4, seed=99)
+        meta = load_partial(path, perturbed)
+        assert meta == {"t": 5}
+        for mine, theirs in zip(perturbed.dense_layers()[-2:], model.dense_layers()[-2:]):
+            np.testing.assert_array_equal(mine.weight.value, theirs.weight.value)
+            np.testing.assert_array_equal(mine.bias.value, theirs.bias.value)
+        # Earlier layers untouched (still the perturbed weights).
+        ref = mlp(23, [32, 16, 8, 4, 4], 4, seed=99)
+        np.testing.assert_array_equal(
+            perturbed.dense_layers()[0].weight.value, ref.dense_layers()[0].weight.value
+        )
+
+    def test_case2_workflow(self, tmp_path, model, rng):
+        # Pretrained base + per-timestep partial checkpoint reproduces the
+        # fine-tuned model exactly (the paper's Case-2 storage scheme).
+        base_path = tmp_path / "base.npz"
+        save_model(base_path, model)
+
+        tuned = load_model(base_path)[0]
+        for layer in tuned.dense_layers()[-2:]:
+            layer.weight.value += 0.1  # stand-in for fine-tuning
+        part_path = tmp_path / "t7.npz"
+        save_partial(part_path, tuned, num_layers=2)
+
+        restored = load_model(base_path)[0]
+        load_partial(part_path, restored)
+        x = rng.normal(size=(4, 23))
+        np.testing.assert_allclose(restored.predict(x), tuned.predict(x))
+
+    def test_validation(self, tmp_path, model):
+        with pytest.raises(ValueError):
+            save_partial(tmp_path / "p.npz", model, num_layers=0)
+        with pytest.raises(ValueError):
+            save_partial(tmp_path / "p.npz", model, num_layers=7)
+
+    def test_graft_rejects_wrong_depth(self, tmp_path, model):
+        path = tmp_path / "p.npz"
+        save_partial(path, model, num_layers=2)
+        other = mlp(23, [32, 16], 4, seed=0)
+        with pytest.raises(ValueError):
+            load_partial(path, other)
+
+    def test_graft_rejects_wrong_shapes(self, tmp_path, model):
+        path = tmp_path / "p.npz"
+        save_partial(path, model, num_layers=2)
+        other = mlp(23, [32, 16, 8, 4, 8], 4, seed=0)  # last hidden differs
+        with pytest.raises(ValueError):
+            load_partial(path, other)
+
+    def test_graft_rejects_full_checkpoint(self, tmp_path, model):
+        path = tmp_path / "f.npz"
+        save_model(path, model)
+        with pytest.raises(ValueError):
+            load_partial(path, model)

@@ -1,0 +1,38 @@
+"""Multi-process execution paths of repro.parallel.
+
+Separate module so the spawn-heavy tests are easy to deselect on
+constrained machines; they degrade gracefully (ParallelExecutor falls back
+to serial if process creation fails, so results are asserted either way).
+"""
+
+import numpy as np
+
+from repro.interpolation import DelaunayLinearInterpolator, ModifiedShepardInterpolator
+from repro.parallel import ParallelExecutor, parallel_reconstruct
+
+
+def _cube(v):
+    return v**3
+
+
+class TestMultiProcess:
+    def test_pool_map_matches_serial(self):
+        ex = ParallelExecutor(max_workers=2)
+        payloads = list(range(25))
+        assert ex.map(_cube, payloads) == [v**3 for v in payloads]
+
+    def test_parallel_reconstruct_two_workers(self, sample):
+        interp = DelaunayLinearInterpolator()
+        serial = interp.reconstruct(sample)
+        parallel = parallel_reconstruct(
+            interp, sample, executor=ParallelExecutor(max_workers=2), num_chunks=4
+        )
+        np.testing.assert_allclose(parallel, serial)
+
+    def test_parallel_reconstruct_shepard_two_workers(self, sample):
+        interp = ModifiedShepardInterpolator()
+        serial = interp.reconstruct(sample)
+        parallel = parallel_reconstruct(
+            interp, sample, executor=ParallelExecutor(max_workers=2), num_chunks=3
+        )
+        np.testing.assert_allclose(parallel, serial)

@@ -1,0 +1,216 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+Covers: grid index mappings, sampler budget/uniqueness invariants,
+acceptance-probability water-filling, metric identities, normalizer
+round-trips, interpolator exactness properties and VTK roundtrips.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.datasets.base import TimestepField
+from repro.grid import UniformGrid
+from repro.metrics import mae, rmse, snr
+from repro.core import Normalizer
+from repro.sampling import MultiCriteriaSampler, RandomSampler, acceptance_probabilities
+
+# Shared strategies -----------------------------------------------------------
+
+dims_strategy = st.tuples(
+    st.integers(2, 8), st.integers(2, 8), st.integers(2, 8)
+)
+spacing_strategy = st.tuples(
+    st.floats(0.1, 10.0), st.floats(0.1, 10.0), st.floats(0.1, 10.0)
+)
+origin_strategy = st.tuples(
+    st.floats(-100, 100), st.floats(-100, 100), st.floats(-100, 100)
+)
+
+
+@st.composite
+def grids(draw):
+    return UniformGrid(draw(dims_strategy), draw(spacing_strategy), draw(origin_strategy))
+
+
+@st.composite
+def fields(draw):
+    grid = draw(grids())
+    values = draw(
+        hnp.arrays(
+            np.float64,
+            grid.dims,
+            elements=st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+        )
+    )
+    return TimestepField(grid, values, timestep=0)
+
+
+class TestGridProperties:
+    @given(grids())
+    @settings(max_examples=50, deadline=None)
+    def test_flat_multi_roundtrip(self, grid):
+        flat = np.arange(grid.num_points)
+        np.testing.assert_array_equal(grid.multi_to_flat(grid.flat_to_multi(flat)), flat)
+
+    @given(grids())
+    @settings(max_examples=50, deadline=None)
+    def test_position_index_roundtrip(self, grid):
+        multi = grid.flat_to_multi(np.arange(grid.num_points))
+        pos = grid.index_to_position(multi)
+        np.testing.assert_array_equal(grid.position_to_index(pos), multi)
+
+    @given(grids())
+    @settings(max_examples=50, deadline=None)
+    def test_all_grid_points_contained(self, grid):
+        assert grid.contains(grid.points()).all()
+
+    @given(grids(), st.tuples(st.integers(2, 6), st.integers(2, 6), st.integers(2, 6)))
+    @settings(max_examples=30, deadline=None)
+    def test_with_resolution_preserves_extent(self, grid, new_dims):
+        other = grid.with_resolution(new_dims)
+        np.testing.assert_allclose(
+            np.asarray(other.extent), np.asarray(grid.extent), rtol=1e-9, atol=1e-9
+        )
+
+
+class TestSamplerProperties:
+    @given(fields(), st.floats(0.05, 1.0), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_random_sampler_budget_and_uniqueness(self, field, fraction, seed):
+        budget = int(round(fraction * field.grid.num_points))
+        if budget < 1:
+            return
+        s = RandomSampler(seed=0).sample(field, fraction, seed=seed)
+        assert s.num_samples == budget
+        assert len(np.unique(s.indices)) == s.num_samples
+        np.testing.assert_allclose(s.values, field.flat[s.indices])
+
+    @given(fields(), st.floats(0.1, 0.9))
+    @settings(max_examples=15, deadline=None)
+    def test_multicriteria_budget(self, field, fraction):
+        budget = int(round(fraction * field.grid.num_points))
+        if budget < 1:
+            return
+        s = MultiCriteriaSampler(seed=1).sample(field, fraction)
+        assert s.num_samples == budget
+
+    @given(
+        hnp.arrays(np.float64, st.integers(2, 300), elements=st.floats(0, 1e6)),
+        st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_acceptance_probability_invariants(self, importance, data):
+        budget = data.draw(st.integers(1, len(importance)))
+        p = acceptance_probabilities(importance, budget)
+        assert (p >= 0).all() and (p <= 1.0 + 1e-12).all()
+        assert p.sum() == pytest.approx(budget, rel=1e-6, abs=1e-6)
+
+
+class TestMetricProperties:
+    arrays = hnp.arrays(
+        np.float64, st.integers(2, 200), elements=st.floats(-1e3, 1e3, width=64)
+    )
+
+    @given(arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_perfect_reconstruction(self, a):
+        assert snr(a, a.copy()) == float("inf")
+        assert rmse(a, a.copy()) == 0.0
+        assert mae(a, a.copy()) == 0.0
+
+    @given(arrays, arrays)
+    @settings(max_examples=50, deadline=None)
+    def test_rmse_dominates_mae(self, a, b):
+        if a.shape != b.shape:
+            return
+        assert rmse(a, b) >= mae(a, b) - 1e-12
+
+    @given(arrays, st.floats(0.1, 10.0))
+    @settings(max_examples=50, deadline=None)
+    def test_snr_scale_invariant(self, a, scale):
+        # Scaling both fields by the same factor keeps SNR unchanged.
+        # Skip (near-)constant inputs: their std is pure rounding noise and
+        # flips between 0 and ~1e-17 under scaling.
+        if a.std() <= 1e-6 * (np.abs(a).max() + 1.0):
+            return
+        noisy = a + 0.5
+        noisy[::2] -= 1.0
+        if (a - noisy).std() == 0:
+            return
+        assert snr(a, noisy) == pytest.approx(snr(scale * a, scale * noisy), rel=1e-6)
+
+
+class TestNormalizerProperties:
+    @given(
+        grids(),
+        hnp.arrays(np.float64, st.integers(2, 100), elements=st.floats(-1e4, 1e4)),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_value_roundtrip(self, grid, values):
+        n = Normalizer.fit(grid, values)
+        np.testing.assert_allclose(
+            n.denormalize_values(n.normalize_values(values)), values, rtol=1e-9, atol=1e-6
+        )
+
+    @given(grids())
+    @settings(max_examples=40, deadline=None)
+    def test_grid_corners_map_to_unit_cube(self, grid):
+        n = Normalizer.fit(grid, np.array([0.0, 1.0]))
+        u = n.normalize_coords(grid.points())
+        assert u.min() >= -1e-9
+        assert u.max() <= 1.0 + 1e-9
+
+
+class TestInterpolatorProperties:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_nearest_predictions_come_from_samples(self, seed):
+        from repro.interpolation import NearestNeighborInterpolator
+
+        grid = UniformGrid((6, 6, 6))
+        rng = np.random.default_rng(seed)
+        field = TimestepField(grid, rng.normal(size=grid.dims), timestep=0)
+        s = RandomSampler(seed=0).sample(field, 0.2, seed=seed)
+        out = NearestNeighborInterpolator().reconstruct(s)
+        assert np.isin(out.ravel(), s.values).all()
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_shepard_bounded_by_sample_range(self, seed):
+        from repro.interpolation import ModifiedShepardInterpolator
+
+        grid = UniformGrid((6, 6, 6))
+        rng = np.random.default_rng(seed)
+        field = TimestepField(grid, rng.normal(size=grid.dims), timestep=0)
+        s = RandomSampler(seed=0).sample(field, 0.3, seed=seed)
+        out = ModifiedShepardInterpolator().reconstruct(s)
+        assert out.min() >= s.values.min() - 1e-9
+        assert out.max() <= s.values.max() + 1e-9
+
+
+class TestVTKRoundtripProperties:
+    @given(
+        dims_strategy,
+        st.integers(0, 2**31 - 1),
+        st.booleans(),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_vti_roundtrip(self, dims, seed, binary):
+        # hypothesis forbids pytest's per-test tmp fixtures inside @given,
+        # so manage a temp dir per example explicitly.
+        import tempfile
+        from pathlib import Path
+
+        from repro.io import read_vti, write_vti
+
+        grid = UniformGrid(dims)
+        rng = np.random.default_rng(seed)
+        field = rng.normal(size=dims)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "f.vti"
+            write_vti(path, grid, {"v": field}, binary=binary)
+            grid2, data = read_vti(path)
+        assert grid2 == grid
+        np.testing.assert_allclose(data["v"], field)

@@ -1,0 +1,134 @@
+"""Property-based tests for the extension subsystems.
+
+Compression error bounds, isosurface invariants, SSIM bounds, Lorenzo
+invertibility, analysis bin coverage — each checked over generated inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.compression import SZCompressor
+from repro.compression.szlike import _lorenzo_forward, _lorenzo_inverse
+from repro.grid import UniformGrid
+from repro.metrics import ssim3d
+from repro.vis import extract_isosurface, isosurface_iou
+
+small_dims = st.tuples(st.integers(2, 6), st.integers(2, 6), st.integers(2, 6))
+
+
+class TestCompressionProperties:
+    @given(
+        small_dims,
+        st.integers(0, 2**31 - 1),
+        st.floats(1e-4, 1e-1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_absolute_error_bound_always_respected(self, dims, seed, eb):
+        grid = UniformGrid(dims)
+        rng = np.random.default_rng(seed)
+        field = rng.normal(scale=10.0, size=dims)
+        recon, _ = SZCompressor(error_bound=eb, mode="absolute").roundtrip(grid, field)
+        assert np.abs(recon - field).max() <= eb + 1e-9
+
+    @given(
+        small_dims,
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_lorenzo_exactly_invertible(self, dims, seed):
+        rng = np.random.default_rng(seed)
+        q = rng.integers(-10**6, 10**6, size=dims)
+        np.testing.assert_array_equal(_lorenzo_inverse(_lorenzo_forward(q)), q)
+
+    @given(st.integers(0, 2**31 - 1), st.floats(1e-4, 1e-2))
+    @settings(max_examples=15, deadline=None)
+    def test_relative_bound_scale_invariant(self, seed, eb):
+        # Scaling the field scales the absolute error proportionally.
+        grid = UniformGrid((5, 5, 5))
+        rng = np.random.default_rng(seed)
+        field = rng.normal(size=(5, 5, 5))
+        comp = SZCompressor(error_bound=eb, mode="relative")
+        a1 = comp.compress(grid, field)
+        a2 = comp.compress(grid, 100.0 * field)
+        assert a2.error_bound == pytest.approx(100.0 * a1.error_bound, rel=1e-9)
+
+
+class TestIsosurfaceProperties:
+    @given(st.integers(0, 10_000), st.floats(0.1, 0.9))
+    @settings(max_examples=15, deadline=None)
+    def test_vertices_near_level_set_of_linear_field(self, seed, frac):
+        # For f = x the isosurface x = c is exact: every vertex sits on it.
+        grid = UniformGrid((8, 6, 5))
+        x, _, _ = grid.meshgrid()
+        iso = float(frac * 7.0)
+        surf = extract_isosurface(grid, x, iso)
+        if surf.num_vertices:
+            np.testing.assert_allclose(surf.vertices[:, 0], iso, atol=1e-9)
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_area_nonnegative_and_triangles_valid(self, seed):
+        grid = UniformGrid((6, 6, 6))
+        rng = np.random.default_rng(seed)
+        field = rng.normal(size=(6, 6, 6))
+        surf = extract_isosurface(grid, field, 0.0)
+        assert surf.area() >= 0.0
+        if surf.num_triangles:
+            assert surf.triangles.max() < surf.num_vertices
+            assert surf.triangles.min() >= 0
+
+    @given(st.integers(0, 10_000), st.floats(-0.5, 0.5))
+    @settings(max_examples=20, deadline=None)
+    def test_iou_symmetric(self, seed, iso):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(5, 5, 5))
+        b = rng.normal(size=(5, 5, 5))
+        assert isosurface_iou(a, b, iso) == pytest.approx(isosurface_iou(b, a, iso))
+
+
+class TestSSIMProperties:
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_identity_and_bounds(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(7, 7, 7))
+        assert ssim3d(a, a.copy()) == pytest.approx(1.0)
+        b = rng.normal(size=(7, 7, 7))
+        assert -1.0 - 1e-9 <= ssim3d(a, b) <= 1.0 + 1e-9
+
+    @given(st.integers(0, 10_000), st.floats(0.5, 50.0))
+    @settings(max_examples=20, deadline=None)
+    def test_scale_invariance(self, seed, scale):
+        # SSIM with range-derived constants is invariant to joint scaling.
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=(6, 6, 6))
+        b = a + 0.3 * rng.normal(size=(6, 6, 6))
+        assert ssim3d(a, b) == pytest.approx(ssim3d(scale * a, scale * b), rel=1e-9)
+
+
+class TestAnalysisProperties:
+    @given(st.integers(0, 10_000), st.integers(2, 10))
+    @settings(max_examples=20, deadline=None)
+    def test_value_bands_partition_grid(self, seed, bands):
+        from repro.analysis import error_by_value_band
+
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=200)
+        b = a + rng.normal(size=200)
+        rows = error_by_value_band(a, b, num_bands=bands)
+        assert sum(r["count"] for r in rows) == 200
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_worst_regions_sorted(self, seed):
+        from repro.analysis import worst_regions
+
+        grid = UniformGrid((8, 8, 4))
+        rng = np.random.default_rng(seed)
+        a = rng.normal(size=grid.dims)
+        b = rng.normal(size=grid.dims)
+        rows = worst_regions(grid, a, b, top_k=10)
+        rmses = [r["rmse"] for r in rows]
+        assert rmses == sorted(rmses, reverse=True)

@@ -1,0 +1,55 @@
+"""Unit tests for the Poisson-disk (blue-noise) sampler."""
+
+import numpy as np
+import pytest
+from scipy.spatial import cKDTree
+
+from repro.sampling import PoissonDiskSampler, RandomSampler
+
+
+class TestPoissonDisk:
+    def test_exact_budget(self, hurricane_field):
+        s = PoissonDiskSampler(seed=0).sample(hurricane_field, 0.05)
+        assert s.num_samples == int(round(0.05 * hurricane_field.grid.num_points))
+
+    def test_deterministic(self, hurricane_field):
+        a = PoissonDiskSampler(seed=0).sample(hurricane_field, 0.05)
+        b = PoissonDiskSampler(seed=0).sample(hurricane_field, 0.05)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_blue_noise_spacing(self, hurricane_field):
+        # Poisson-disk nearest-pair distances concentrate near the mean:
+        # the min pair distance must be far larger than random sampling's.
+        frac = 0.05
+        blue = PoissonDiskSampler(seed=0, importance_ordered=False).sample(
+            hurricane_field, frac
+        )
+        rand = RandomSampler(seed=0).sample(hurricane_field, frac)
+
+        def min_pair(sample):
+            d, _ = cKDTree(sample.points).query(sample.points, k=2)
+            return d[:, 1].min()
+
+        assert min_pair(blue) > 2.0 * min_pair(rand)
+
+    def test_importance_ordered_prefers_features(self, grid):
+        from repro.datasets.base import TimestepField
+        from repro.grid import gradient_magnitude
+
+        x, _, _ = grid.meshgrid()
+        values = np.tanh((x - x.mean()) / 0.8)
+        field = TimestepField(grid, values, timestep=0)
+        s = PoissonDiskSampler(seed=0, importance_ordered=True).sample(field, 0.03)
+        mag = gradient_magnitude(grid, values)
+        assert mag[s.indices].mean() > mag.mean()
+
+    def test_dense_fraction_still_exact(self, hurricane_field):
+        # Radius must relax until the budget fits.
+        s = PoissonDiskSampler(seed=0).sample(hurricane_field, 0.5)
+        assert s.num_samples == int(round(0.5 * hurricane_field.grid.num_points))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoissonDiskSampler(relax=1.0)
+        with pytest.raises(ValueError):
+            PoissonDiskSampler(relax=0.0)

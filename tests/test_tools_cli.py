@@ -1,0 +1,127 @@
+"""Tests for the file-based tools and their CLI plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.io import read_vti, read_vtp
+from repro import tools
+
+
+@pytest.fixture
+def volume_file(tmp_path):
+    path = tmp_path / "vol.vti"
+    tools.cmd_generate("hurricane", str(path), dims=(14, 14, 6), timestep=0, seed=0)
+    return path
+
+
+@pytest.fixture
+def cloud_file(tmp_path, volume_file):
+    path = tmp_path / "cloud.vtp"
+    tools.cmd_sample(str(volume_file), str(path), fraction=0.08)
+    return path
+
+
+class TestGenerate:
+    def test_writes_volume(self, volume_file):
+        grid, data = read_vti(volume_file)
+        assert grid.dims == (14, 14, 6)
+        assert "pressure" in data
+
+    def test_unknown_dataset(self, tmp_path):
+        with pytest.raises(ValueError):
+            tools.cmd_generate("tsunami", str(tmp_path / "x.vti"))
+
+
+class TestSample:
+    def test_writes_cloud(self, cloud_file, volume_file):
+        grid, _ = read_vti(volume_file)
+        points, data = read_vtp(cloud_file)
+        assert len(points) == int(round(0.08 * grid.num_points))
+        assert "scalar" in data and "flat_index" in data
+
+    def test_each_sampler(self, tmp_path, volume_file):
+        for name in tools.SAMPLERS:
+            out = tmp_path / f"{name}.vtp"
+            msg = tools.cmd_sample(str(volume_file), str(out), fraction=0.05, sampler=name)
+            assert out.exists(), msg
+
+    def test_unknown_sampler(self, tmp_path, volume_file):
+        with pytest.raises(ValueError):
+            tools.cmd_sample(str(volume_file), str(tmp_path / "x.vtp"), 0.05, sampler="magic")
+
+    def test_unknown_array(self, tmp_path, volume_file):
+        with pytest.raises(ValueError):
+            tools.cmd_sample(str(volume_file), str(tmp_path / "x.vtp"), 0.05, array="nope")
+
+
+class TestReconstructEvaluate:
+    def test_linear_roundtrip(self, tmp_path, volume_file, cloud_file):
+        out = tmp_path / "recon.vti"
+        tools.cmd_reconstruct(str(cloud_file), str(volume_file), str(out), method="linear")
+        grid, data = read_vti(out)
+        assert "scalar" in data
+        msg = tools.cmd_evaluate(str(volume_file), str(out))
+        assert "snr=" in msg
+
+    def test_fcnn_requires_model(self, tmp_path, volume_file, cloud_file):
+        with pytest.raises(ValueError):
+            tools.cmd_reconstruct(
+                str(cloud_file), str(volume_file), str(tmp_path / "r.vti"), method="fcnn"
+            )
+
+    def test_train_then_fcnn_reconstruct(self, tmp_path, volume_file, cloud_file):
+        model = tmp_path / "m.npz"
+        tools.cmd_train(str(volume_file), str(model), epochs=4, hidden=(16, 8),
+                        fractions=(0.05, 0.10))
+        out = tmp_path / "r.vti"
+        msg = tools.cmd_reconstruct(
+            str(cloud_file), str(volume_file), str(out), method="fcnn", model=str(model)
+        )
+        assert out.exists(), msg
+
+    def test_evaluate_grid_mismatch(self, tmp_path, volume_file):
+        other = tmp_path / "other.vti"
+        tools.cmd_generate("hurricane", str(other), dims=(10, 10, 4))
+        with pytest.raises(ValueError):
+            tools.cmd_evaluate(str(volume_file), str(other))
+
+
+class TestRender:
+    @pytest.mark.parametrize("mode", ["mip", "mean", "slice"])
+    def test_modes(self, tmp_path, volume_file, mode):
+        out = tmp_path / f"{mode}.pgm"
+        tools.cmd_render(str(volume_file), str(out), mode=mode)
+        assert out.read_bytes().startswith(b"P5\n")
+
+    def test_bad_mode(self, tmp_path, volume_file):
+        with pytest.raises(ValueError):
+            tools.cmd_render(str(volume_file), str(tmp_path / "x.pgm"), mode="raytrace")
+
+
+class TestCLIDispatch:
+    def test_generate_via_cli(self, tmp_path, capsys):
+        out = tmp_path / "v.vti"
+        code = main(["generate", "hurricane", str(out), "--dims", "10", "10", "4"])
+        assert code == 0 and out.exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_full_cli_workflow(self, tmp_path, capsys):
+        vol = tmp_path / "v.vti"
+        cloud = tmp_path / "c.vtp"
+        recon = tmp_path / "r.vti"
+        assert main(["generate", "hurricane", str(vol), "--dims", "10", "10", "4"]) == 0
+        assert main(["sample", str(vol), str(cloud), "--fraction", "0.1"]) == 0
+        assert main(["reconstruct", str(cloud), str(vol), str(recon)]) == 0
+        assert main(["evaluate", str(vol), str(recon)]) == 0
+        out = capsys.readouterr().out
+        assert "snr=" in out
+
+    def test_cli_error_exit_code(self, tmp_path, capsys):
+        code = main(["sample", str(tmp_path / "missing.vti"), "x.vtp", "--fraction", "0.1"])
+        assert code == 1
+
+    def test_experiments_still_routed(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "ext-uncertainty" in out
