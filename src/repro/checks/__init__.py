@@ -1,0 +1,51 @@
+"""Static analysis enforcing the repo's numerical-correctness invariants.
+
+The reproduction's headline numbers (SNR vs sampling fraction, near-constant
+reconstruction time, cross-timestep transfer) depend on discipline a normal
+test suite cannot see: deterministic RNG threading, float64 end to end, and
+guarded metric denominators.  This package machine-checks those conventions
+with a small AST rule engine:
+
+=======  ==========================================================
+RNG001   no legacy global-state ``np.random`` API
+RNG002   no unseeded ``np.random.default_rng()``
+DT001    explicit dtype at every ``repro.nn`` array boundary
+DT002    no float32 downcasts in hot numeric paths
+DIV001   metric/analysis divisions carry a visible epsilon guard
+REG001   registries and package ``__all__`` exports agree
+IMP001   no module-level import cycles
+DEF001   no mutable default arguments
+=======  ==========================================================
+
+Run ``python -m repro.checks src/repro`` (or ``repro check``); suppress a
+single finding with ``# repro: noqa[RULE-ID]`` and a comment justifying the
+invariant; grandfather legacy findings in a ``--baseline`` file.  See
+``docs/API.md`` ("Static analysis") for how to add a rule.
+"""
+
+from repro.checks.baseline import Baseline, load_baseline, write_baseline
+from repro.checks.config import CheckConfig
+from repro.checks.engine import CheckResult, discover_files, module_name_for, run_checks
+from repro.checks.findings import Finding, format_json, format_text
+from repro.checks.noqa import NoqaDirectives, parse_noqa
+from repro.checks.rules import ALL_RULES, ModuleContext, ProjectContext, Rule
+
+__all__ = [
+    "ALL_RULES",
+    "Baseline",
+    "CheckConfig",
+    "CheckResult",
+    "Finding",
+    "ModuleContext",
+    "NoqaDirectives",
+    "ProjectContext",
+    "Rule",
+    "discover_files",
+    "format_json",
+    "format_text",
+    "load_baseline",
+    "module_name_for",
+    "parse_noqa",
+    "run_checks",
+    "write_baseline",
+]

@@ -1,0 +1,68 @@
+"""Baseline files: grandfathered findings that do not fail the build.
+
+A baseline lets the checker gate CI from day one while legacy findings are
+paid down: findings whose fingerprint (path, rule, message — deliberately
+not line numbers) matches an entry are reported separately and do not
+affect the exit code.  Each entry is consumed at most as many times as it
+appears, so *new* instances of a baselined pattern still fail.
+
+This repo's committed baseline (``.repro-checks-baseline.json``) is empty —
+keep it that way; fix or explicitly suppress instead of baselining.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.checks.findings import Finding
+
+__all__ = ["Baseline", "load_baseline", "write_baseline"]
+
+
+class Baseline:
+    """A multiset of grandfathered finding fingerprints."""
+
+    def __init__(self, fingerprints: Counter | None = None):
+        self._fingerprints = Counter(fingerprints or ())
+
+    def split(self, findings: list[Finding]) -> tuple[list[Finding], list[Finding]]:
+        """Partition into (new, baselined), consuming baseline entries."""
+        remaining = Counter(self._fingerprints)
+        new: list[Finding] = []
+        old: list[Finding] = []
+        for f in findings:
+            fp = f.fingerprint()
+            if remaining[fp] > 0:
+                remaining[fp] -= 1
+                old.append(f)
+            else:
+                new.append(f)
+        return new, old
+
+    def __len__(self) -> int:
+        return sum(self._fingerprints.values())
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Load a baseline file; a missing file is an empty baseline."""
+    p = Path(path)
+    if not p.exists():
+        return Baseline()
+    data = json.loads(p.read_text())
+    fingerprints = Counter(
+        (entry["path"], entry["rule"], entry["message"])
+        for entry in data.get("findings", [])
+    )
+    return Baseline(fingerprints)
+
+
+def write_baseline(path: str | Path, findings: list[Finding]) -> None:
+    """Write the given findings as the new baseline."""
+    entries = [
+        {"path": f.path, "rule": f.rule, "message": f.message}
+        for f in sorted(findings)
+    ]
+    payload = {"version": 1, "findings": entries}
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

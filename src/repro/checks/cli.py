@@ -1,0 +1,111 @@
+"""``python -m repro.checks`` — the static-analysis front-end.
+
+Exit codes: ``0`` clean (against the baseline, if any), ``1`` findings,
+``2`` usage or internal error — so CI can distinguish "violations" from
+"the checker itself broke".
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.checks.baseline import load_baseline, write_baseline
+from repro.checks.config import CheckConfig
+from repro.checks.engine import run_checks
+from repro.checks.findings import format_json, format_text
+from repro.checks.rules import ALL_RULES
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.checks",
+        description="AST-based checks for this repo's numerical-correctness invariants.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to check (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="baseline file of grandfathered findings (missing file = empty)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--select", default=None, metavar="RULES", help="comma-separated rule ids to run"
+    )
+    parser.add_argument(
+        "--ignore", default=None, metavar="RULES", help="comma-separated rule ids to skip"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list the rule battery and exit"
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.list_rules:
+        for cls in ALL_RULES:
+            print(f"{cls.id}  {cls.name:28s} {cls.description}")
+        return 0
+
+    if args.write_baseline and not args.baseline:
+        print("error: --write-baseline requires --baseline FILE", file=sys.stderr)
+        return 2
+
+    config = CheckConfig.from_cli(select=args.select, ignore=args.ignore)
+    known = {cls.id for cls in ALL_RULES}
+    unknown = (config.select | config.ignore) - known
+    if unknown:
+        print(
+            f"error: unknown rule id(s) {sorted(unknown)}; "
+            f"known: {sorted(known)}",
+            file=sys.stderr,
+        )
+        return 2
+    baseline = load_baseline(args.baseline) if args.baseline else None
+    try:
+        result = run_checks(args.paths, config=config, baseline=baseline)
+    except Exception as exc:  # internal error, not a finding
+        print(f"internal error: {exc}", file=sys.stderr)
+        return 2
+
+    if result.files_checked == 0:
+        print(f"error: no python files under {args.paths}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        all_findings = result.findings + result.baselined
+        write_baseline(args.baseline, all_findings)
+        print(f"wrote {len(all_findings)} finding(s) to {args.baseline}")
+        return 0
+
+    if args.format == "json":
+        print(format_json(result.findings, baselined=len(result.baselined)))
+    else:
+        print(format_text(result.findings))
+        if result.baselined:
+            print(f"({len(result.baselined)} baselined finding(s) not shown)")
+    return 1 if result.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

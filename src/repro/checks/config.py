@@ -1,0 +1,56 @@
+"""Checker configuration: which rules run, with which options.
+
+The defaults encode this repo's conventions; tests and the CLI override
+them per run.  ``rule_options`` entries are merged over each rule's
+``default_options`` (see :class:`repro.checks.rules.base.Rule`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CheckConfig"]
+
+
+@dataclass
+class CheckConfig:
+    """One checker run's configuration.
+
+    Parameters
+    ----------
+    select:
+        If non-empty, only these rule ids run.
+    ignore:
+        Rule ids that never run (applied after ``select``).
+    rule_options:
+        Per-rule option overrides, keyed by rule id.
+    """
+
+    select: frozenset[str] = frozenset()
+    ignore: frozenset[str] = frozenset()
+    rule_options: dict[str, dict] = field(default_factory=dict)
+
+    def is_enabled(self, rule_id: str) -> bool:
+        if rule_id in self.ignore:
+            return False
+        if self.select:
+            return rule_id in self.select
+        return True
+
+    def options_for(self, rule_id: str) -> dict:
+        return dict(self.rule_options.get(rule_id, {}))
+
+    @classmethod
+    def from_cli(
+        cls,
+        select: str | None = None,
+        ignore: str | None = None,
+    ) -> "CheckConfig":
+        """Build a config from comma-separated CLI strings."""
+
+        def split(spec: str | None) -> frozenset[str]:
+            if not spec:
+                return frozenset()
+            return frozenset(s.strip().upper() for s in spec.split(",") if s.strip())
+
+        return cls(select=split(select), ignore=split(ignore))

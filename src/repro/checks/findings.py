@@ -1,0 +1,65 @@
+"""Findings: what a rule reports, and how findings are rendered.
+
+A :class:`Finding` pins a rule violation to a file and line.  Findings are
+value objects — hashable, ordered by location — so the engine can sort,
+deduplicate and diff them against a committed baseline.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["Finding", "format_text", "format_json"]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str          # posix path as scanned (stable across runs from repo root)
+    line: int          # 1-based line of the offending node
+    col: int           # 0-based column
+    rule: str          # rule identifier, e.g. "RNG001"
+    message: str       # human-readable explanation
+    symbol: str = field(default="", compare=False)  # enclosing def/class, if known
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Identity used for baseline matching.
+
+        Deliberately excludes line/column so the baseline survives
+        unrelated edits that shift code up or down a file.
+        """
+        return (self.path, self.rule, self.message)
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+            "symbol": self.symbol,
+        }
+
+
+def format_text(findings: list[Finding]) -> str:
+    """One `path:line:col: RULE message` row per finding, plus a summary."""
+    rows = [f"{f.path}:{f.line}:{f.col}: {f.rule} {f.message}" for f in findings]
+    n = len(findings)
+    rows.append(f"{n} finding{'s' if n != 1 else ''}")
+    return "\n".join(rows)
+
+
+def format_json(findings: list[Finding], *, baselined: int = 0) -> str:
+    """Machine-readable report (consumed by CI)."""
+    return json.dumps(
+        {
+            "version": 1,
+            "count": len(findings),
+            "baselined": baselined,
+            "findings": [f.as_dict() for f in findings],
+        },
+        indent=2,
+        sort_keys=True,
+    )

@@ -1,0 +1,83 @@
+"""Inline suppression comments: ``# repro: noqa[RULE-ID]``.
+
+Suppressions are parsed from real comment tokens (via :mod:`tokenize`), so
+the directive can never be confused with string contents.  Two forms:
+
+* ``# repro: noqa[RNG001]`` / ``# repro: noqa[RNG001, DIV001]`` —
+  suppress the listed rules on that line;
+* ``# repro: noqa`` — suppress every rule on that line (discouraged;
+  prefer naming the rule so the suppression dies with it).
+
+A finding is suppressed when a directive sits on the finding's line.  For
+statements spanning several physical lines the directive must sit on the
+line the rule reports (the node's ``lineno``).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+__all__ = ["NoqaDirectives", "parse_noqa"]
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\[(?P<rules>[A-Za-z0-9_,\s-]+)\])?",
+)
+
+# Sentinel rule-set meaning "suppress everything on this line".
+_ALL = frozenset({"*"})
+
+
+class NoqaDirectives:
+    """Per-line suppression table for one source file."""
+
+    def __init__(self, by_line: dict[int, frozenset[str]]):
+        self._by_line = by_line
+
+    def is_suppressed(self, line: int, rule: str) -> bool:
+        rules = self._by_line.get(line)
+        if rules is None:
+            return False
+        return rules is _ALL or "*" in rules or rule in rules
+
+    def __len__(self) -> int:
+        return len(self._by_line)
+
+
+def parse_noqa(source: str) -> NoqaDirectives:
+    """Extract all ``# repro: noqa`` directives from ``source``.
+
+    Tolerates source that fails to tokenize (the engine reports the syntax
+    error separately); in that case falls back to a line-by-line scan.
+    """
+    by_line: dict[int, frozenset[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        for i, text in enumerate(source.splitlines(), start=1):
+            if "#" in text:
+                _collect(text[text.index("#"):], i, by_line)
+        return NoqaDirectives(by_line)
+    for tok in tokens:
+        if tok.type == tokenize.COMMENT:
+            _collect(tok.string, tok.start[0], by_line)
+    return NoqaDirectives(by_line)
+
+
+def _collect(comment: str, line: int, by_line: dict[int, frozenset[str]]) -> None:
+    m = _NOQA_RE.search(comment)
+    if m is None:
+        return
+    listed = m.group("rules")
+    if listed is None:
+        by_line[line] = _ALL
+        return
+    rules = frozenset(r.strip().upper() for r in listed.split(",") if r.strip())
+    if not rules:
+        by_line[line] = _ALL
+        return
+    existing = by_line.get(line, frozenset())
+    if existing is _ALL or "*" in existing:
+        return
+    by_line[line] = existing | rules

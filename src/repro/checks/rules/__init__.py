@@ -1,0 +1,41 @@
+"""The rule battery: every invariant the checker enforces.
+
+Adding a rule: subclass :class:`~repro.checks.rules.base.Rule` in a module
+here, give it a unique ``id``, and append the class to ``ALL_RULES``.
+Trigger/clean/suppression fixtures in ``tests/test_checks_rules.py`` are
+required for every rule (the test suite asserts the battery is covered).
+"""
+
+from repro.checks.rules.base import ModuleContext, ProjectContext, Rule
+from repro.checks.rules.defaults import MutableDefaultArgumentRule
+from repro.checks.rules.division import GuardedDivisionRule
+from repro.checks.rules.dtype import ExplicitDtypeBoundaryRule, Float32DowncastRule
+from repro.checks.rules.imports import ImportCycleRule
+from repro.checks.rules.registry_consistency import RegistryConsistencyRule
+from repro.checks.rules.rng import LegacyGlobalRNGRule, UnseededGeneratorRule
+
+__all__ = [
+    "Rule",
+    "ModuleContext",
+    "ProjectContext",
+    "ALL_RULES",
+    "LegacyGlobalRNGRule",
+    "UnseededGeneratorRule",
+    "ExplicitDtypeBoundaryRule",
+    "Float32DowncastRule",
+    "GuardedDivisionRule",
+    "RegistryConsistencyRule",
+    "ImportCycleRule",
+    "MutableDefaultArgumentRule",
+]
+
+ALL_RULES: tuple[type[Rule], ...] = (
+    LegacyGlobalRNGRule,
+    UnseededGeneratorRule,
+    ExplicitDtypeBoundaryRule,
+    Float32DowncastRule,
+    GuardedDivisionRule,
+    RegistryConsistencyRule,
+    ImportCycleRule,
+    MutableDefaultArgumentRule,
+)

@@ -1,0 +1,59 @@
+"""Mutable default arguments (``DEF001``).
+
+A ``def f(x, cache={})`` default is created once at function definition and
+shared across every call — state leaks between experiment runs, which is
+exactly the kind of cross-run coupling a reproduction cannot afford.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.checks.findings import Finding
+from repro.checks.rules.base import ModuleContext, Rule, walk_with_symbols
+
+__all__ = ["MutableDefaultArgumentRule"]
+
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray", "defaultdict", "deque"})
+
+
+def _is_mutable(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else None
+        )
+        return name in _MUTABLE_CALLS
+    return False
+
+
+class MutableDefaultArgumentRule(Rule):
+    id = "DEF001"
+    name = "mutable-default-argument"
+    description = "default argument values must be immutable"
+    default_options = {"paths": []}
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.in_scope(self.options["paths"]):
+            return
+        for node, symbol in walk_with_symbols(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            defaults = list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable(default):
+                    yield self.finding(
+                        ctx,
+                        default,
+                        f"mutable default argument in {node.name}(); use None "
+                        "and create the value inside the function",
+                        symbol=symbol or node.name,
+                    )

@@ -1,0 +1,176 @@
+"""Import-cycle detection across the scanned package (``IMP001``).
+
+Cycles between ``repro.*`` modules make import order load-bearing: whether
+a module sees a finished or half-initialized sibling depends on which entry
+point ran first.  Only module-level imports participate — imports deferred
+into functions (the registry/CLI pattern) are the sanctioned way to break a
+genuine mutual dependency, and ``if TYPE_CHECKING:`` blocks never execute.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.checks.findings import Finding
+from repro.checks.rules.base import ModuleContext, ProjectContext, Rule
+
+__all__ = ["ImportCycleRule"]
+
+
+def _top_level_imports(tree: ast.Module) -> Iterator[ast.stmt]:
+    """Module-level import statements, descending into try/except but not
+    into functions, classes, or ``if TYPE_CHECKING`` blocks."""
+
+    def scan(body: list[ast.stmt]) -> Iterator[ast.stmt]:
+        for stmt in body:
+            if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                yield stmt
+            elif isinstance(stmt, ast.Try):
+                for block in (stmt.body, stmt.orelse, stmt.finalbody):
+                    yield from scan(block)
+                for handler in stmt.handlers:
+                    yield from scan(handler.body)
+            elif isinstance(stmt, ast.If) and not _is_type_checking(stmt.test):
+                yield from scan(stmt.body)
+                yield from scan(stmt.orelse)
+
+    yield from scan(tree.body)
+
+
+def _is_type_checking(test: ast.AST) -> bool:
+    if isinstance(test, ast.Name) and test.id == "TYPE_CHECKING":
+        return True
+    if isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING":
+        return True
+    return False
+
+
+class ImportCycleRule(Rule):
+    id = "IMP001"
+    name = "import-cycle"
+    description = "module-level import cycles across the scanned package"
+    default_options = {"paths": []}
+
+    def finalize(self, project: ProjectContext) -> Iterable[Finding]:
+        modules = project.by_module()
+        edges: dict[str, dict[str, ast.stmt]] = {}
+        for name, ctx in modules.items():
+            if not ctx.in_scope(self.options["paths"]):
+                continue
+            edges[name] = {}
+            for stmt in _top_level_imports(ctx.tree):
+                for target in self._targets(stmt, ctx, modules):
+                    if target != name:
+                        edges[name].setdefault(target, stmt)
+
+        for cycle in self._cycles(edges):
+            anchor_name = min(cycle)
+            ctx = modules[anchor_name]
+            nxt = next(m for m in cycle if m in edges[anchor_name])
+            stmt = edges[anchor_name][nxt]
+            chain = " -> ".join(sorted(cycle) + [anchor_name])
+            yield self.finding(
+                ctx,
+                stmt,
+                f"import cycle: {chain}; defer one import into the function "
+                "that needs it",
+            )
+
+    # ------------------------------------------------------------ resolve
+    def _targets(
+        self,
+        stmt: ast.stmt,
+        ctx: ModuleContext,
+        modules: dict[str, ModuleContext],
+    ) -> Iterator[str]:
+        if isinstance(stmt, ast.Import):
+            for alias in stmt.names:
+                name = alias.name
+                while name:
+                    if name in modules:
+                        yield name
+                        break
+                    name = name.rpartition(".")[0]
+        elif isinstance(stmt, ast.ImportFrom):
+            base = self._resolve_from(stmt, ctx)
+            if base is None:
+                return
+            for alias in stmt.names:
+                full = f"{base}.{alias.name}" if base else alias.name
+                if full in modules:
+                    yield full
+                elif base in modules:
+                    yield base
+
+    def _resolve_from(self, stmt: ast.ImportFrom, ctx: ModuleContext) -> str | None:
+        if stmt.level == 0:
+            return stmt.module
+        if ctx.module is None:
+            return None
+        # The package a relative import is resolved against.
+        parts = ctx.module.split(".")
+        if ctx.path.name != "__init__.py":
+            parts = parts[:-1]
+        drop = stmt.level - 1
+        if drop > len(parts):
+            return None
+        parts = parts[: len(parts) - drop] if drop else parts
+        base = ".".join(parts)
+        if stmt.module:
+            base = f"{base}.{stmt.module}" if base else stmt.module
+        return base
+
+    # -------------------------------------------------------------- scc
+    def _cycles(self, edges: dict[str, dict[str, ast.stmt]]) -> list[list[str]]:
+        """Strongly connected components of size > 1 (Tarjan, iterative)."""
+        index: dict[str, int] = {}
+        low: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        sccs: list[list[str]] = []
+        counter = [0]
+
+        def strongconnect(root: str) -> None:
+            work = [(root, iter(edges.get(root, {})))]
+            index[root] = low[root] = counter[0]
+            counter[0] += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                node, it = work[-1]
+                advanced = False
+                for succ in it:
+                    if succ not in edges:
+                        continue
+                    if succ not in index:
+                        index[succ] = low[succ] = counter[0]
+                        counter[0] += 1
+                        stack.append(succ)
+                        on_stack.add(succ)
+                        work.append((succ, iter(edges.get(succ, {}))))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        low[node] = min(low[node], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+                if low[node] == index[node]:
+                    scc = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        scc.append(member)
+                        if member == node:
+                            break
+                    if len(scc) > 1:
+                        sccs.append(scc)
+
+        for name in sorted(edges):
+            if name not in index:
+                strongconnect(name)
+        return sccs

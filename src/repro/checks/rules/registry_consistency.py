@@ -1,0 +1,206 @@
+"""Registry/export consistency (``REG001``).
+
+The CLI, harness and benchmarks resolve samplers, interpolators and
+datasets by registry name, while users import the same classes from the
+package ``__init__``.  The two surfaces drift silently: a class registered
+twice shadows its first entry, and a registered class missing from
+``__all__`` is invisible to ``from repro.interpolation import *`` and the
+API docs.  This rule cross-checks every ``registry.py`` module against its
+package ``__init__``:
+
+* no name registered twice (duplicate dict keys or duplicate
+  ``register_*`` calls — at runtime the registries also refuse this, see
+  :func:`repro.interpolation.registry.register_interpolator`);
+* no factory class registered under two names (aliases must be explicit
+  lambdas/partials, making the aliasing visible);
+* every registered factory class is exported by the package ``__all__``;
+* package ``__all__`` lists are duplicate-free and every entry is bound
+  in the module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.checks.findings import Finding
+from repro.checks.rules.base import ModuleContext, ProjectContext, Rule
+
+__all__ = ["RegistryConsistencyRule"]
+
+
+def _all_entries(tree: ast.Module) -> tuple[list[tuple[str, ast.AST]], bool]:
+    """``(entries, found)`` for a module-level ``__all__`` list/tuple."""
+    for stmt in tree.body:
+        if (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and stmt.targets[0].id == "__all__"
+            and isinstance(stmt.value, (ast.List, ast.Tuple))
+        ):
+            out = []
+            for elt in stmt.value.elts:
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                    out.append((elt.value, elt))
+            return out, True
+    return [], False
+
+
+def _bound_names(tree: ast.Module) -> set[str] | None:
+    """Top-level bound names; None when a star-import makes them unknowable."""
+    names: set[str] = set()
+
+    def scan(body: list[ast.stmt]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    names.add(alias.asname or alias.name.partition(".")[0])
+            elif isinstance(stmt, ast.ImportFrom):
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        return False
+                    names.add(alias.asname or alias.name)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                names.add(stmt.name)
+            elif isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+                    elif isinstance(target, (ast.Tuple, ast.List)):
+                        for elt in target.elts:
+                            if isinstance(elt, ast.Name):
+                                names.add(elt.id)
+            elif isinstance(stmt, (ast.If, ast.Try)):
+                blocks = [stmt.body, stmt.orelse]
+                if isinstance(stmt, ast.Try):
+                    blocks.append(stmt.finalbody)
+                    blocks.extend(h.body for h in stmt.handlers)
+                for block in blocks:
+                    if not scan(block):
+                        return False
+        return True
+
+    if not scan(tree.body):
+        return None
+    return names
+
+
+class RegistryConsistencyRule(Rule):
+    id = "REG001"
+    name = "registry-consistency"
+    description = "registries and package __all__ exports must agree"
+    default_options = {
+        "paths": [],
+        # Module filenames treated as registries, checked against the
+        # package __init__ in the same directory.
+        "registry_files": ["registry.py"],
+    }
+
+    def finalize(self, project: ProjectContext) -> Iterable[Finding]:
+        for ctx in project.modules:
+            if not ctx.in_scope(self.options["paths"]):
+                continue
+            if ctx.path.name in self.options["registry_files"]:
+                yield from self._check_registry(ctx, project)
+            if ctx.path.name == "__init__.py":
+                yield from self._check_all(ctx)
+
+    # ---------------------------------------------------------- registries
+    def _check_registry(
+        self, ctx: ModuleContext, project: ProjectContext
+    ) -> Iterable[Finding]:
+        keys: list[tuple[str, ast.AST]] = []
+        factories: list[tuple[str, ast.AST]] = []
+
+        for stmt in ctx.tree.body:
+            # ALL-CAPS module-level dict literal, e.g. INTERPOLATORS = {...}
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and stmt.targets[0].id.isupper()
+                and isinstance(stmt.value, ast.Dict)
+            ):
+                for key, value in zip(stmt.value.keys, stmt.value.values):
+                    if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                        keys.append((key.value, key))
+                    elif isinstance(key, ast.Attribute) and isinstance(
+                        key.value, ast.Name
+                    ):
+                        keys.append((f"{key.value.id}.{key.attr}", key))
+                    if isinstance(value, ast.Name):
+                        factories.append((value.id, value))
+            # register_*("name", Factory) / register_*(Factory) calls
+            elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+                call = stmt.value
+                func = call.func
+                fname = func.id if isinstance(func, ast.Name) else (
+                    func.attr if isinstance(func, ast.Attribute) else ""
+                )
+                if not fname.startswith("register"):
+                    continue
+                for arg in call.args:
+                    if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                        keys.append((arg.value, arg))
+                    elif isinstance(arg, ast.Name):
+                        factories.append((arg.id, arg))
+
+        yield from self._duplicates(ctx, keys, "name {0!r} is registered twice")
+        yield from self._duplicates(
+            ctx,
+            factories,
+            "factory {0!r} is registered more than once; alias it with an "
+            "explicit lambda if both entries are intended",
+        )
+
+        init = project.find_sibling(ctx, "__init__.py")
+        if init is None:
+            return
+        exported, found = _all_entries(init.tree)
+        if not found:
+            return
+        export_names = {name for name, _ in exported}
+        for name, node in factories:
+            if name not in export_names:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"registered factory {name!r} is missing from "
+                    f"{init.display_path} __all__",
+                )
+
+    def _duplicates(
+        self, ctx: ModuleContext, entries: list[tuple[str, ast.AST]], template: str
+    ) -> Iterable[Finding]:
+        seen: set[str] = set()
+        for name, node in entries:
+            if name in seen:
+                yield self.finding(ctx, node, template.format(name))
+            seen.add(name)
+
+    # ------------------------------------------------------------- __all__
+    def _check_all(self, ctx: ModuleContext) -> Iterable[Finding]:
+        exported, found = _all_entries(ctx.tree)
+        if not found:
+            return
+        seen: set[str] = set()
+        for name, node in exported:
+            if name in seen:
+                yield self.finding(ctx, node, f"__all__ lists {name!r} twice")
+            seen.add(name)
+        bound = _bound_names(ctx.tree)
+        if bound is None:
+            return
+        for name, node in exported:
+            # A package __init__ may list sibling submodules without
+            # importing them (importable via `from pkg import sub`).
+            if (ctx.path.parent / f"{name}.py").exists() or (
+                ctx.path.parent / name / "__init__.py"
+            ).exists():
+                continue
+            if name not in bound:
+                yield self.finding(
+                    ctx, node, f"__all__ exports {name!r} but the module never binds it"
+                )

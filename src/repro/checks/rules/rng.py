@@ -1,0 +1,118 @@
+"""RNG discipline: reproducible randomness only.
+
+Every benchmark figure in this repro depends on deterministic sampling and
+weight initialization, so library code must draw randomness from an
+``np.random.Generator`` that the caller seeds and threads through (the
+convention of :mod:`repro.sampling` and :mod:`repro.nn.initializers`).
+
+* ``RNG001`` — legacy global-state numpy RNG API (``np.random.seed``,
+  ``np.random.rand``, ``np.random.RandomState()``, ...).  These mutate or
+  read hidden process-wide state, so any import-order change silently
+  reshuffles results.
+* ``RNG002`` — ``np.random.default_rng()`` called without a seed
+  argument: a fresh OS-entropy generator, i.e. guaranteed
+  non-reproducibility.  Accept a ``Generator`` parameter or seed
+  explicitly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.checks.findings import Finding
+from repro.checks.rules.base import ModuleContext, Rule, walk_with_symbols
+
+__all__ = ["LegacyGlobalRNGRule", "UnseededGeneratorRule"]
+
+# Attributes of np.random that read or mutate the hidden global RandomState,
+# plus the RandomState constructor itself.
+_LEGACY_ATTRS = frozenset(
+    {
+        "seed",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "ranf",
+        "sample",
+        "choice",
+        "shuffle",
+        "permutation",
+        "uniform",
+        "normal",
+        "standard_normal",
+        "exponential",
+        "poisson",
+        "beta",
+        "binomial",
+        "gamma",
+        "get_state",
+        "set_state",
+        "RandomState",
+    }
+)
+
+
+def _np_random_attr(node: ast.AST) -> str | None:
+    """The ``X`` of ``np.random.X`` / ``numpy.random.X``, else None."""
+    if not isinstance(node, ast.Attribute):
+        return None
+    value = node.value
+    if (
+        isinstance(value, ast.Attribute)
+        and value.attr == "random"
+        and isinstance(value.value, ast.Name)
+        and value.value.id in ("np", "numpy")
+    ):
+        return node.attr
+    return None
+
+
+class LegacyGlobalRNGRule(Rule):
+    id = "RNG001"
+    name = "legacy-global-rng"
+    description = (
+        "np.random global-state API is forbidden; thread an np.random.Generator"
+    )
+    default_options = {"paths": []}
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.in_scope(self.options["paths"]):
+            return
+        for node, symbol in walk_with_symbols(ctx.tree):
+            attr = _np_random_attr(node)
+            if attr in _LEGACY_ATTRS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"np.random.{attr} uses numpy's hidden global RNG state; "
+                    "accept and use an np.random.Generator instead",
+                    symbol=symbol,
+                )
+
+
+class UnseededGeneratorRule(Rule):
+    id = "RNG002"
+    name = "unseeded-default-rng"
+    description = "np.random.default_rng() without a seed is non-reproducible"
+    default_options = {"paths": []}
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        if not ctx.in_scope(self.options["paths"]):
+            return
+        for node, symbol in walk_with_symbols(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and _np_random_attr(node.func) == "default_rng"
+                and not node.args
+                and not node.keywords
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "np.random.default_rng() without a seed draws OS entropy; "
+                    "pass a seed or accept a Generator from the caller",
+                    symbol=symbol,
+                )

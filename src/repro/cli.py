@@ -16,6 +16,11 @@ Two command families (``repro ...`` or ``python -m repro ...``):
     repro reconstruct cloud.vtp out.vti recon.vti --method fcnn --model model.npz
     repro evaluate out.vti recon.vti
     repro render recon.vti view.pgm --mode mip
+
+**Static analysis** — enforce the repo's numerical-correctness invariants::
+
+    repro check src/repro
+    repro check src/repro --format json --baseline .repro-checks-baseline.json
 """
 
 from __future__ import annotations
@@ -153,6 +158,10 @@ def _tool_main(argv: list[str]) -> int:
 def main(argv: list[str] | None = None) -> int:
     """CLI dispatcher; returns a process exit code."""
     argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "check":
+        from repro.checks.cli import main as checks_main
+
+        return checks_main(argv[1:])
     if argv and argv[0] in _TOOL_COMMANDS:
         return _tool_main(argv)
 

@@ -15,7 +15,7 @@ from repro.datasets.base import AnalyticDataset, TimestepField
 from repro.datasets.hurricane import HurricaneDataset
 from repro.datasets.combustion import CombustionDataset
 from repro.datasets.ionization import IonizationDataset
-from repro.datasets.registry import available_datasets, make_dataset
+from repro.datasets.registry import available_datasets, make_dataset, register_dataset
 
 __all__ = [
     "AnalyticDataset",
@@ -25,4 +25,5 @@ __all__ = [
     "IonizationDataset",
     "available_datasets",
     "make_dataset",
+    "register_dataset",
 ]

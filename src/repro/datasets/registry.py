@@ -14,13 +14,31 @@ from repro.datasets.hurricane import HurricaneDataset
 from repro.datasets.ionization import IonizationDataset
 from repro.grid import UniformGrid
 
-__all__ = ["available_datasets", "make_dataset", "DATASETS"]
+__all__ = ["available_datasets", "make_dataset", "register_dataset", "DATASETS"]
 
-DATASETS: dict[str, type[AnalyticDataset]] = {
-    HurricaneDataset.name: HurricaneDataset,
-    CombustionDataset.name: CombustionDataset,
-    IonizationDataset.name: IonizationDataset,
-}
+DATASETS: dict[str, type[AnalyticDataset]] = {}
+
+
+def register_dataset(cls: type[AnalyticDataset]) -> type[AnalyticDataset]:
+    """Register a dataset class under its ``name`` attribute.
+
+    Returns the class so it can be used as a decorator.  Raises
+    :class:`ValueError` on a duplicate name, naming both the existing and
+    the new class — registries never silently overwrite.
+    """
+    name = cls.name
+    if name in DATASETS:
+        raise ValueError(
+            f"dataset {name!r} already registered to {DATASETS[name]!r}; "
+            f"refusing to overwrite with {cls!r}"
+        )
+    DATASETS[name] = cls
+    return cls
+
+
+register_dataset(HurricaneDataset)
+register_dataset(CombustionDataset)
+register_dataset(IonizationDataset)
 
 
 def available_datasets() -> list[str]:

@@ -26,7 +26,11 @@ from repro.interpolation.global_shepard import GlobalShepardInterpolator
 from repro.interpolation.linear_delaunay import DelaunayLinearInterpolator
 from repro.interpolation.natural_neighbor import NaturalNeighborInterpolator
 from repro.interpolation.rbf import RBFInterpolator
-from repro.interpolation.registry import available_interpolators, make_interpolator
+from repro.interpolation.registry import (
+    available_interpolators,
+    make_interpolator,
+    register_interpolator,
+)
 
 __all__ = [
     "GridInterpolator",
@@ -38,4 +42,5 @@ __all__ = [
     "RBFInterpolator",
     "available_interpolators",
     "make_interpolator",
+    "register_interpolator",
 ]

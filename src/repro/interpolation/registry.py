@@ -12,17 +12,45 @@ from repro.interpolation.rbf import RBFInterpolator
 from repro.interpolation.global_shepard import GlobalShepardInterpolator
 from repro.interpolation.shepard import ModifiedShepardInterpolator
 
-__all__ = ["available_interpolators", "make_interpolator", "INTERPOLATORS"]
+__all__ = [
+    "available_interpolators",
+    "make_interpolator",
+    "register_interpolator",
+    "INTERPOLATORS",
+]
 
-INTERPOLATORS: dict[str, Callable[[], GridInterpolator]] = {
-    "nearest": NearestNeighborInterpolator,
-    "shepard": ModifiedShepardInterpolator,
-    "shepard-global": GlobalShepardInterpolator,
-    "linear": DelaunayLinearInterpolator,
-    "linear-naive": lambda: DelaunayLinearInterpolator(mode="naive"),
-    "natural": NaturalNeighborInterpolator,
-    "rbf": RBFInterpolator,
-}
+INTERPOLATORS: dict[str, Callable[[], GridInterpolator]] = {}
+
+
+def register_interpolator(
+    name: str, factory: Callable[[], GridInterpolator]
+) -> None:
+    """Register ``factory`` under ``name``.
+
+    Raises
+    ------
+    ValueError
+        When ``name`` is already registered — naming both the existing and
+        the new factory, so a plugin collision is diagnosable from the
+        message alone.  Registries never silently overwrite: the shadowed
+        entry would keep appearing in docs/CLI help while dispatch ran
+        something else.
+    """
+    if name in INTERPOLATORS:
+        raise ValueError(
+            f"interpolator {name!r} already registered to "
+            f"{INTERPOLATORS[name]!r}; refusing to overwrite with {factory!r}"
+        )
+    INTERPOLATORS[name] = factory
+
+
+register_interpolator("nearest", NearestNeighborInterpolator)
+register_interpolator("shepard", ModifiedShepardInterpolator)
+register_interpolator("shepard-global", GlobalShepardInterpolator)
+register_interpolator("linear", DelaunayLinearInterpolator)
+register_interpolator("linear-naive", lambda: DelaunayLinearInterpolator(mode="naive"))
+register_interpolator("natural", NaturalNeighborInterpolator)
+register_interpolator("rbf", RBFInterpolator)
 
 
 def available_interpolators() -> list[str]:

@@ -41,7 +41,9 @@ def snr(original: np.ndarray, reconstructed: np.ndarray) -> float:
         return float("inf")
     if sigma_raw == 0.0:
         return float("-inf")
-    return 20.0 * float(np.log10(sigma_raw / sigma_noise))
+    # Log difference instead of log-of-ratio: no division, and immune to
+    # overflow/underflow of the intermediate ratio for extreme sigmas.
+    return 20.0 * (float(np.log10(sigma_raw)) - float(np.log10(sigma_noise)))
 
 
 def psnr(original: np.ndarray, reconstructed: np.ndarray) -> float:

@@ -69,7 +69,9 @@ class Dense(Layer):
         super().__init__()
         if in_features < 1 or out_features < 1:
             raise ValueError(f"Dense needs positive dims, got {in_features}x{out_features}")
-        rng = rng if rng is not None else np.random.default_rng()
+        # Deterministic fallback: un-threaded construction must still be
+        # reproducible run to run (pass a Generator to vary the init).
+        rng = rng if rng is not None else np.random.default_rng(0)
         init = get_initializer(weight_init)
         self.in_features = int(in_features)
         self.out_features = int(out_features)

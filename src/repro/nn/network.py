@@ -117,7 +117,8 @@ class Sequential:
 
 def from_spec(spec: list[dict], rng: np.random.Generator | None = None) -> Sequential:
     """Rebuild a :class:`Sequential` from :meth:`Sequential.spec` output."""
-    rng = rng if rng is not None else np.random.default_rng()
+    # Deterministic fallback, matching Dense's default (reproducible rebuilds).
+    rng = rng if rng is not None else np.random.default_rng(0)
     layers: list[Layer] = []
     for entry in spec:
         kind = entry["kind"]

@@ -1,0 +1,307 @@
+"""Per-rule fixtures: every rule has a trigger, a clean, and a suppression case.
+
+Each fixture is a tiny on-disk project run through the real engine, so
+these tests also exercise discovery, module-name derivation and the
+``# repro: noqa[RULE-ID]`` pipeline exactly as ``python -m repro.checks``
+does.  A meta-test asserts the fixture table covers the whole battery, so
+adding a rule without fixtures fails the suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.checks import ALL_RULES, CheckConfig, run_checks
+
+
+@dataclass(frozen=True)
+class RuleFixture:
+    """Trigger/clean/suppressed sources for one rule."""
+
+    relpath: str                    # where the varying file lives
+    trigger: str                    # source producing >= 1 finding
+    clean: str                      # source producing 0 findings
+    suppressed: str                 # trigger + noqa producing 0 findings
+    extra_files: dict = field(default_factory=dict)   # shared scaffolding
+
+
+FIXTURES: dict[str, RuleFixture] = {
+    "RNG001": RuleFixture(
+        relpath="repro_fixture/sim.py",
+        trigger=(
+            "import numpy as np\n"
+            "def draw(n):\n"
+            "    np.random.seed(0)\n"
+            "    return np.random.rand(n)\n"
+        ),
+        clean=(
+            "import numpy as np\n"
+            "def draw(n, rng: np.random.Generator):\n"
+            "    return rng.random(n)\n"
+        ),
+        suppressed=(
+            "import numpy as np\n"
+            "def draw(n):\n"
+            "    np.random.seed(0)  # repro: noqa[RNG001]\n"
+            "    return np.random.rand(n)  # repro: noqa[RNG001]\n"
+        ),
+    ),
+    "RNG002": RuleFixture(
+        relpath="repro_fixture/sim.py",
+        trigger=(
+            "import numpy as np\n"
+            "def init():\n"
+            "    return np.random.default_rng()\n"
+        ),
+        clean=(
+            "import numpy as np\n"
+            "def init(seed=0):\n"
+            "    return np.random.default_rng(seed)\n"
+        ),
+        suppressed=(
+            "import numpy as np\n"
+            "def init():\n"
+            "    return np.random.default_rng()  # repro: noqa[RNG002]\n"
+        ),
+    ),
+    "DT001": RuleFixture(
+        relpath="nn/layers_fixture.py",
+        trigger=(
+            "import numpy as np\n"
+            "def forward(x):\n"
+            "    return np.asarray(x) * 2\n"
+        ),
+        clean=(
+            "import numpy as np\n"
+            "def forward(x):\n"
+            "    return np.asarray(x, dtype=np.float64) * 2\n"
+        ),
+        suppressed=(
+            "import numpy as np\n"
+            "def forward(x):\n"
+            "    return np.asarray(x) * 2  # repro: noqa[DT001]\n"
+        ),
+    ),
+    "DT002": RuleFixture(
+        relpath="metrics/fast_fixture.py",
+        trigger=(
+            "import numpy as np\n"
+            "def shrink(x):\n"
+            "    return x.astype(np.float32)\n"
+        ),
+        clean=(
+            "import numpy as np\n"
+            "def shrink(x):\n"
+            "    return x.astype(np.float64)\n"
+        ),
+        suppressed=(
+            "import numpy as np\n"
+            "def shrink(x):\n"
+            "    return x.astype(np.float32)  # repro: noqa[DT002]\n"
+        ),
+    ),
+    "DIV001": RuleFixture(
+        relpath="metrics/ratio_fixture.py",
+        trigger=(
+            "def ratio(a, b):\n"
+            "    return a / b\n"
+        ),
+        clean=(
+            "EPS = 1e-12\n"
+            "def ratio(a, b):\n"
+            "    return a / (b + EPS)\n"
+        ),
+        suppressed=(
+            "def ratio(a, b):\n"
+            "    return a / b  # repro: noqa[DIV001]\n"
+        ),
+    ),
+    "REG001": RuleFixture(
+        relpath="plugins/registry.py",
+        trigger=(
+            "from plugins.impl import Alpha, Beta\n"
+            'THINGS = {"alpha": Alpha, "beta": Beta, "alpha": Alpha}\n'
+        ),
+        clean=(
+            "from plugins.impl import Alpha\n"
+            'THINGS = {"alpha": Alpha}\n'
+        ),
+        suppressed=(
+            "from plugins.impl import Alpha, Beta\n"
+            "THINGS = {\n"
+            '    "alpha": Alpha,\n'
+            '    "beta": Beta,  # repro: noqa[REG001]\n'
+            '    "alpha": Alpha,  # repro: noqa[REG001]\n'
+            "}\n"
+        ),
+        extra_files={
+            "plugins/__init__.py": '__all__ = ["Alpha"]\nfrom plugins.impl import Alpha\n',
+            "plugins/impl.py": "class Alpha: pass\n\nclass Beta: pass\n",
+        },
+    ),
+    "IMP001": RuleFixture(
+        relpath="pkg/alpha.py",
+        trigger="from pkg.beta import helper\n\ndef top():\n    return helper\n",
+        clean="def top():\n    from pkg.beta import helper\n    return helper\n",
+        suppressed=(
+            "from pkg.beta import helper  # repro: noqa[IMP001]\n"
+            "\n"
+            "def top():\n"
+            "    return helper\n"
+        ),
+        extra_files={
+            "pkg/__init__.py": "",
+            "pkg/beta.py": "from pkg.alpha import top\n\ndef helper():\n    return top\n",
+        },
+    ),
+    "DEF001": RuleFixture(
+        relpath="repro_fixture/util.py",
+        trigger="def collect(x, into=[]):\n    into.append(x)\n    return into\n",
+        clean=(
+            "def collect(x, into=None):\n"
+            "    into = [] if into is None else into\n"
+            "    into.append(x)\n"
+            "    return into\n"
+        ),
+        suppressed=(
+            "def collect(x, into=[]):  # repro: noqa[DEF001]\n"
+            "    into.append(x)\n"
+            "    return into\n"
+        ),
+    ),
+}
+
+
+def _run_fixture(tmp_path, fixture: RuleFixture, source: str, rule_id: str):
+    for relpath, content in fixture.extra_files.items():
+        f = tmp_path / relpath
+        f.parent.mkdir(parents=True, exist_ok=True)
+        f.write_text(content)
+    target = tmp_path / fixture.relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    config = CheckConfig(select=frozenset({rule_id}))
+    return run_checks([tmp_path], config=config)
+
+
+def test_fixture_table_covers_whole_battery():
+    assert set(FIXTURES) == {cls.id for cls in ALL_RULES}
+
+
+@pytest.mark.parametrize("rule_id", sorted(FIXTURES))
+def test_trigger_fires(tmp_path, rule_id):
+    result = _run_fixture(tmp_path, FIXTURES[rule_id], FIXTURES[rule_id].trigger, rule_id)
+    assert result.findings, f"{rule_id} trigger fixture produced no findings"
+    assert all(f.rule == rule_id for f in result.findings)
+
+
+@pytest.mark.parametrize("rule_id", sorted(FIXTURES))
+def test_clean_is_clean(tmp_path, rule_id):
+    result = _run_fixture(tmp_path, FIXTURES[rule_id], FIXTURES[rule_id].clean, rule_id)
+    assert not result.findings, f"{rule_id} clean fixture: {result.findings}"
+
+
+@pytest.mark.parametrize("rule_id", sorted(FIXTURES))
+def test_noqa_suppresses(tmp_path, rule_id):
+    result = _run_fixture(
+        tmp_path, FIXTURES[rule_id], FIXTURES[rule_id].suppressed, rule_id
+    )
+    assert not result.findings, f"{rule_id} suppression fixture: {result.findings}"
+    assert result.suppressed >= 1
+
+
+# ---------------------------------------------------------------- edge cases
+
+
+def test_div_rule_accepts_clamped_denominator(tmp_path):
+    src = (
+        "import numpy as np\n"
+        "def ratio(a, b):\n"
+        "    return a / np.maximum(b, 1e-12)\n"
+    )
+    fixture = RuleFixture("metrics/m.py", src, src, src)
+    assert not _run_fixture(tmp_path, fixture, src, "DIV001").findings
+
+
+def test_div_rule_accepts_ssim_style_stabilizers(tmp_path):
+    src = (
+        "def ssim_like(mu_a, mu_b, c1):\n"
+        "    return (2 * mu_a * mu_b + c1) / (mu_a**2 + mu_b**2 + c1)\n"
+    )
+    fixture = RuleFixture("metrics/m.py", src, src, src)
+    assert not _run_fixture(tmp_path, fixture, src, "DIV001").findings
+
+
+def test_div_rule_ignores_out_of_scope_modules(tmp_path):
+    src = "def ratio(a, b):\n    return a / b\n"
+    fixture = RuleFixture("vis/m.py", src, src, src)
+    assert not _run_fixture(tmp_path, fixture, src, "DIV001").findings
+
+
+def test_registry_rule_flags_unexported_factory(tmp_path):
+    fixture = RuleFixture(
+        "plugins/registry.py",
+        'from plugins.impl import Beta\nTHINGS = {"beta": Beta}\n',
+        "",
+        "",
+        extra_files=FIXTURES["REG001"].extra_files,
+    )
+    result = _run_fixture(tmp_path, fixture, fixture.trigger, "REG001")
+    assert any("missing from" in f.message for f in result.findings)
+
+
+def test_registry_rule_flags_duplicate_register_calls(tmp_path):
+    fixture = RuleFixture(
+        "plugins/registry.py",
+        (
+            "from plugins.impl import Alpha\n"
+            "def register(name, factory):\n"
+            "    pass\n"
+            'register("alpha", Alpha)\n'
+            'register("alpha", Alpha)\n'
+        ),
+        "",
+        "",
+        extra_files=FIXTURES["REG001"].extra_files,
+    )
+    result = _run_fixture(tmp_path, fixture, fixture.trigger, "REG001")
+    assert any("registered twice" in f.message for f in result.findings)
+
+
+def test_registry_rule_flags_all_dupes_and_unbound(tmp_path):
+    fixture = RuleFixture(
+        "plugins/__init__.py",
+        '__all__ = ["Alpha", "Alpha", "Ghost"]\nfrom plugins.impl import Alpha\n',
+        "",
+        "",
+        extra_files={"plugins/impl.py": "class Alpha: pass\n"},
+    )
+    result = _run_fixture(tmp_path, fixture, fixture.trigger, "REG001")
+    messages = " | ".join(f.message for f in result.findings)
+    assert "twice" in messages and "never binds" in messages
+
+
+def test_import_cycle_reports_full_chain(tmp_path):
+    fixture = FIXTURES["IMP001"]
+    result = _run_fixture(tmp_path, fixture, fixture.trigger, "IMP001")
+    assert len(result.findings) == 1
+    assert "pkg.alpha" in result.findings[0].message
+    assert "pkg.beta" in result.findings[0].message
+
+
+def test_unseeded_rng_allows_variable_seed(tmp_path):
+    src = (
+        "import numpy as np\n"
+        "def init(seed):\n"
+        "    return np.random.default_rng(seed)\n"
+    )
+    fixture = RuleFixture("repro_fixture/sim.py", src, src, src)
+    assert not _run_fixture(tmp_path, fixture, src, "RNG002").findings
+
+
+def test_dtype_boundary_only_applies_inside_nn(tmp_path):
+    src = "import numpy as np\ndef load(x):\n    return np.asarray(x)\n"
+    fixture = RuleFixture("io_helpers/loader.py", src, src, src)
+    assert not _run_fixture(tmp_path, fixture, src, "DT001").findings

@@ -1,0 +1,72 @@
+"""Duplicate-registration guards on the interpolator and dataset registries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import registry as dataset_registry
+from repro.datasets.base import AnalyticDataset
+from repro.interpolation import registry as interp_registry
+from repro.interpolation.nearest import NearestNeighborInterpolator
+
+
+def test_register_interpolator_duplicate_names_both_entries():
+    with pytest.raises(ValueError) as exc:
+        interp_registry.register_interpolator("nearest", NearestNeighborInterpolator)
+    msg = str(exc.value)
+    assert "'nearest'" in msg
+    assert "already registered" in msg
+    # Both colliding factories are identifiable from the message alone.
+    assert msg.count("NearestNeighborInterpolator") >= 2
+
+
+def test_register_interpolator_new_name_roundtrips():
+    name = "test-only-nearest"
+    assert name not in interp_registry.INTERPOLATORS
+    try:
+        interp_registry.register_interpolator(name, NearestNeighborInterpolator)
+        assert name in interp_registry.available_interpolators()
+        made = interp_registry.make_interpolator(name)
+        assert isinstance(made, NearestNeighborInterpolator)
+    finally:
+        interp_registry.INTERPOLATORS.pop(name, None)
+
+
+def test_register_dataset_duplicate_names_both_entries():
+    class FakeHurricane(AnalyticDataset):
+        name = "hurricane"
+
+    with pytest.raises(ValueError) as exc:
+        dataset_registry.register_dataset(FakeHurricane)
+    msg = str(exc.value)
+    assert "'hurricane'" in msg
+    assert "already registered" in msg
+    assert "HurricaneDataset" in msg and "FakeHurricane" in msg
+
+
+def test_register_dataset_acts_as_decorator():
+    try:
+
+        @dataset_registry.register_dataset
+        class TestOnlyDataset(AnalyticDataset):
+            name = "test-only-dataset"
+
+        assert dataset_registry.DATASETS["test-only-dataset"] is TestOnlyDataset
+        assert "test-only-dataset" in dataset_registry.available_datasets()
+    finally:
+        dataset_registry.DATASETS.pop("test-only-dataset", None)
+
+
+def test_seeded_registries_are_intact():
+    assert set(dataset_registry.available_datasets()) >= {
+        "hurricane",
+        "combustion",
+        "ionization",
+    }
+    assert set(interp_registry.available_interpolators()) >= {
+        "nearest",
+        "shepard",
+        "linear",
+        "natural",
+        "rbf",
+    }
