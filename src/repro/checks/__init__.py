@@ -15,6 +15,7 @@ DIV001   metric/analysis divisions carry a visible epsilon guard
 REG001   registries and package ``__all__`` exports agree
 IMP001   no module-level import cycles
 DEF001   no mutable default arguments
+ATM001   numpy archive writes are atomic (temp + ``os.replace``)
 =======  ==========================================================
 
 Run ``python -m repro.checks src/repro`` (or ``repro check``); suppress a

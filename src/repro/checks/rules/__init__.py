@@ -6,6 +6,7 @@ Trigger/clean/suppression fixtures in ``tests/test_checks_rules.py`` are
 required for every rule (the test suite asserts the battery is covered).
 """
 
+from repro.checks.rules.atomic import NonAtomicCheckpointWriteRule
 from repro.checks.rules.base import ModuleContext, ProjectContext, Rule
 from repro.checks.rules.defaults import MutableDefaultArgumentRule
 from repro.checks.rules.division import GuardedDivisionRule
@@ -27,6 +28,7 @@ __all__ = [
     "RegistryConsistencyRule",
     "ImportCycleRule",
     "MutableDefaultArgumentRule",
+    "NonAtomicCheckpointWriteRule",
 ]
 
 ALL_RULES: tuple[type[Rule], ...] = (
@@ -38,4 +40,5 @@ ALL_RULES: tuple[type[Rule], ...] = (
     RegistryConsistencyRule,
     ImportCycleRule,
     MutableDefaultArgumentRule,
+    NonAtomicCheckpointWriteRule,
 )

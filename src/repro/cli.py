@@ -12,7 +12,8 @@ Two command families (``repro ...`` or ``python -m repro ...``):
 
     repro generate hurricane out.vti --dims 40 40 12
     repro sample out.vti cloud.vtp --fraction 0.01
-    repro train out.vti model.npz --epochs 150
+    repro train out.vti model.npz --epochs 150 --checkpoint ckpt.npz
+    repro train out.vti model.npz --epochs 150 --checkpoint ckpt.npz --resume
     repro reconstruct cloud.vtp out.vti recon.vti --method fcnn --model model.npz
     repro evaluate out.vti recon.vti
     repro render recon.vti view.pgm --mode mip
@@ -29,6 +30,7 @@ import argparse
 import sys
 
 from repro.experiments.config import PROFILES, get_config
+from repro.resilience import CheckpointCorruptionError
 
 __all__ = ["main"]
 
@@ -107,6 +109,15 @@ def _tool_main(argv: list[str]) -> int:
     p.add_argument("--epochs", type=int, default=150)
     p.add_argument("--hidden", type=int, nargs="+", default=[128, 64, 32, 16])
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--checkpoint", default=None,
+                   help="write training checkpoints here (.npz)")
+    p.add_argument("--checkpoint-every", type=int, default=25,
+                   help="epochs between checkpoints (default 25)")
+    p.add_argument("--resume", action="store_true",
+                   help="continue an interrupted run from --checkpoint")
+    p.add_argument("--health-policy", default="rollback",
+                   choices=["raise", "skip_batch", "rollback", ""],
+                   help="NaN/Inf guard policy ('' disables; default rollback)")
 
     p = sub.add_parser("reconstruct", help="rebuild a .vti from a .vtp cloud")
     p.add_argument("input")
@@ -139,7 +150,10 @@ def _tool_main(argv: list[str]) -> int:
         elif args.command == "train":
             msg = tools.cmd_train(args.input, args.model_out, fractions=tuple(args.fractions),
                                   sampler=args.sampler, array=args.array, epochs=args.epochs,
-                                  hidden=tuple(args.hidden), seed=args.seed)
+                                  hidden=tuple(args.hidden), seed=args.seed,
+                                  checkpoint=args.checkpoint,
+                                  checkpoint_every=args.checkpoint_every,
+                                  resume=args.resume, health_policy=args.health_policy)
         elif args.command == "reconstruct":
             msg = tools.cmd_reconstruct(args.input, args.reference, args.output,
                                         method=args.method, model=args.model, array=args.array)
@@ -148,7 +162,7 @@ def _tool_main(argv: list[str]) -> int:
         else:
             msg = tools.cmd_render(args.input, args.output, mode=args.mode,
                                    axis=args.axis, array=args.array)
-    except (ValueError, FileNotFoundError, KeyError) as exc:
+    except (ValueError, FileNotFoundError, KeyError, CheckpointCorruptionError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     print(msg)

@@ -88,12 +88,27 @@ class ReconstructionPipeline:
         epochs: int = 500,
         train_fraction: float = 1.0,
         grid: UniformGrid | None = None,
+        checkpoint=None,
+        resume_from=None,
+        health=None,
     ) -> FCNNReconstructor:
-        """Train (or retrain) an FCNN on this dataset's training samples."""
+        """Train (or retrain) an FCNN on this dataset's training samples.
+
+        ``checkpoint``/``resume_from``/``health`` are forwarded to
+        :meth:`FCNNReconstructor.train` (see :mod:`repro.resilience`).
+        """
         recon = reconstructor if reconstructor is not None else FCNNReconstructor()
         fld = self.field(timestep, grid=grid)
         samples = [self.sample(fld, f) for f in self.train_fractions]
-        recon.train(fld, samples, epochs=epochs, train_fraction=train_fraction)
+        recon.train(
+            fld,
+            samples,
+            epochs=epochs,
+            train_fraction=train_fraction,
+            checkpoint=checkpoint,
+            resume_from=resume_from,
+            health=health,
+        )
         return recon
 
     # --------------------------------------------------------- reconstruction

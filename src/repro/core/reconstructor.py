@@ -27,6 +27,9 @@ from repro.datasets.base import TimestepField
 from repro.grid import UniformGrid
 from repro.nn import Adam, MSELoss, Sequential, Trainer, TrainingHistory, WeightedMSELoss, mlp
 from repro.nn.serialization import load_model, save_model, save_partial
+from repro.resilience.checkpoint import CheckpointConfig, TrainingCheckpoint
+from repro.resilience.health import HealthGuard, NumericalHealthError
+from repro.resilience.report import ReconstructionReport
 from repro.sampling.base import SampledField
 
 __all__ = ["FCNNReconstructor", "PAPER_HIDDEN_LAYERS"]
@@ -154,6 +157,9 @@ class FCNNReconstructor:
         epochs: int = 500,
         train_fraction: float = 1.0,
         validation: tuple[np.ndarray, np.ndarray] | None = None,
+        checkpoint: CheckpointConfig | None = None,
+        resume_from: str | Path | TrainingCheckpoint | None = None,
+        health: HealthGuard | None = None,
     ) -> TrainingHistory:
         """Full (pre)training on one timestep's sample(s).
 
@@ -162,6 +168,12 @@ class FCNNReconstructor:
         network sees both sparse and dense neighborhoods.
         ``train_fraction`` sub-samples the assembled training rows
         (Fig 14 / Table II).
+
+        ``checkpoint``, ``resume_from`` and ``health`` are forwarded to
+        :meth:`repro.nn.Trainer.fit`: periodic atomic training-state
+        checkpoints, bit-exact resume of a killed run (the model is
+        deterministically rebuilt from ``seed``, then overwritten by the
+        checkpointed state), and NaN/Inf recovery policies.
         """
         sample_list = self._as_sample_list(samples)
         combined_values = np.concatenate([s.values for s in sample_list])
@@ -185,7 +197,15 @@ class FCNNReconstructor:
             batch_size=self.batch_size,
             seed=self.seed,
         )
-        run = trainer.fit(x, y, epochs=epochs, validation=validation)
+        run = trainer.fit(
+            x,
+            y,
+            epochs=epochs,
+            validation=validation,
+            checkpoint=checkpoint,
+            resume_from=resume_from,
+            health=health,
+        )
         self.history.extend(run)
         return run
 
@@ -197,6 +217,8 @@ class FCNNReconstructor:
         strategy: str = "full",
         num_trainable: int = 2,
         train_fraction: float = 1.0,
+        checkpoint: CheckpointConfig | None = None,
+        health: HealthGuard | None = None,
     ) -> TrainingHistory:
         """Adapt a trained model to new data (new timestep / resolution).
 
@@ -232,7 +254,7 @@ class FCNNReconstructor:
             batch_size=self.batch_size,
             seed=self.seed + 1,
         )
-        run = trainer.fit(x, y, epochs=epochs)
+        run = trainer.fit(x, y, epochs=epochs, checkpoint=checkpoint, health=health)
         self.history.extend(run)
         model.set_all_trainable(True)
         return run
@@ -260,25 +282,84 @@ class FCNNReconstructor:
         self,
         sample: SampledField,
         target_grid: UniformGrid | None = None,
-    ) -> np.ndarray:
+        on_nonfinite: str = "fallback",
+        return_report: bool = False,
+    ) -> np.ndarray | tuple[np.ndarray, ReconstructionReport]:
         """Reconstruct the full field from a sample (shaped like the grid).
 
         With ``target_grid`` (Fig 13 upscaling) every grid point is
         predicted; otherwise sampled locations keep their exact stored
         values and only void locations are predicted.
+
+        Non-finite FCNN predictions (a numerically-poisoned model, an
+        overflowing feature) are handled per ``on_nonfinite``:
+        ``"fallback"`` (default) fills the affected locations by nearest-
+        neighbor interpolation from the sample and flags them in the
+        report; ``"raise"`` aborts with
+        :class:`~repro.resilience.NumericalHealthError`.  Request the
+        degradation metadata with ``return_report=True`` — the result
+        becomes ``(field, report)``.
         """
+        if on_nonfinite not in ("fallback", "raise"):
+            raise ValueError(
+                f"on_nonfinite must be 'fallback' or 'raise', got {on_nonfinite!r}"
+            )
         self._require_trained()
         grid = target_grid if target_grid is not None else sample.grid
         same_grid = target_grid is None or target_grid == sample.grid
+        report = ReconstructionReport(
+            total_points=int(grid.num_points), fallback_method="nearest"
+        )
         if same_grid:
             out = grid.empty_field().ravel()
             out[sample.indices] = sample.values
             void = sample.void_indices()
             if void.size:
                 points = grid.index_to_position(grid.flat_to_multi(void))
-                out[void] = self.predict_values(sample, points, grid)
-            return out.reshape(grid.dims)
-        return self.predict_values(sample, grid.points(), grid).reshape(grid.dims)
+                out[void] = self._healthy_predictions(
+                    sample, points, grid, on_nonfinite, report
+                )
+            field = out.reshape(grid.dims)
+        else:
+            points = grid.points()
+            field = self._healthy_predictions(
+                sample, points, grid, on_nonfinite, report
+            ).reshape(grid.dims)
+        if return_report:
+            return field, report
+        return field
+
+    def _healthy_predictions(
+        self,
+        sample: SampledField,
+        points: np.ndarray,
+        grid: UniformGrid,
+        on_nonfinite: str,
+        report: ReconstructionReport,
+    ) -> np.ndarray:
+        """Predict at ``points``, degrading non-finite outputs to nearest-neighbor."""
+        pred = self.predict_values(sample, points, grid)
+        bad = ~np.isfinite(pred)
+        count = int(bad.sum())
+        if count == 0:
+            return pred
+        if on_nonfinite == "raise":
+            raise NumericalHealthError(
+                f"FCNN produced {count}/{pred.size} non-finite predictions; "
+                "the model state is numerically poisoned"
+            )
+        from scipy.spatial import cKDTree
+
+        pred = pred.copy()
+        _, nearest = cKDTree(sample.points).query(points[bad], k=1)
+        pred[bad] = sample.values[nearest]
+        report.flag(
+            len(report.degraded),
+            count,
+            f"{count}/{pred.size} non-finite FCNN prediction(s)",
+            "nearest",
+        )
+        return pred
 
     # ----------------------------------------------------------- checkpoints
     def save(self, path: str | Path) -> None:

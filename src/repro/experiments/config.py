@@ -53,6 +53,16 @@ class ExperimentConfig:
     upscale_factor: int = 2
     #: fractional domain shift of the upscaled grid (Fig 13)
     upscale_shift: tuple[float, float, float] = (0.15, 0.15, 0.0)
+    #: numerical health-guard policy for FCNN training runs
+    #: (see :class:`repro.resilience.HealthGuard`); "rollback" restores the
+    #: last good epoch and halves the learning rate on NaN/Inf
+    health_policy: str = "rollback"
+    #: rollback retry budget before a run is declared unrecoverable
+    health_max_retries: int = 3
+    #: epochs between training checkpoints (0 disables checkpointing)
+    checkpoint_every: int = 0
+    #: directory for training checkpoints (None disables on-disk checkpoints)
+    checkpoint_dir: str | None = None
     seed: int = 7
 
     def scaled(self, **overrides) -> "ExperimentConfig":

@@ -10,7 +10,13 @@ grows; the 5% model is the reverse; the union model is good at both ends
 from __future__ import annotations
 
 from repro.experiments.config import ExperimentConfig, get_config
-from repro.experiments.runner import ExperimentResult, build_pipeline, build_reconstructor, test_samples
+from repro.experiments.runner import (
+    ExperimentResult,
+    build_health_guard,
+    build_pipeline,
+    build_reconstructor,
+    test_samples,
+)
 from repro.metrics import snr
 
 __all__ = ["run"]
@@ -38,7 +44,7 @@ def run(config: ExperimentConfig | None = None) -> ExperimentResult:
     for label, fractions in variants.items():
         fcnn = build_reconstructor(config)
         train = [pipeline.sample(field, f) for f in fractions]
-        fcnn.train(field, train, epochs=config.epochs)
+        fcnn.train(field, train, epochs=config.epochs, health=build_health_guard(config))
         for fraction, sample in samples.items():
             value = snr(field.values, fcnn.reconstruct(sample))
             result.rows.append({"model": label, "fraction": fraction, "snr": value})

@@ -11,7 +11,13 @@ most.
 from __future__ import annotations
 
 from repro.experiments.config import ExperimentConfig, get_config
-from repro.experiments.runner import ExperimentResult, build_pipeline, build_reconstructor
+from repro.experiments.runner import (
+    ExperimentResult,
+    build_checkpoint_config,
+    build_health_guard,
+    build_pipeline,
+    build_reconstructor,
+)
 from repro.grid import upscaled_grid
 
 __all__ = ["run"]
@@ -41,7 +47,13 @@ def run(config: ExperimentConfig | None = None) -> ExperimentResult:
         train = [pipeline.sample(field, f) for f in config.train_fractions]
 
         fcnn = build_reconstructor(config)
-        fcnn.train(field, train, epochs=config.epochs)
+        fcnn.train(
+            field,
+            train,
+            epochs=config.epochs,
+            health=build_health_guard(config),
+            checkpoint=build_checkpoint_config(config, name=f"{dataset}-{variant}"),
+        )
         seconds = fcnn.history.total_seconds
         rows = sum(s.void_indices().size for s in train)
         result.rows.append(

@@ -4,14 +4,23 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.core import FCNNReconstructor
 from repro.core.pipeline import ReconstructionPipeline
 from repro.datasets import make_dataset
 from repro.experiments.config import ExperimentConfig
+from repro.resilience import CheckpointConfig, HealthGuard
 from repro.sampling import MultiCriteriaSampler
 
-__all__ = ["ExperimentResult", "build_pipeline", "build_reconstructor", "timed"]
+__all__ = [
+    "ExperimentResult",
+    "build_pipeline",
+    "build_reconstructor",
+    "build_health_guard",
+    "build_checkpoint_config",
+    "timed",
+]
 
 
 @dataclass
@@ -63,6 +72,28 @@ def build_reconstructor(config: ExperimentConfig, **overrides) -> FCNNReconstruc
     )
     kwargs.update(overrides)
     return FCNNReconstructor(**kwargs)
+
+
+def build_health_guard(config: ExperimentConfig) -> HealthGuard | None:
+    """Numerical health guard from a config; ``health_policy=""`` disables it."""
+    if not config.health_policy:
+        return None
+    return HealthGuard(config.health_policy, max_retries=config.health_max_retries)
+
+
+def build_checkpoint_config(
+    config: ExperimentConfig, name: str = "train"
+) -> CheckpointConfig | None:
+    """Training-checkpoint config, or ``None`` when checkpointing is off.
+
+    Checkpoints land at ``<checkpoint_dir>/<name>.npz`` every
+    ``checkpoint_every`` epochs; both fields must be set to enable them.
+    """
+    if config.checkpoint_every <= 0 or not config.checkpoint_dir:
+        return None
+    path = Path(config.checkpoint_dir) / f"{name}.npz"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    return CheckpointConfig(path=path, every=config.checkpoint_every)
 
 
 def test_samples(pipeline, field, fractions, config: ExperimentConfig) -> dict:

@@ -32,6 +32,41 @@ class Optimizer:
         for p in self.parameters:
             p.zero_grad()
 
+    # ----------------------------------------------------------- checkpointing
+    def state_dict(self) -> dict:
+        """Resumable state: scalars plus per-parameter arrays (copies).
+
+        Subclasses extend this with their moment/velocity buffers; the
+        contract is that ``load_state_dict(state_dict())`` restores the
+        optimizer bit-exactly (see :mod:`repro.resilience.checkpoint`).
+        """
+        return {"kind": type(self).__name__, "lr": self.lr}
+
+    def load_state_dict(self, state: dict) -> None:
+        """Restore state captured by :meth:`state_dict`, in place."""
+        kind = state.get("kind")
+        if kind != type(self).__name__:
+            raise ValueError(
+                f"optimizer state is for {kind!r}, cannot load into {type(self).__name__}"
+            )
+        self.lr = float(state["lr"])
+
+    @staticmethod
+    def _restore_buffers(dst: list[np.ndarray], src, label: str) -> None:
+        """Copy checkpointed buffers over live ones, validating counts/shapes."""
+        src = list(src)
+        if len(src) != len(dst):
+            raise ValueError(
+                f"optimizer state {label!r} holds {len(src)} arrays, expected {len(dst)}"
+            )
+        for d, s in zip(dst, src):
+            s = np.asarray(s, dtype=np.float64)
+            if d.shape != s.shape:
+                raise ValueError(
+                    f"optimizer state {label!r} shape mismatch: {s.shape} vs {d.shape}"
+                )
+            d[...] = s
+
 
 class SGD(Optimizer):
     """Stochastic gradient descent with optional classical momentum."""
@@ -53,6 +88,17 @@ class SGD(Optimizer):
                 p.value += v
             else:
                 p.value -= self.lr * p.grad
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["momentum"] = self.momentum
+        state["velocity"] = [v.copy() for v in self._velocity]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.momentum = float(state["momentum"])
+        self._restore_buffers(self._velocity, state["velocity"], "velocity")
 
 
 class RMSProp(Optimizer):
@@ -79,6 +125,19 @@ class RMSProp(Optimizer):
             sq *= self.rho
             sq += (1.0 - self.rho) * p.grad**2
             p.value -= self.lr * p.grad / (np.sqrt(sq) + self.eps)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["rho"] = self.rho
+        state["eps"] = self.eps
+        state["sq"] = [sq.copy() for sq in self._sq]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.rho = float(state["rho"])
+        self.eps = float(state["eps"])
+        self._restore_buffers(self._sq, state["sq"], "sq")
 
 
 class Adam(Optimizer):
@@ -116,3 +175,22 @@ class Adam(Optimizer):
             m_hat = m / b1t
             v_hat = v / b2t
             p.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def state_dict(self) -> dict:
+        state = super().state_dict()
+        state["beta1"] = self.beta1
+        state["beta2"] = self.beta2
+        state["eps"] = self.eps
+        state["t"] = self._t
+        state["m"] = [m.copy() for m in self._m]
+        state["v"] = [v.copy() for v in self._v]
+        return state
+
+    def load_state_dict(self, state: dict) -> None:
+        super().load_state_dict(state)
+        self.beta1 = float(state["beta1"])
+        self.beta2 = float(state["beta2"])
+        self.eps = float(state["eps"])
+        self._t = int(state["t"])
+        self._restore_buffers(self._m, state["m"], "m")
+        self._restore_buffers(self._v, state["v"], "v")

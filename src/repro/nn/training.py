@@ -1,21 +1,39 @@
-"""Mini-batch training loop with loss history.
+"""Mini-batch training loop with loss history, checkpointing and health guards.
 
 The :class:`Trainer` reproduces the paper's training protocol: shuffled
 mini-batches, MSE loss, Adam, a fixed epoch budget (500 epochs for full
 training, ~10 for Case-1 fine-tuning, 300-500 for Case-2), and the per-epoch
 loss history that Fig 12 plots.
+
+Long runs additionally get the resilience hooks from
+:mod:`repro.resilience`:
+
+* ``checkpoint=`` saves atomic, checksummed training-state checkpoints
+  (model + optimizer + RNG + history) every N epochs;
+* ``resume_from=`` continues a killed run *bit-exactly* — the resumed
+  run's parameters and loss history match an uninterrupted one;
+* ``health=`` detects NaN/Inf in loss, gradients and parameters per batch
+  and epoch, with ``raise`` / ``skip_batch`` / ``rollback`` policies.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from repro.nn.losses import Loss, MSELoss
 from repro.nn.network import Sequential
 from repro.nn.optimizers import Adam, Optimizer
+from repro.resilience.checkpoint import (
+    CheckpointConfig,
+    TrainingCheckpoint,
+    load_training_checkpoint,
+    save_training_checkpoint,
+)
+from repro.resilience.health import HealthGuard, NumericalHealthError
 
 __all__ = ["TrainingHistory", "Trainer"]
 
@@ -41,6 +59,14 @@ class TrainingHistory:
         self.train_loss.extend(other.train_loss)
         self.val_loss.extend(other.val_loss)
         self.epoch_seconds.extend(other.epoch_seconds)
+
+
+class _RollbackSignal(Exception):
+    """Internal: a health problem under the rollback policy."""
+
+    def __init__(self, detail: str) -> None:
+        self.detail = detail
+        super().__init__(detail)
 
 
 class Trainer:
@@ -87,45 +113,226 @@ class Trainer:
         validation: tuple[np.ndarray, np.ndarray] | None = None,
         shuffle: bool = True,
         callback=None,
+        checkpoint: CheckpointConfig | None = None,
+        resume_from: str | Path | TrainingCheckpoint | None = None,
+        health: HealthGuard | None = None,
     ) -> TrainingHistory:
-        """Train for ``epochs`` passes over ``(x, y)``.
+        """Train until ``epochs`` total passes over ``(x, y)`` are done.
 
         ``callback(epoch, history)``, when given, runs after each epoch —
         used by the harness for early stopping and progress reporting.
+
+        ``checkpoint`` periodically persists the full training state with
+        :func:`repro.resilience.save_training_checkpoint` (atomic replace,
+        checksummed).  ``resume_from`` (a path or loaded
+        :class:`TrainingCheckpoint`) restores such a state and continues
+        from its epoch; the returned history covers the *whole* run
+        including the restored prefix, and matches an uninterrupted run
+        bit-exactly.  ``health`` enables NaN/Inf detection with the guard's
+        recovery policy.
         """
         x = np.asarray(x, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64)
-        if x.ndim != 2 or y.ndim != 2 or len(x) != len(y):
+        if x.ndim != 2 or y.ndim != 2:
             raise ValueError(f"expected matching 2D x/y, got {x.shape} and {y.shape}")
+        if len(x) != len(y):
+            raise ValueError(
+                f"x and y row counts differ: x has shape {x.shape}, y has shape {y.shape}"
+            )
+        if len(x) == 0:
+            raise ValueError(f"training set is empty: x has shape {x.shape}")
         if epochs < 0:
             raise ValueError(f"epochs must be >= 0, got {epochs}")
         n = len(x)
         rng = np.random.default_rng(self.seed)
         history = TrainingHistory()
 
-        for epoch in range(epochs):
+        start_epoch = 0
+        if resume_from is not None:
+            ckpt = (
+                resume_from
+                if isinstance(resume_from, TrainingCheckpoint)
+                else load_training_checkpoint(resume_from)
+            )
+            self._validate_resume(ckpt, n, epochs)
+            ckpt.restore(self.model, self.optimizer, rng)
+            history = TrainingHistory(
+                train_loss=list(ckpt.history["train_loss"]),
+                val_loss=list(ckpt.history["val_loss"]),
+                epoch_seconds=list(ckpt.history["epoch_seconds"]),
+            )
+            start_epoch = ckpt.epoch
+
+        # Rollback needs a known-good state to return to, even when no
+        # on-disk checkpointing is configured: keep an in-memory snapshot
+        # refreshed after every healthy epoch.
+        snapshot = None
+        if health is not None and health.policy == "rollback":
+            snapshot = self._capture_state(rng, history, start_epoch)
+
+        epoch = start_epoch
+        while epoch < epochs:
             t0 = time.perf_counter()
             order = rng.permutation(n) if shuffle else np.arange(n)
-            epoch_loss = 0.0
-            for start in range(0, n, self.batch_size):
-                idx = order[start : start + self.batch_size]
-                xb, yb = x[idx], y[idx]
-                pred = self.model.forward(xb)
-                batch_loss = self.loss.value(pred, yb)
-                epoch_loss += batch_loss * len(idx)
-                self.optimizer.zero_grad()
-                self.model.backward(self.loss.gradient(pred, yb))
-                self.optimizer.step()
-            history.train_loss.append(epoch_loss / n)
+            try:
+                epoch_loss = self._run_epoch(x, y, order, health, epoch)
+                if health is not None:
+                    problem = health.parameter_problem(self.optimizer.parameters)
+                    if problem is not None:
+                        self._handle_epoch_problem(health, epoch, problem)
+            except _RollbackSignal as signal:
+                epoch = self._rollback(health, snapshot, rng, history, epoch, signal)
+                continue
+            history.train_loss.append(epoch_loss)
             if validation is not None:
                 xv, yv = validation
                 history.val_loss.append(self.evaluate(xv, yv))
             history.epoch_seconds.append(time.perf_counter() - t0)
+            completed = epoch + 1
+            if checkpoint is not None and checkpoint.due(completed, epochs):
+                save_training_checkpoint(
+                    checkpoint.path,
+                    model=self.model,
+                    optimizer=self.optimizer,
+                    rng=rng,
+                    history=history,
+                    epoch=completed,
+                    meta={"rows": n, "batch_size": self.batch_size, "seed": self.seed},
+                )
+            if snapshot is not None:
+                snapshot = self._capture_state(rng, history, completed)
             if callback is not None and callback(epoch, history) is False:
                 break
+            epoch = completed
         return history
 
     def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:
         """Loss on held-out data (no parameter updates)."""
         pred = self.model.predict(np.asarray(x, dtype=np.float64))
         return self.loss.value(pred, np.asarray(y, dtype=np.float64))
+
+    # ------------------------------------------------------------- internals
+    def _run_epoch(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        order: np.ndarray,
+        health: HealthGuard | None,
+        epoch: int,
+    ) -> float:
+        n = len(x)
+        epoch_loss = 0.0
+        counted = 0
+        for batch_index, start in enumerate(range(0, n, self.batch_size)):
+            idx = order[start : start + self.batch_size]
+            xb, yb = x[idx], y[idx]
+            pred = self.model.forward(xb)
+            batch_loss = self.loss.value(pred, yb)
+            self.optimizer.zero_grad()
+            self.model.backward(self.loss.gradient(pred, yb))
+            if health is not None:
+                problem = health.loss_problem(batch_loss)
+                kind = "loss"
+                if problem is None:
+                    problem = health.gradient_problem(self.optimizer.parameters)
+                    kind = "gradient"
+                if problem is not None:
+                    health.record(epoch, batch_index, kind, problem, health.policy)
+                    if health.policy == "raise":
+                        raise NumericalHealthError(
+                            f"epoch {epoch} batch {batch_index}: {problem}"
+                        )
+                    if health.policy == "skip_batch":
+                        continue
+                    raise _RollbackSignal(
+                        f"epoch {epoch} batch {batch_index}: {problem}"
+                    )
+            self.optimizer.step()
+            epoch_loss += batch_loss * len(idx)
+            counted += len(idx)
+        if counted == 0:
+            return float("nan")
+        return epoch_loss / counted
+
+    def _handle_epoch_problem(self, health: HealthGuard, epoch: int, problem: str) -> None:
+        """Non-finite *parameters* after an epoch: skip_batch cannot help."""
+        action = "rollback" if health.policy == "rollback" else "raise"
+        health.record(epoch, -1, "parameter", problem, action)
+        if action == "rollback":
+            raise _RollbackSignal(f"epoch {epoch}: {problem}")
+        raise NumericalHealthError(f"epoch {epoch}: {problem}")
+
+    def _rollback(
+        self,
+        health: HealthGuard,
+        snapshot: dict | None,
+        rng: np.random.Generator,
+        history: TrainingHistory,
+        epoch: int,
+        signal: _RollbackSignal,
+    ) -> int:
+        if snapshot is None or health.retries_left() <= 0:
+            raise NumericalHealthError(
+                f"{signal.detail} (rollback budget exhausted after "
+                f"{health.rollbacks_used} retr{'y' if health.rollbacks_used == 1 else 'ies'})"
+            )
+        health.rollbacks_used += 1
+        restored_epoch = self._restore_state(snapshot, rng, history)
+        self.optimizer.lr *= health.lr_factor
+        health.record(
+            epoch,
+            -1,
+            "rollback",
+            signal.detail,
+            f"restored epoch {restored_epoch}, lr -> {self.optimizer.lr:g}",
+        )
+        return restored_epoch
+
+    def _capture_state(
+        self, rng: np.random.Generator, history: TrainingHistory, epoch: int
+    ) -> dict:
+        return {
+            "epoch": epoch,
+            "parameters": [p.value.copy() for p in self.optimizer.parameters],
+            "optimizer": self.optimizer.state_dict(),
+            "rng_state": rng.bit_generator.state,
+            "history": (
+                list(history.train_loss),
+                list(history.val_loss),
+                list(history.epoch_seconds),
+            ),
+        }
+
+    def _restore_state(
+        self, snapshot: dict, rng: np.random.Generator, history: TrainingHistory
+    ) -> int:
+        for p, saved in zip(self.optimizer.parameters, snapshot["parameters"]):
+            p.value[...] = saved
+        self.optimizer.load_state_dict(snapshot["optimizer"])
+        rng.bit_generator.state = snapshot["rng_state"]
+        train, val, seconds = snapshot["history"]
+        history.train_loss[:] = list(train)
+        history.val_loss[:] = list(val)
+        history.epoch_seconds[:] = list(seconds)
+        return int(snapshot["epoch"])
+
+    def _validate_resume(self, ckpt: TrainingCheckpoint, rows: int, epochs: int) -> None:
+        meta = ckpt.meta
+        if "rows" in meta and int(meta["rows"]) != rows:
+            raise ValueError(
+                f"checkpoint was trained on {meta['rows']} rows, resuming with {rows}; "
+                "bit-exact resume requires the identical training set"
+            )
+        if "batch_size" in meta and int(meta["batch_size"]) != self.batch_size:
+            raise ValueError(
+                f"checkpoint used batch_size={meta['batch_size']}, trainer has "
+                f"{self.batch_size}; bit-exact resume requires matching batching"
+            )
+        if "seed" in meta and int(meta["seed"]) != self.seed:
+            raise ValueError(
+                f"checkpoint used seed={meta['seed']}, trainer has {self.seed}"
+            )
+        if ckpt.epoch > epochs:
+            raise ValueError(
+                f"checkpoint already covers {ckpt.epoch} epochs, target is {epochs}"
+            )

@@ -1,17 +1,63 @@
-"""Process-pool map with a serial fallback.
+"""Fault-tolerant process-pool map with per-task outcomes.
 
 Workers receive picklable task payloads; with ``max_workers=1`` (or on
-platforms where spawning fails) execution degrades gracefully to an in-
-process loop, so every parallel code path is also exercised in serial test
-environments.
+platforms where process creation fails) execution degrades gracefully to an
+in-process loop, so every parallel code path is also exercised in serial
+test environments.
+
+Hardening (each recovery path is proven by fault injection in
+``tests/test_resilience_executor.py``):
+
+* tasks are submitted individually — one failing payload no longer takes
+  the whole batch down, and side-effecting completed work is never re-run;
+* per-task result timeout (``timeout=``) and exponential-backoff retry
+  (``retries=``, ``backoff=``);
+* ``BrokenProcessPool`` recovery: results collected before the crash are
+  kept, and only the unresolved payloads are re-run serially in-process;
+* :meth:`ParallelExecutor.map_outcomes` reports a structured
+  :class:`TaskOutcome` per payload instead of raising.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any
 
-__all__ = ["ParallelExecutor"]
+__all__ = ["ParallelExecutor", "TaskOutcome"]
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one payload across all execution attempts."""
+
+    index: int
+    status: str = "pending"          # "pending" -> "ok" | "failed"
+    result: Any = None
+    error: str | None = None         # human-readable failure description
+    exception: BaseException | None = None
+    attempts: int = 0
+    duration: float = 0.0            # seconds spent waiting on/running the task
+    recovered: str | None = None     # "retry" | "serial-fallback" | None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def _succeed(self, result: Any, recovered: str | None) -> None:
+        self.status = "ok"
+        self.result = result
+        self.error = None
+        self.exception = None
+        self.recovered = recovered
+
+    def _note_failure(self, exc: BaseException, error: str | None = None) -> None:
+        self.error = error if error is not None else f"{type(exc).__name__}: {exc}"
+        self.exception = exc
 
 
 class ParallelExecutor:
@@ -22,24 +68,176 @@ class ParallelExecutor:
     max_workers:
         Process count; ``None`` uses ``os.cpu_count()``.  With one worker
         (or one payload) no pool is created.
+    timeout:
+        Seconds to wait for each task's result before treating it as
+        failed (``None`` waits forever).  Only enforceable on the pool
+        path — the serial path cannot interrupt a running call.
+    retries:
+        Extra attempts per failed task (0 keeps the fail-fast behavior).
+    backoff:
+        Base delay of the exponential backoff between attempts; attempt
+        ``k`` (2-based) waits ``backoff * 2**(k-2)`` seconds.
     """
 
-    def __init__(self, max_workers: int | None = None) -> None:
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        timeout: float | None = None,
+        retries: int = 0,
+        backoff: float = 0.5,
+    ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if timeout is not None and timeout <= 0:
+            raise ValueError(f"timeout must be positive, got {timeout}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff < 0:
+            raise ValueError(f"backoff must be >= 0, got {backoff}")
         self.max_workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+        self.timeout = timeout
+        self.retries = int(retries)
+        self.backoff = float(backoff)
 
+    # ------------------------------------------------------------------ API
     def map(self, fn, payloads: list) -> list:
-        """Ordered results of ``fn`` applied to each payload."""
+        """Ordered results of ``fn`` applied to each payload.
+
+        Raises the first (by payload order) unrecovered task failure after
+        all attempts; completed work is never re-executed on the way.
+        """
+        outcomes = self.map_outcomes(fn, payloads)
+        for outcome in outcomes:
+            if not outcome.ok:
+                if outcome.exception is not None:
+                    raise outcome.exception
+                raise RuntimeError(
+                    f"task {outcome.index} failed: {outcome.error or 'unknown error'}"
+                )
+        return [outcome.result for outcome in outcomes]
+
+    def map_outcomes(self, fn, payloads: list) -> list[TaskOutcome]:
+        """Run every payload and report per-task outcomes (never raises
+        for task failures).
+
+        Payloads run in the pool when ``max_workers > 1``; tasks left
+        unresolved by a broken or unavailable pool are re-run serially
+        in-process (``recovered="serial-fallback"``), keeping all results
+        already collected.
+        """
         payloads = list(payloads)
+        outcomes = [TaskOutcome(index=i) for i in range(len(payloads))]
         if not payloads:
-            return []
+            return outcomes
+        pending = list(range(len(payloads)))
         workers = min(self.max_workers, len(payloads))
-        if workers <= 1:
-            return [fn(p) for p in payloads]
+        pool_attempted = False
+        if workers > 1:
+            pool_attempted, pending = self._pool_phase(fn, payloads, outcomes, pending, workers)
+        self._serial_phase(fn, payloads, outcomes, pending, pool_attempted)
+        return outcomes
+
+    # ------------------------------------------------------------ pool phase
+    def _pool_phase(
+        self,
+        fn,
+        payloads: list,
+        outcomes: list[TaskOutcome],
+        pending: list[int],
+        workers: int,
+    ) -> tuple[bool, list[int]]:
+        """Run pending payloads in a process pool with retries.
+
+        Returns ``(pool_ran, still_pending)`` — ``still_pending`` is
+        non-empty only when the pool broke (or never started), leaving
+        those payloads for serial recovery.  With a healthy pool, failures
+        are final and marked ``"failed"`` here.
+        """
         try:
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                return list(pool.map(fn, payloads))
-        except (OSError, RuntimeError):
+            pool = ProcessPoolExecutor(max_workers=workers)
+        except (OSError, RuntimeError, PermissionError):
             # Sandboxed/restricted environments: degrade to serial.
-            return [fn(p) for p in payloads]
+            return False, pending
+        broken = False
+        try:
+            for attempt in range(1, self.retries + 2):
+                if not pending or broken:
+                    break
+                if attempt > 1:
+                    time.sleep(self.backoff * 2 ** (attempt - 2))
+                try:
+                    futures = [(i, pool.submit(fn, payloads[i])) for i in pending]
+                except (BrokenProcessPool, RuntimeError):
+                    broken = True
+                    break
+                failed: list[int] = []
+                for i, future in futures:
+                    outcome = outcomes[i]
+                    t0 = time.perf_counter()
+                    try:
+                        result = future.result(timeout=None if broken else self.timeout)
+                    except FuturesTimeoutError:
+                        future.cancel()
+                        outcome.attempts += 1
+                        outcome.duration += time.perf_counter() - t0
+                        exc = TimeoutError(
+                            f"task {i} timed out after {self.timeout}s"
+                        )
+                        outcome._note_failure(exc, f"timed out after {self.timeout}s")
+                        failed.append(i)
+                    except BrokenProcessPool as exc:
+                        broken = True
+                        outcome.attempts += 1
+                        outcome.duration += time.perf_counter() - t0
+                        outcome._note_failure(exc, "worker process died (BrokenProcessPool)")
+                        failed.append(i)
+                    except Exception as exc:
+                        outcome.attempts += 1
+                        outcome.duration += time.perf_counter() - t0
+                        outcome._note_failure(exc)
+                        failed.append(i)
+                    else:
+                        outcome.attempts += 1
+                        outcome.duration += time.perf_counter() - t0
+                        outcome._succeed(result, "retry" if outcome.attempts > 1 else None)
+                pending = failed
+        finally:
+            # wait=False so a hung (timed-out) worker cannot block shutdown.
+            pool.shutdown(wait=not broken and self.timeout is None, cancel_futures=True)
+        if broken:
+            return True, pending
+        for i in pending:
+            outcomes[i].status = "failed"
+        return True, []
+
+    # ---------------------------------------------------------- serial phase
+    def _serial_phase(
+        self,
+        fn,
+        payloads: list,
+        outcomes: list[TaskOutcome],
+        pending: list[int],
+        pool_attempted: bool,
+    ) -> None:
+        """In-process execution with retries, for serial mode and pool recovery."""
+        for i in pending:
+            outcome = outcomes[i]
+            recovered = "serial-fallback" if pool_attempted else None
+            for attempt in range(1, self.retries + 2):
+                if attempt > 1:
+                    time.sleep(self.backoff * 2 ** (attempt - 2))
+                outcome.attempts += 1
+                t0 = time.perf_counter()
+                try:
+                    result = fn(payloads[i])
+                except Exception as exc:
+                    outcome.duration += time.perf_counter() - t0
+                    outcome._note_failure(exc)
+                else:
+                    outcome.duration += time.perf_counter() - t0
+                    if recovered is None and attempt > 1:
+                        recovered = "retry"
+                    outcome._succeed(result, recovered)
+                    break
+            if not outcome.ok:
+                outcome.status = "failed"

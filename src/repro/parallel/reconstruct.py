@@ -5,6 +5,14 @@ interpolator on each slab, mirroring the paper's OpenMP-parallel Delaunay
 reconstruction.  The sampled point cloud is shipped whole to each worker —
 interpolators like Delaunay need the global triangulation's samples to stay
 correct at slab boundaries.
+
+Resilience: a chunk whose task fails, or whose predictions contain
+non-finite values, no longer poisons the full field.  With the default
+``fallback="nearest"`` the affected locations are filled by nearest-
+neighbor interpolation and the chunk is flagged in the
+:class:`~repro.resilience.ReconstructionReport` (request it with
+``return_report=True``).  Pass ``fallback=None`` to restore strict
+behavior: task failures raise and non-finite values pass through.
 """
 
 from __future__ import annotations
@@ -13,8 +21,10 @@ import numpy as np
 
 from repro.grid import UniformGrid
 from repro.interpolation.base import GridInterpolator
+from repro.interpolation.nearest import NearestNeighborInterpolator
 from repro.parallel.chunking import chunk_indices
 from repro.parallel.executor import ParallelExecutor
+from repro.resilience.report import ReconstructionReport
 from repro.sampling.base import SampledField
 
 __all__ = ["parallel_reconstruct"]
@@ -25,13 +35,25 @@ def _run_chunk(payload) -> np.ndarray:
     return interpolator.interpolate(points, values, query, grid)
 
 
+def _resolve_fallback(fallback) -> GridInterpolator | None:
+    if fallback is None:
+        return None
+    if fallback == "nearest":
+        return NearestNeighborInterpolator()
+    if isinstance(fallback, str):
+        raise ValueError(f"unknown fallback {fallback!r}; use 'nearest', None, or an interpolator")
+    return fallback
+
+
 def parallel_reconstruct(
     interpolator: GridInterpolator,
     sample: SampledField,
     target_grid: UniformGrid | None = None,
     num_chunks: int | None = None,
     executor: ParallelExecutor | None = None,
-) -> np.ndarray:
+    fallback: str | GridInterpolator | None = "nearest",
+    return_report: bool = False,
+) -> np.ndarray | tuple[np.ndarray, ReconstructionReport]:
     """Reconstruct like ``interpolator.reconstruct`` but chunk the queries.
 
     Parameters
@@ -47,10 +69,17 @@ def parallel_reconstruct(
         Number of query slabs; defaults to the executor's worker count.
     executor:
         Defaults to one worker per CPU.
+    fallback:
+        Degradation method for failed or non-finite chunks: ``"nearest"``
+        (default), any interpolator instance, or ``None`` for strict mode.
+    return_report:
+        When true, return ``(field, report)`` with per-chunk degradation
+        metadata instead of the bare field.
     """
     executor = executor if executor is not None else ParallelExecutor()
     grid = target_grid if target_grid is not None else sample.grid
     same_grid = target_grid is None or target_grid == sample.grid
+    fallback_interp = _resolve_fallback(fallback)
 
     if same_grid:
         fill_indices = sample.void_indices()
@@ -62,11 +91,41 @@ def parallel_reconstruct(
     payloads = [
         (interpolator, sample.points, sample.values, query[c], grid) for c in chunks
     ]
-    pieces = executor.map(_run_chunk, payloads)
+    outcomes = executor.map_outcomes(_run_chunk, payloads)
 
+    report = ReconstructionReport(
+        total_points=int(grid.num_points),
+        fallback_method=getattr(fallback_interp, "name", None),
+    )
     out = grid.empty_field().ravel()
     if same_grid:
         out[sample.indices] = sample.values
-    for c, piece in zip(chunks, pieces):
+    for k, (c, outcome) in enumerate(zip(chunks, outcomes)):
+        if outcome.ok:
+            piece = np.asarray(outcome.result, dtype=np.float64)
+            bad = ~np.isfinite(piece)
+            if bad.any() and fallback_interp is not None:
+                piece = piece.copy()
+                piece[bad] = fallback_interp.interpolate(
+                    sample.points, sample.values, query[c][bad], grid
+                )
+                report.flag(
+                    k,
+                    int(bad.sum()),
+                    f"{int(bad.sum())}/{piece.size} non-finite prediction(s)",
+                    fallback_interp.name,
+                )
+        else:
+            if fallback_interp is None:
+                if outcome.exception is not None:
+                    raise outcome.exception
+                raise RuntimeError(f"chunk {k} failed: {outcome.error or 'unknown error'}")
+            piece = fallback_interp.interpolate(
+                sample.points, sample.values, query[c], grid
+            )
+            report.flag(k, len(c), outcome.error or "task failed", fallback_interp.name)
         out[fill_indices[c]] = piece
-    return out.reshape(grid.dims)
+    field = out.reshape(grid.dims)
+    if return_report:
+        return field, report
+    return field

@@ -1,0 +1,265 @@
+"""Deterministic, seedable fault injectors for the resilience test suite.
+
+Every recovery path in ``repro`` is proven by *injecting* the failure it
+guards against and asserting the system recovers:
+
+* :class:`KillAtEpoch`        — crash a training run after a given epoch
+  (after its checkpoint is written), simulating a killed worker;
+* :class:`NaNGradientFault`   — wrap a loss so chosen batches produce
+  all-NaN gradients, exercising the health-guard policies;
+* :func:`poison_parameters`   — plant NaNs in model weights so inference
+  yields non-finite predictions (graceful-degradation paths);
+* :func:`truncate_file` / :func:`flip_bit` — corrupt a checkpoint on disk
+  the way crashes and storage errors do;
+* :class:`TransientFaultTask` / :class:`SlowTask` — picklable executor
+  payloads that crash a worker process, raise once, or stall, driving the
+  retry / broken-pool / timeout recovery of
+  :class:`repro.parallel.ParallelExecutor`;
+* :class:`RegionNaNFault` / :class:`RegionCrashFault` — interpolator
+  wrappers that poison or fail specific spatial regions, driving the
+  chunk-level fallback of :func:`repro.parallel.parallel_reconstruct`.
+
+Injectors take explicit targets (epoch numbers, payload sets, spatial
+thresholds) or seeds — never wall-clock or ambient randomness — so every
+fault is reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "SimulatedCrash",
+    "KillAtEpoch",
+    "NaNGradientFault",
+    "poison_parameters",
+    "truncate_file",
+    "flip_bit",
+    "TransientFaultTask",
+    "SlowTask",
+    "RegionNaNFault",
+    "RegionCrashFault",
+]
+
+
+class SimulatedCrash(RuntimeError):
+    """An injected failure (never raised by production code paths)."""
+
+
+# ---------------------------------------------------------------------------
+# training faults
+
+
+class KillAtEpoch:
+    """``Trainer.fit`` callback that crashes once epoch ``epoch`` completes.
+
+    The trainer invokes callbacks after the epoch's checkpoint is written,
+    so this models a process killed between checkpoints.
+    """
+
+    def __init__(self, epoch: int) -> None:
+        self.epoch = int(epoch)
+
+    def __call__(self, epoch: int, history) -> None:
+        if epoch >= self.epoch:
+            raise SimulatedCrash(f"injected kill after epoch {epoch}")
+
+
+class NaNGradientFault:
+    """Loss wrapper whose gradient is all-NaN on chosen calls.
+
+    ``at_calls`` is a set of 0-based gradient-call ordinals (one call per
+    batch); ``None`` poisons *every* call, which exhausts any rollback
+    budget — useful for asserting the retry cap.
+    """
+
+    def __init__(self, inner, at_calls=(0,)) -> None:
+        self.inner = inner
+        self.at_calls = None if at_calls is None else {int(c) for c in at_calls}
+        self.calls = 0
+
+    @property
+    def name(self) -> str:
+        return f"nan-fault({getattr(self.inner, 'name', 'loss')})"
+
+    def value(self, prediction, target) -> float:
+        return self.inner.value(prediction, target)
+
+    def gradient(self, prediction, target):
+        grad = self.inner.gradient(prediction, target)
+        if self.at_calls is None or self.calls in self.at_calls:
+            grad = np.full_like(grad, np.nan)
+        self.calls += 1
+        return grad
+
+
+def poison_parameters(model, count: int = 1, seed: int = 0, target: str = "random") -> list[str]:
+    """Plant ``count`` NaNs in deterministic parameter entries.
+
+    Returns the names of the affected parameters.  Used to force non-finite
+    FCNN predictions without touching the inference code.
+
+    ``target="random"`` scatters NaNs anywhere (note that saturating
+    activations can silence hidden-layer NaNs); ``target="head"`` poisons
+    the *first output column* of the model's final parameter — for the
+    paper's FCNN that is the scalar prediction's bias, guaranteeing every
+    prediction goes non-finite.
+    """
+    params = model.parameters()
+    touched = []
+    if target == "head":
+        for _ in range(int(count)):
+            params[-1].value.ravel()[0] = np.nan
+            touched.append(params[-1].name)
+        return touched
+    if target != "random":
+        raise ValueError(f"target must be 'random' or 'head', got {target!r}")
+    rng = np.random.default_rng(seed)
+    for _ in range(int(count)):
+        p = params[int(rng.integers(len(params)))]
+        flat = p.value.ravel()
+        flat[int(rng.integers(flat.size))] = np.nan
+        touched.append(p.name)
+    return touched
+
+
+# ---------------------------------------------------------------------------
+# on-disk checkpoint corruption
+
+
+def truncate_file(path: str | Path, keep_fraction: float = 0.5) -> int:
+    """Truncate ``path`` to ``keep_fraction`` of its bytes; returns new size."""
+    if not (0.0 <= keep_fraction < 1.0):
+        raise ValueError(f"keep_fraction must be in [0, 1), got {keep_fraction}")
+    path = Path(path)
+    data = path.read_bytes()
+    kept = data[: int(len(data) * keep_fraction)]
+    path.write_bytes(kept)
+    return len(kept)
+
+
+def flip_bit(path: str | Path, seed: int = 0) -> tuple[int, int]:
+    """Flip one deterministic bit in the middle of ``path``.
+
+    The byte is drawn from the central 80% of the file (skipping archive
+    headers/trailers that may be checked first) from ``seed``.  Returns the
+    ``(byte_offset, bit)`` flipped.
+    """
+    path = Path(path)
+    data = bytearray(path.read_bytes())
+    if len(data) < 16:
+        raise ValueError(f"{path}: too small to corrupt meaningfully")
+    rng = np.random.default_rng(seed)
+    lo, hi = int(len(data) * 0.1), int(len(data) * 0.9)
+    offset = int(rng.integers(lo, hi))
+    bit = int(rng.integers(8))
+    data[offset] ^= 1 << bit
+    path.write_bytes(bytes(data))
+    return offset, bit
+
+
+# ---------------------------------------------------------------------------
+# executor faults (picklable callables — they cross process boundaries)
+
+
+class TransientFaultTask:
+    """Picklable task wrapper that fails exactly once per crash payload.
+
+    State lives in marker files under ``state_dir`` so the "already
+    failed?" decision is deterministic across processes and retries: the
+    first execution of a payload in ``crash_on`` trips the fault, every
+    re-execution succeeds.
+
+    ``mode`` selects the failure: ``"raise"`` raises
+    :class:`SimulatedCrash` inside the worker, ``"exit"`` kills the worker
+    process outright (driving ``BrokenProcessPool`` recovery).
+    """
+
+    def __init__(self, fn, state_dir: str | Path, crash_on=(), mode: str = "raise") -> None:
+        if mode not in ("raise", "exit"):
+            raise ValueError(f"mode must be 'raise' or 'exit', got {mode!r}")
+        self.fn = fn
+        self.state_dir = str(state_dir)
+        self.crash_on = set(crash_on)
+        self.mode = mode
+
+    def _marker(self, payload) -> str:
+        tag = hashlib.sha1(repr(payload).encode()).hexdigest()[:16]
+        return os.path.join(self.state_dir, f"fault-{tag}.tripped")
+
+    def __call__(self, payload):
+        if payload in self.crash_on:
+            marker = self._marker(payload)
+            if not os.path.exists(marker):
+                with open(marker, "w", encoding="ascii") as fh:
+                    fh.write("tripped\n")
+                if self.mode == "exit":
+                    os._exit(23)
+                raise SimulatedCrash(f"injected worker failure for payload {payload!r}")
+        return self.fn(payload)
+
+
+class SlowTask:
+    """Picklable task wrapper stalling for ``delay`` seconds on chosen payloads."""
+
+    def __init__(self, fn, slow_on=(), delay: float = 1.0) -> None:
+        self.fn = fn
+        self.slow_on = set(slow_on)
+        self.delay = float(delay)
+
+    def __call__(self, payload):
+        if payload in self.slow_on:
+            time.sleep(self.delay)
+        return self.fn(payload)
+
+
+# ---------------------------------------------------------------------------
+# reconstruction faults (interpolator wrappers)
+
+
+class RegionNaNFault:
+    """Interpolator wrapper: predictions with ``query[axis] >= threshold`` become NaN.
+
+    Spatially-targeted so only the chunks covering that region degrade —
+    the fallback path must flag those and leave the rest bit-identical.
+    """
+
+    name = "region-nan-fault"
+
+    def __init__(self, inner, axis: int = 0, threshold: float = 0.5) -> None:
+        self.inner = inner
+        self.axis = int(axis)
+        self.threshold = float(threshold)
+
+    def interpolate(self, points, values, query, grid):
+        out = np.array(
+            self.inner.interpolate(points, values, query, grid), dtype=np.float64
+        )
+        out[np.asarray(query)[:, self.axis] >= self.threshold] = np.nan
+        return out
+
+    def reconstruct(self, sample, target_grid=None):
+        return self.inner.reconstruct(sample, target_grid=target_grid)
+
+
+class RegionCrashFault:
+    """Interpolator wrapper raising :class:`SimulatedCrash` for chunks touching a region."""
+
+    name = "region-crash-fault"
+
+    def __init__(self, inner, axis: int = 0, threshold: float = 0.5) -> None:
+        self.inner = inner
+        self.axis = int(axis)
+        self.threshold = float(threshold)
+
+    def interpolate(self, points, values, query, grid):
+        if np.any(np.asarray(query)[:, self.axis] >= self.threshold):
+            raise SimulatedCrash(
+                f"injected interpolator failure for region axis{self.axis} >= {self.threshold}"
+            )
+        return self.inner.interpolate(points, values, query, grid)

@@ -1,0 +1,109 @@
+"""Numerical health guard for training loops.
+
+Long FCNN runs (the paper's 500-epoch pretraining and Case-2 fine-tuning
+sweeps) can be destroyed by a single non-finite loss or gradient: Adam's
+moments absorb the NaN and every parameter is poisoned within a step or
+two.  :class:`HealthGuard` gives :meth:`repro.nn.Trainer.fit` a detection
+point after each batch (loss, gradients) and each epoch (parameters), with
+three recovery policies:
+
+* ``raise``      — abort immediately with :class:`NumericalHealthError`;
+* ``skip_batch`` — drop the poisoned update and continue the epoch;
+* ``rollback``   — restore the last good training state, halve the
+  learning rate, and retry, up to ``max_retries`` times.
+
+Every intervention is recorded as a :class:`HealthEvent` so a run's
+recovery story is auditable after the fact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["HealthGuard", "HealthEvent", "NumericalHealthError", "POLICIES"]
+
+POLICIES = ("raise", "skip_batch", "rollback")
+
+
+class NumericalHealthError(RuntimeError):
+    """Training produced non-finite values and the policy could not recover."""
+
+
+@dataclass(frozen=True)
+class HealthEvent:
+    """One detected problem and the action taken for it."""
+
+    epoch: int
+    batch: int          # -1 for per-epoch (parameter) checks
+    kind: str           # "loss" | "gradient" | "parameter"
+    detail: str
+    action: str         # "raise" | "skip_batch" | "rollback"
+
+
+class HealthGuard:
+    """Detection + policy for NaN/Inf during training.
+
+    Parameters
+    ----------
+    policy:
+        One of :data:`POLICIES`.
+    max_retries:
+        Rollback budget; exceeded rollbacks escalate to
+        :class:`NumericalHealthError`.
+    lr_factor:
+        Learning-rate multiplier applied on every rollback (paper-style
+        halving by default).
+    """
+
+    def __init__(
+        self,
+        policy: str = "raise",
+        max_retries: int = 3,
+        lr_factor: float = 0.5,
+    ) -> None:
+        if policy not in POLICIES:
+            raise ValueError(f"policy must be one of {POLICIES}, got {policy!r}")
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if not (0.0 < lr_factor <= 1.0):
+            raise ValueError(f"lr_factor must be in (0, 1], got {lr_factor}")
+        self.policy = policy
+        self.max_retries = int(max_retries)
+        self.lr_factor = float(lr_factor)
+        self.rollbacks_used = 0
+        self.events: list[HealthEvent] = []
+
+    # ------------------------------------------------------------ detection
+    @staticmethod
+    def loss_problem(value: float) -> str | None:
+        """Describe a non-finite batch loss, or ``None`` when healthy."""
+        if np.isfinite(value):
+            return None
+        return f"non-finite loss {value!r}"
+
+    @staticmethod
+    def gradient_problem(parameters) -> str | None:
+        """Name the first parameter with a non-finite gradient, if any."""
+        for p in parameters:
+            if not np.all(np.isfinite(p.grad)):
+                bad = int(np.count_nonzero(~np.isfinite(p.grad)))
+                return f"non-finite gradient in {p.name} ({bad}/{p.size} entries)"
+        return None
+
+    @staticmethod
+    def parameter_problem(parameters) -> str | None:
+        """Name the first parameter holding non-finite values, if any."""
+        for p in parameters:
+            if not np.all(np.isfinite(p.value)):
+                bad = int(np.count_nonzero(~np.isfinite(p.value)))
+                return f"non-finite values in {p.name} ({bad}/{p.size} entries)"
+        return None
+
+    # --------------------------------------------------------------- policy
+    def record(self, epoch: int, batch: int, kind: str, detail: str, action: str) -> None:
+        self.events.append(HealthEvent(epoch, batch, kind, detail, action))
+
+    def retries_left(self) -> int:
+        return self.max_retries - self.rollbacks_used

@@ -1,0 +1,62 @@
+"""Structured degradation reports for reconstruction paths.
+
+A reconstruction that silently papers over failed or non-finite chunks is
+worse than one that crashes — downstream metrics would score garbage as
+signal.  Fallback paths therefore flag every degraded region here, and
+callers can assert ``report.ok`` (or inspect what degraded and why) before
+trusting a field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DegradedRegion", "ReconstructionReport"]
+
+
+@dataclass(frozen=True)
+class DegradedRegion:
+    """One region whose values came from a fallback, not the primary method."""
+
+    index: int      # chunk index (chunked paths) or region ordinal
+    size: int       # number of grid points affected
+    reason: str     # what went wrong ("non-finite predictions", task error, …)
+    method: str     # fallback method that produced the replacement values
+
+
+@dataclass
+class ReconstructionReport:
+    """Outcome metadata for one reconstruction."""
+
+    total_points: int
+    degraded: list[DegradedRegion] = field(default_factory=list)
+    fallback_method: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when no region needed a fallback."""
+        return not self.degraded
+
+    @property
+    def degraded_points(self) -> int:
+        return sum(r.size for r in self.degraded)
+
+    @property
+    def degraded_fraction(self) -> float:
+        if self.total_points <= 0:
+            return 0.0
+        return self.degraded_points / self.total_points
+
+    def flag(self, index: int, size: int, reason: str, method: str) -> None:
+        """Record one degraded region."""
+        self.degraded.append(DegradedRegion(int(index), int(size), reason, method))
+
+    def summary(self) -> str:
+        """One-line human-readable outcome."""
+        if self.ok:
+            return "reconstruction healthy: no degraded regions"
+        return (
+            f"{len(self.degraded)} degraded region(s), "
+            f"{self.degraded_points}/{self.total_points} points "
+            f"({self.degraded_fraction:.2%}) filled by {self.fallback_method or 'fallback'}"
+        )

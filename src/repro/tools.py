@@ -104,20 +104,54 @@ def cmd_train(
     epochs: int = 150,
     hidden: tuple[int, ...] = (128, 64, 32, 16),
     seed: int = 0,
+    checkpoint: str | None = None,
+    checkpoint_every: int = 25,
+    resume: bool = False,
+    health_policy: str = "rollback",
 ) -> str:
-    """Train an FCNN on samples drawn from a full-resolution ``.vti``."""
+    """Train an FCNN on samples drawn from a full-resolution ``.vti``.
+
+    With ``checkpoint`` a training checkpoint is written there every
+    ``checkpoint_every`` epochs; ``resume=True`` continues a previously
+    interrupted run from that checkpoint bit-exactly.  ``health_policy``
+    guards each epoch against NaN/Inf (empty string disables the guard).
+    """
+    from repro.resilience import CheckpointConfig, HealthGuard
+    from repro.resilience.checkpoint import normalize_npz_path
+
     grid, name, values = _load_field(input_vti, array)
     field = TimestepField(grid, values, timestep=0, name=name)
     s = SAMPLERS[sampler](seed=seed)
     train = [s.sample(field, f) for f in fractions]
 
+    ckpt_config = resume_from = None
+    if checkpoint is not None:
+        if checkpoint_every < 1:
+            raise ValueError(f"checkpoint_every must be >= 1, got {checkpoint_every}")
+        ckpt_config = CheckpointConfig(path=checkpoint, every=checkpoint_every)
+        if resume:
+            resume_from = str(normalize_npz_path(checkpoint))
+            if not Path(resume_from).exists():
+                raise FileNotFoundError(f"--resume: no checkpoint at {resume_from}")
+    elif resume:
+        raise ValueError("--resume needs --checkpoint <path> to resume from")
+
+    health = HealthGuard(health_policy) if health_policy else None
     model = FCNNReconstructor(hidden_layers=tuple(hidden), seed=seed)
     t0 = time.perf_counter()
-    model.train(field, train, epochs=epochs)
+    model.train(
+        field,
+        train,
+        epochs=epochs,
+        checkpoint=ckpt_config,
+        resume_from=resume_from,
+        health=health,
+    )
     seconds = time.perf_counter() - t0
     model.save(model_out)
+    resumed = f" (resumed from {resume_from})" if resume_from else ""
     return (
-        f"wrote {model_out}: trained {epochs} epochs in {seconds:.1f}s, "
+        f"wrote {model_out}: trained {epochs} epochs in {seconds:.1f}s{resumed}, "
         f"final loss {model.history.train_loss[-1]:.5f}"
     )
 

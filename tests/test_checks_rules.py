@@ -171,6 +171,27 @@ FIXTURES: dict[str, RuleFixture] = {
             "    return into\n"
         ),
     ),
+    "ATM001": RuleFixture(
+        relpath="repro_fixture/store.py",
+        trigger=(
+            "import numpy as np\n"
+            "def save_state(path, arr):\n"
+            "    np.savez_compressed(path, arr=arr)\n"
+        ),
+        clean=(
+            "import os\n"
+            "import numpy as np\n"
+            "def save_state(path, arr):\n"
+            "    tmp = str(path) + '.tmp'\n"
+            "    np.savez_compressed(tmp, arr=arr)\n"
+            "    os.replace(tmp, path)\n"
+        ),
+        suppressed=(
+            "import numpy as np\n"
+            "def save_state(path, arr):\n"
+            "    np.savez_compressed(path, arr=arr)  # repro: noqa[ATM001]\n"
+        ),
+    ),
 }
 
 

@@ -1,0 +1,122 @@
+"""Executor hardening: retries, timeouts and broken-pool recovery."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import ParallelExecutor
+from repro.resilience.faults import SimulatedCrash, SlowTask, TransientFaultTask
+
+
+def _square(payload):
+    return payload * payload
+
+
+def _boom(payload):
+    if payload == 2:
+        raise SimulatedCrash("payload 2 always fails")
+    return payload
+
+
+class TestValidation:
+    def test_constructor_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(max_workers=0)
+        with pytest.raises(ValueError):
+            ParallelExecutor(timeout=0)
+        with pytest.raises(ValueError):
+            ParallelExecutor(retries=-1)
+        with pytest.raises(ValueError):
+            ParallelExecutor(backoff=-0.1)
+
+
+class TestSerial:
+    def test_map_order(self):
+        ex = ParallelExecutor(max_workers=1)
+        assert ex.map(_square, [3, 1, 2]) == [9, 1, 4]
+
+    def test_empty(self):
+        assert ParallelExecutor(max_workers=1).map(_square, []) == []
+
+    def test_map_raises_original_exception(self):
+        ex = ParallelExecutor(max_workers=1)
+        with pytest.raises(SimulatedCrash, match="payload 2"):
+            ex.map(_boom, [0, 1, 2, 3])
+
+    def test_map_outcomes_never_raises(self):
+        ex = ParallelExecutor(max_workers=1)
+        outcomes = ex.map_outcomes(_boom, [0, 1, 2, 3])
+        assert [o.ok for o in outcomes] == [True, True, False, True]
+        assert outcomes[2].status == "failed"
+        assert isinstance(outcomes[2].exception, SimulatedCrash)
+        assert "payload 2" in outcomes[2].error
+
+    def test_retry_recovers_transient_fault(self, tmp_path):
+        task = TransientFaultTask(_square, tmp_path, crash_on={3}, mode="raise")
+        ex = ParallelExecutor(max_workers=1, retries=1, backoff=0.0)
+        outcomes = ex.map_outcomes(task, [1, 2, 3])
+        assert all(o.ok for o in outcomes)
+        assert outcomes[2].attempts == 2
+        assert outcomes[2].recovered == "retry"
+        assert outcomes[0].attempts == 1
+        assert outcomes[0].recovered is None
+
+    def test_no_retry_budget_fails(self, tmp_path):
+        task = TransientFaultTask(_square, tmp_path, crash_on={3}, mode="raise")
+        ex = ParallelExecutor(max_workers=1, retries=0)
+        outcomes = ex.map_outcomes(task, [1, 2, 3])
+        assert [o.ok for o in outcomes] == [True, True, False]
+
+
+class TestPool:
+    def test_pool_map(self):
+        ex = ParallelExecutor(max_workers=2)
+        assert ex.map(_square, list(range(6))) == [n * n for n in range(6)]
+
+    def test_pool_retry_recovers(self, tmp_path):
+        task = TransientFaultTask(_square, tmp_path, crash_on={2}, mode="raise")
+        ex = ParallelExecutor(max_workers=2, retries=1, backoff=0.0)
+        outcomes = ex.map_outcomes(task, [1, 2, 3])
+        assert all(o.ok for o in outcomes)
+        assert outcomes[1].attempts == 2
+        assert outcomes[1].recovered == "retry"
+
+    def test_broken_pool_partial_recovery(self, tmp_path):
+        # payload 2 kills its worker process outright; completed results must
+        # be kept and the unresolved payloads re-run serially in-process
+        task = TransientFaultTask(_square, tmp_path, crash_on={2}, mode="exit")
+        ex = ParallelExecutor(max_workers=2)
+        outcomes = ex.map_outcomes(task, [0, 1, 2, 3, 4])
+        assert all(o.ok for o in outcomes)
+        assert [o.result for o in outcomes] == [0, 1, 4, 9, 16]
+        assert any(o.recovered == "serial-fallback" for o in outcomes)
+
+    def test_broken_pool_map_results(self, tmp_path):
+        task = TransientFaultTask(_square, tmp_path, crash_on={1}, mode="exit")
+        ex = ParallelExecutor(max_workers=2)
+        assert ex.map(task, [0, 1, 2]) == [0, 1, 4]
+
+    def test_timeout_marks_task_failed(self):
+        task = SlowTask(_square, slow_on={1}, delay=10.0)
+        ex = ParallelExecutor(max_workers=2, timeout=0.75)
+        outcomes = ex.map_outcomes(task, [0, 1])
+        assert outcomes[0].ok
+        assert not outcomes[1].ok
+        assert "timed out" in outcomes[1].error
+        assert isinstance(outcomes[1].exception, TimeoutError)
+
+    def test_outcomes_carry_attempt_metadata(self):
+        ex = ParallelExecutor(max_workers=2)
+        outcomes = ex.map_outcomes(_square, [5, 6])
+        for o in outcomes:
+            assert o.attempts == 1
+            assert o.duration >= 0.0
+            assert o.error is None and o.exception is None
+
+
+class TestArrayPayloads:
+    def test_array_results_roundtrip(self, rng):
+        ex = ParallelExecutor(max_workers=2)
+        chunks = [rng.normal(size=8) for _ in range(4)]
+        results = ex.map(np.sort, chunks)
+        for got, chunk in zip(results, chunks):
+            np.testing.assert_array_equal(got, np.sort(chunk))

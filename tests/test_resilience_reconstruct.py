@@ -1,0 +1,125 @@
+"""Graceful degradation: poisoned models and failing chunks still yield fields."""
+
+import numpy as np
+import pytest
+
+from repro.core import FCNNReconstructor
+from repro.interpolation import DelaunayLinearInterpolator
+from repro.parallel import ParallelExecutor, parallel_reconstruct
+from repro.resilience import NumericalHealthError
+from repro.resilience.faults import (
+    RegionCrashFault,
+    RegionNaNFault,
+    SimulatedCrash,
+    poison_parameters,
+)
+
+
+@pytest.fixture(scope="module")
+def module_sample():
+    from repro.datasets import HurricaneDataset
+    from repro.grid import UniformGrid
+    from repro.sampling import MultiCriteriaSampler
+
+    grid = UniformGrid((12, 10, 8), spacing=(1.0, 2.0, 0.5), origin=(-1.0, 3.0, 0.0))
+    field = HurricaneDataset(grid=grid, seed=0).field(t=0)
+    sample = MultiCriteriaSampler(seed=3).sample(field, 0.05)
+    return field, sample
+
+
+@pytest.fixture(scope="module")
+def trained_fcnn(module_sample):
+    field, sample = module_sample
+    fcnn = FCNNReconstructor(hidden_layers=(16, 8), batch_size=2048, seed=0)
+    fcnn.train(field, [sample], epochs=2)
+    return fcnn
+
+
+def region_threshold(grid, frac=0.6, axis=0):
+    """Physical coordinate ``frac`` of the way across the grid on ``axis``."""
+    return grid.origin[axis] + frac * grid.spacing[axis] * (grid.dims[axis] - 1)
+
+
+class TestFCNNDegradation:
+    def test_poisoned_model_degrades_to_nearest(self, trained_fcnn, module_sample):
+        _, sample = module_sample
+        poison_parameters(trained_fcnn.model, target="head")
+        volume, report = trained_fcnn.reconstruct(sample, return_report=True)
+        assert np.all(np.isfinite(volume))
+        assert not report.ok
+        assert report.degraded_points > 0
+        assert 0.0 < report.degraded_fraction < 1.0
+        assert "nearest" in report.summary()
+        # sampled locations always keep their exact stored values
+        np.testing.assert_array_equal(volume.ravel()[sample.indices], sample.values)
+
+    def test_raise_mode_aborts(self, trained_fcnn, module_sample):
+        _, sample = module_sample
+        poison_parameters(trained_fcnn.model, target="head")
+        with pytest.raises(NumericalHealthError, match="non-finite"):
+            trained_fcnn.reconstruct(sample, on_nonfinite="raise")
+
+    def test_invalid_mode_rejected(self, trained_fcnn, module_sample):
+        _, sample = module_sample
+        with pytest.raises(ValueError, match="on_nonfinite"):
+            trained_fcnn.reconstruct(sample, on_nonfinite="ignore")
+
+
+class TestChunkDegradation:
+    def test_nan_region_falls_back_per_chunk(self, sample):
+        interp = DelaunayLinearInterpolator()
+        thr = region_threshold(sample.grid)
+        faulty = RegionNaNFault(interp, axis=0, threshold=thr)
+        ex = ParallelExecutor(max_workers=1)
+
+        clean = parallel_reconstruct(interp, sample, num_chunks=6, executor=ex)
+        volume, report = parallel_reconstruct(
+            faulty, sample, num_chunks=6, executor=ex, return_report=True
+        )
+        assert np.all(np.isfinite(volume))
+        assert not report.ok
+        flagged = {r.index for r in report.degraded}
+        assert 0 < len(flagged) < 6  # some chunks degraded, some untouched
+        # points outside the poisoned region are bit-identical to a clean run
+        voids = sample.void_indices()
+        positions = sample.grid.index_to_position(sample.grid.flat_to_multi(voids))
+        outside = voids[positions[:, 0] < thr]
+        np.testing.assert_array_equal(
+            volume.ravel()[outside], clean.ravel()[outside]
+        )
+
+    def test_crashing_chunks_fall_back(self, sample):
+        interp = DelaunayLinearInterpolator()
+        thr = region_threshold(sample.grid)
+        faulty = RegionCrashFault(interp, axis=0, threshold=thr)
+        ex = ParallelExecutor(max_workers=1)
+        volume, report = parallel_reconstruct(
+            faulty, sample, num_chunks=6, executor=ex, return_report=True
+        )
+        assert np.all(np.isfinite(volume))
+        assert report.degraded_points > 0
+        assert all(r.method == "nearest" for r in report.degraded)
+
+    def test_strict_mode_reraises(self, sample):
+        faulty = RegionCrashFault(
+            DelaunayLinearInterpolator(), axis=0, threshold=region_threshold(sample.grid)
+        )
+        ex = ParallelExecutor(max_workers=1)
+        with pytest.raises(SimulatedCrash):
+            parallel_reconstruct(faulty, sample, num_chunks=6, executor=ex, fallback=None)
+
+    def test_unknown_fallback_rejected(self, sample):
+        with pytest.raises(ValueError, match="fallback"):
+            parallel_reconstruct(
+                DelaunayLinearInterpolator(), sample, fallback="median"
+            )
+
+    def test_clean_run_reports_ok(self, sample):
+        ex = ParallelExecutor(max_workers=1)
+        volume, report = parallel_reconstruct(
+            DelaunayLinearInterpolator(), sample, num_chunks=4, executor=ex,
+            return_report=True,
+        )
+        assert report.ok
+        assert report.degraded_points == 0
+        assert np.all(np.isfinite(volume))
