@@ -16,6 +16,7 @@ paper-scale (hours) run.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -25,6 +26,9 @@ from repro.experiments.runner import ExperimentResult
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+#: schema version of the BENCH_<experiment>.json perf-baseline files
+BENCH_SCHEMA = 1
+
 
 def pytest_addoption(parser):
     parser.addoption(
@@ -33,6 +37,20 @@ def pytest_addoption(parser):
         choices=["quick", "bench", "paper"],
         help="experiment scale profile for the figure/table benchmarks",
     )
+    parser.addoption(
+        "--bench-obs",
+        default=None,
+        metavar="DIR",
+        help="record repro.obs run telemetry for each benchmark under DIR",
+    )
+
+
+_BENCH_OBS: str | None = None
+
+
+def pytest_configure(config):
+    global _BENCH_OBS
+    _BENCH_OBS = config.getoption("--bench-obs", default=None)
 
 
 @pytest.fixture(scope="session")
@@ -50,15 +68,54 @@ def bench_config(bench_profile):
     return factory
 
 
+def _json_safe(obj):
+    """Coerce numpy scalars/arrays (and anything else odd) to JSON types."""
+    if hasattr(obj, "tolist"):
+        return obj.tolist()
+    if hasattr(obj, "item"):
+        return obj.item()
+    return str(obj)
+
+
 def publish(result: ExperimentResult) -> None:
-    """Print the paper-style rows and persist them under results/."""
+    """Print the paper-style rows and persist them under results/.
+
+    Two artifacts per experiment: the human-readable table
+    (``results/<experiment>.txt``) and a machine-readable perf baseline
+    (``results/BENCH_<experiment>.json``) that ``repro obs report --diff``
+    style tooling and CI can compare across commits.
+    """
     text = result.format()
     print()
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{result.experiment}.txt").write_text(text + "\n")
+    baseline = {
+        "schema": BENCH_SCHEMA,
+        "experiment": result.experiment,
+        "notes": result.notes,
+        "rows": result.rows,
+        "series": result.series,
+    }
+    path = RESULTS_DIR / f"BENCH_{result.experiment}.json"
+    path.write_text(json.dumps(baseline, indent=2, sort_keys=True, default=_json_safe) + "\n")
 
 
 def run_once(benchmark, runner, *args, **kwargs) -> ExperimentResult:
-    """Execute an experiment exactly once under pytest-benchmark timing."""
-    return benchmark.pedantic(runner, args=args, kwargs=kwargs, rounds=1, iterations=1)
+    """Execute an experiment exactly once under pytest-benchmark timing.
+
+    With ``--bench-obs DIR`` the run executes inside a
+    :class:`repro.obs.RunRecorder`, so each benchmark also leaves a
+    ``DIR/<experiment-module>`` run record (JSONL events + run.json).
+    """
+    target = runner
+    if _BENCH_OBS:
+        from repro.obs import RunRecorder
+
+        name = runner.__module__.rsplit(".", 1)[-1]
+
+        def target(*a, **kw):
+            with RunRecorder(Path(_BENCH_OBS) / name, meta={"benchmark": name}):
+                return runner(*a, **kw)
+
+    return benchmark.pedantic(target, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -7,6 +7,15 @@ sampling, classical point-cloud interpolators, a numpy neural-network
 engine, VTK XML I/O, metrics, a parallel-execution layer and an experiment
 harness regenerating every table and figure in the paper's evaluation.
 
+Beyond the paper's surface, the repo carries its own production substrate:
+``repro.resilience`` (checkpoint/resume, health guards, fault injection),
+``repro.obs`` (span timers, metrics, JSONL run records — see
+``docs/OBSERVABILITY.md``), ``repro.checks`` (AST static analysis of the
+numerical invariants), plus ``repro.vis``/``repro.analysis`` evaluation
+consumers, ``repro.compression`` (the competing reduction path) and
+``repro.insitu`` campaign simulation.  ``docs/API.md`` tours every package
+with a runnable example.
+
 Quickstart::
 
     from repro.datasets import HurricaneDataset
@@ -30,14 +39,21 @@ Quickstart::
 __version__ = "1.0.0"
 
 __all__ = [
+    "analysis",
+    "checks",
+    "compression",
     "core",
     "datasets",
     "experiments",
     "grid",
+    "insitu",
     "interpolation",
     "io",
     "metrics",
     "nn",
+    "obs",
     "parallel",
+    "resilience",
     "sampling",
+    "vis",
 ]

@@ -22,6 +22,13 @@ Two command families (``repro ...`` or ``python -m repro ...``):
 
     repro check src/repro
     repro check src/repro --format json --baseline .repro-checks-baseline.json
+
+**Observability** — record and inspect run telemetry (``repro.obs``)::
+
+    repro fig10 --profile quick --obs runs/          # instrumented experiment
+    repro train vol.vti m.npz --obs runs/train       # instrumented tool run
+    repro obs report runs/fig10                      # span tree + metrics
+    repro obs report runs/fig10 --diff runs/fig10-b  # regression diff
 """
 
 from __future__ import annotations
@@ -118,6 +125,8 @@ def _tool_main(argv: list[str]) -> int:
     p.add_argument("--health-policy", default="rollback",
                    choices=["raise", "skip_batch", "rollback", ""],
                    help="NaN/Inf guard policy ('' disables; default rollback)")
+    p.add_argument("--obs", default=None, metavar="DIR",
+                   help="record run telemetry under DIR (repro obs report DIR)")
 
     p = sub.add_parser("reconstruct", help="rebuild a .vti from a .vtp cloud")
     p.add_argument("input")
@@ -126,6 +135,8 @@ def _tool_main(argv: list[str]) -> int:
     p.add_argument("--method", default="linear")
     p.add_argument("--model", default=None)
     p.add_argument("--array", default="scalar")
+    p.add_argument("--obs", default=None, metavar="DIR",
+                   help="record run telemetry under DIR (repro obs report DIR)")
 
     p = sub.add_parser("evaluate", help="score a reconstruction against the original")
     p.add_argument("original")
@@ -140,33 +151,52 @@ def _tool_main(argv: list[str]) -> int:
     p.add_argument("--array", default=None)
 
     args = parser.parse_args(argv)
+    if getattr(args, "obs", None):
+        from repro.obs import RunRecorder
+
+        recorder = RunRecorder(
+            args.obs, meta={"command": args.command, "seed": getattr(args, "seed", None)}
+        )
+    else:
+        from repro.obs import NullRecorder
+
+        recorder = NullRecorder()
     try:
-        if args.command == "generate":
-            msg = tools.cmd_generate(args.dataset, args.output, dims=args.dims,
-                                     timestep=args.timestep, seed=args.seed)
-        elif args.command == "sample":
-            msg = tools.cmd_sample(args.input, args.output, args.fraction,
-                                   sampler=args.sampler, array=args.array, seed=args.seed)
-        elif args.command == "train":
-            msg = tools.cmd_train(args.input, args.model_out, fractions=tuple(args.fractions),
-                                  sampler=args.sampler, array=args.array, epochs=args.epochs,
-                                  hidden=tuple(args.hidden), seed=args.seed,
-                                  checkpoint=args.checkpoint,
-                                  checkpoint_every=args.checkpoint_every,
-                                  resume=args.resume, health_policy=args.health_policy)
-        elif args.command == "reconstruct":
-            msg = tools.cmd_reconstruct(args.input, args.reference, args.output,
-                                        method=args.method, model=args.model, array=args.array)
-        elif args.command == "evaluate":
-            msg = tools.cmd_evaluate(args.original, args.reconstruction, array=args.array)
-        else:
-            msg = tools.cmd_render(args.input, args.output, mode=args.mode,
-                                   axis=args.axis, array=args.array)
+        with recorder:
+            msg = _tool_dispatch(args)
     except (ValueError, FileNotFoundError, KeyError, CheckpointCorruptionError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     print(msg)
+    if recorder.run_dir is not None:
+        print(f"telemetry: repro obs report {recorder.run_dir}")
     return 0
+
+
+def _tool_dispatch(args) -> str:
+    """Execute one parsed tool command, returning its status message."""
+    from repro import tools
+
+    if args.command == "generate":
+        return tools.cmd_generate(args.dataset, args.output, dims=args.dims,
+                                  timestep=args.timestep, seed=args.seed)
+    if args.command == "sample":
+        return tools.cmd_sample(args.input, args.output, args.fraction,
+                                sampler=args.sampler, array=args.array, seed=args.seed)
+    if args.command == "train":
+        return tools.cmd_train(args.input, args.model_out, fractions=tuple(args.fractions),
+                               sampler=args.sampler, array=args.array, epochs=args.epochs,
+                               hidden=tuple(args.hidden), seed=args.seed,
+                               checkpoint=args.checkpoint,
+                               checkpoint_every=args.checkpoint_every,
+                               resume=args.resume, health_policy=args.health_policy)
+    if args.command == "reconstruct":
+        return tools.cmd_reconstruct(args.input, args.reference, args.output,
+                                     method=args.method, model=args.model, array=args.array)
+    if args.command == "evaluate":
+        return tools.cmd_evaluate(args.original, args.reconstruction, array=args.array)
+    return tools.cmd_render(args.input, args.output, mode=args.mode,
+                            axis=args.axis, array=args.array)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -176,6 +206,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.checks.cli import main as checks_main
 
         return checks_main(argv[1:])
+    if argv and argv[0] == "obs":
+        from repro.obs.cli import main as obs_main
+
+        return obs_main(argv[1:])
     if argv and argv[0] in _TOOL_COMMANDS:
         return _tool_main(argv)
 
@@ -196,6 +230,13 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--dataset", default=None, help="override the config's dataset")
     parser.add_argument("--epochs", type=int, default=None, help="override epoch budget")
     parser.add_argument("--seed", type=int, default=None, help="override the seed")
+    parser.add_argument(
+        "--obs",
+        default=None,
+        metavar="DIR",
+        help="record run telemetry under DIR/<experiment> (JSONL events + "
+        "run.json; inspect with 'repro obs report')",
+    )
     args = parser.parse_args(argv)
 
     runners = _runners()
@@ -211,6 +252,8 @@ def main(argv: list[str] | None = None) -> int:
         overrides["epochs"] = args.epochs
     if args.seed is not None:
         overrides["seed"] = args.seed
+    if args.obs is not None:
+        overrides["obs"] = args.obs
     config = get_config(args.profile, **overrides)
 
     if args.experiment == "all":
@@ -221,10 +264,15 @@ def main(argv: list[str] | None = None) -> int:
         print(f"unknown experiment {args.experiment!r}; try 'repro list'", file=sys.stderr)
         return 2
 
+    from repro.experiments.runner import build_recorder
+
     for name in names:
         _, runner = runners[name]
-        result = runner(config)
+        with build_recorder(config, name) as recorder:
+            result = runner(config)
         print(result.format())
+        if recorder.run_dir is not None:
+            print(f"   telemetry: repro obs report {recorder.run_dir}")
         print()
     return 0
 

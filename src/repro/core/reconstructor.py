@@ -27,6 +27,8 @@ from repro.datasets.base import TimestepField
 from repro.grid import UniformGrid
 from repro.nn import Adam, MSELoss, Sequential, Trainer, TrainingHistory, WeightedMSELoss, mlp
 from repro.nn.serialization import load_model, save_model, save_partial
+from repro.obs import counter as obs_counter
+from repro.obs import record_event, span
 from repro.resilience.checkpoint import CheckpointConfig, TrainingCheckpoint
 from repro.resilience.health import HealthGuard, NumericalHealthError
 from repro.resilience.report import ReconstructionReport
@@ -185,7 +187,8 @@ class FCNNReconstructor:
         )
 
         rng = np.random.default_rng(self.seed)
-        x, y = self._training_matrix(field, sample_list, normalizer, train_fraction, rng)
+        with span("fcnn.features", samples=len(sample_list)):
+            x, y = self._training_matrix(field, sample_list, normalizer, train_fraction, rng)
 
         self.model = self._build_model()
         self.normalizer = normalizer
@@ -274,9 +277,10 @@ class FCNNReconstructor:
             origin=np.asarray(g.origin, dtype=np.float64),
             span=_grid_span(g),
         )
-        x = self.extractor.features(sample, points, local)
-        pred = model.predict(x, batch_size=max(self.batch_size, 16384))
-        return local.denormalize_values(pred[:, 0])
+        with span("fcnn.predict", queries=len(points)):
+            x = self.extractor.features(sample, points, local)
+            pred = model.predict(x, batch_size=max(self.batch_size, 16384))
+            return local.denormalize_values(pred[:, 0])
 
     def reconstruct(
         self,
@@ -310,21 +314,22 @@ class FCNNReconstructor:
         report = ReconstructionReport(
             total_points=int(grid.num_points), fallback_method="nearest"
         )
-        if same_grid:
-            out = grid.empty_field().ravel()
-            out[sample.indices] = sample.values
-            void = sample.void_indices()
-            if void.size:
-                points = grid.index_to_position(grid.flat_to_multi(void))
-                out[void] = self._healthy_predictions(
+        with span("fcnn.reconstruct", points=int(grid.num_points)):
+            if same_grid:
+                out = grid.empty_field().ravel()
+                out[sample.indices] = sample.values
+                void = sample.void_indices()
+                if void.size:
+                    points = grid.index_to_position(grid.flat_to_multi(void))
+                    out[void] = self._healthy_predictions(
+                        sample, points, grid, on_nonfinite, report
+                    )
+                field = out.reshape(grid.dims)
+            else:
+                points = grid.points()
+                field = self._healthy_predictions(
                     sample, points, grid, on_nonfinite, report
-                )
-            field = out.reshape(grid.dims)
-        else:
-            points = grid.points()
-            field = self._healthy_predictions(
-                sample, points, grid, on_nonfinite, report
-            ).reshape(grid.dims)
+                ).reshape(grid.dims)
         if return_report:
             return field, report
         return field
@@ -358,6 +363,10 @@ class FCNNReconstructor:
             count,
             f"{count}/{pred.size} non-finite FCNN prediction(s)",
             "nearest",
+        )
+        obs_counter("reconstruct.fcnn.fallback").inc(count)
+        record_event(
+            "degraded", where="fcnn.predict", count=count, fallback="nearest"
         )
         return pred
 

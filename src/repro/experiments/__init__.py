@@ -21,6 +21,13 @@ and can print the same rows/series the paper reports.
 | ext: feature preservation | :func:`repro.experiments.exp_feature_preservation.run` |
 | ext: uncertainty (deep ensembles) | :func:`repro.experiments.exp_uncertainty.run` |
 | ext: sampler ablation | :func:`repro.experiments.exp_samplers.run` |
+| ext: sampling vs compression | :func:`repro.experiments.exp_compression.run` |
+| ext: LR-schedule ablation | :func:`repro.experiments.exp_schedules.run` |
+
+Set ``ExperimentConfig.obs`` (CLI: ``--obs DIR``) to record each run's
+telemetry — span timings, counters, a ``run.json`` manifest — under
+``DIR/<experiment>`` via :func:`repro.experiments.runner.build_recorder`;
+inspect with ``repro obs report`` (see ``docs/OBSERVABILITY.md``).
 """
 
 from repro.experiments.config import ExperimentConfig, PROFILES

@@ -63,6 +63,11 @@ class ExperimentConfig:
     checkpoint_every: int = 0
     #: directory for training checkpoints (None disables on-disk checkpoints)
     checkpoint_dir: str | None = None
+    #: root directory for run telemetry (``repro.obs``); each experiment
+    #: records JSONL events + a run.json manifest under ``<obs>/<name>``.
+    #: None (the default) disables observability — instrumented code paths
+    #: then cost a no-op call (see docs/OBSERVABILITY.md)
+    obs: str | None = None
     seed: int = 7
 
     def scaled(self, **overrides) -> "ExperimentConfig":

@@ -10,6 +10,7 @@ from repro.core import FCNNReconstructor
 from repro.core.pipeline import ReconstructionPipeline
 from repro.datasets import make_dataset
 from repro.experiments.config import ExperimentConfig
+from repro.obs import NullRecorder, RunRecorder
 from repro.resilience import CheckpointConfig, HealthGuard
 from repro.sampling import MultiCriteriaSampler
 
@@ -19,6 +20,7 @@ __all__ = [
     "build_reconstructor",
     "build_health_guard",
     "build_checkpoint_config",
+    "build_recorder",
     "timed",
 ]
 
@@ -94,6 +96,32 @@ def build_checkpoint_config(
     path = Path(config.checkpoint_dir) / f"{name}.npz"
     path.parent.mkdir(parents=True, exist_ok=True)
     return CheckpointConfig(path=path, every=config.checkpoint_every)
+
+
+def build_recorder(config: ExperimentConfig, name: str) -> RunRecorder | NullRecorder:
+    """Run recorder for one experiment, or a no-op when ``config.obs`` is unset.
+
+    The recorder lands at ``<config.obs>/<name>`` (JSONL events +
+    ``run.json`` manifest) and its metadata captures the config fields that
+    determine the run (profile, dataset, dims, seed, epochs) so two runs'
+    ``config_hash`` match exactly when their setups do.  Use as a context
+    manager around the runner call::
+
+        with build_recorder(config, "fig10"):
+            result = exp_sampling_time.run(config)
+    """
+    if not config.obs:
+        return NullRecorder()
+    meta = {
+        "experiment": name,
+        "profile": config.profile,
+        "dataset": config.dataset,
+        "dims": list(config.dims),
+        "epochs": config.epochs,
+        "hidden_layers": list(config.hidden_layers),
+        "seed": config.seed,
+    }
+    return RunRecorder(Path(config.obs) / name, meta=meta)
 
 
 def test_samples(pipeline, field, fractions, config: ExperimentConfig) -> dict:

@@ -11,6 +11,10 @@ first-class, testable workflow:
   train/fine-tune an FCNN in situ, checkpointing per timestep);
 * :class:`~repro.insitu.campaign.CampaignReader` — loads a manifest and
   reconstructs any stored timestep with any method;
+* :class:`~repro.insitu.adaptive.AdaptiveSampler` /
+  :func:`~repro.insitu.adaptive.run_adaptive_campaign` — close the loop:
+  a deep ensemble's per-voxel uncertainty steers the next timestep's
+  sampling budget toward the regions the model reconstructs worst.
 """
 
 from repro.insitu.campaign import CampaignManifest, CampaignReader, InSituWriter

@@ -7,6 +7,7 @@ import abc
 import numpy as np
 
 from repro.grid import UniformGrid
+from repro.obs import span
 from repro.sampling.base import SampledField
 
 __all__ = ["GridInterpolator"]
@@ -21,6 +22,11 @@ class GridInterpolator(abc.ABC):
     sample's source grid, sampled locations keep their exact stored values
     and only void locations are predicted (matching the paper's setup, where
     reconstruction means filling the voids).
+
+    Under an active :class:`repro.obs.RunRecorder`, :meth:`reconstruct`
+    times each method's void fill as an ``interp.<name>.eval`` span, which
+    is what lets a run record attribute Fig 10's rule-based timings to the
+    individual interpolators (vs ``fcnn.predict`` for the FCNN).
     """
 
     name: str = "interpolator"
@@ -64,7 +70,10 @@ class GridInterpolator(abc.ABC):
             void = sample.void_indices()
             if void.size:
                 query = grid.index_to_position(grid.flat_to_multi(void))
-                flat[void] = self.interpolate(sample.points, sample.values, query, grid)
+                with span(f"interp.{self.name}.eval", queries=int(void.size)):
+                    flat[void] = self.interpolate(sample.points, sample.values, query, grid)
             return flat.reshape(grid.dims)
         query = grid.points()
-        return self.interpolate(sample.points, sample.values, query, grid).reshape(grid.dims)
+        with span(f"interp.{self.name}.eval", queries=int(len(query))):
+            values = self.interpolate(sample.points, sample.values, query, grid)
+        return values.reshape(grid.dims)

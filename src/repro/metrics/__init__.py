@@ -6,7 +6,10 @@ The paper scores every reconstruction with the signal-to-noise ratio
 
 where ``sigma_raw`` is the standard deviation of the original field and
 ``sigma_noise`` the standard deviation of (original - reconstruction).
-PSNR/RMSE/MAE companions are provided for completeness.
+Companions: PSNR, RMSE, MAE, max absolute error, a 3D structural
+similarity index (:func:`ssim3d`, windowed Gaussian-free box SSIM over the
+volume), and :func:`score_reconstruction`, which bundles them all into a
+:class:`ReconstructionScore`.
 """
 
 from repro.metrics.quality import (

@@ -8,6 +8,15 @@ loss history, *layer freezing* (the Case-2 "last two layers trainable"
 fine-tuning protocol of Fig 5) and model (de)serialization including
 partial, last-k-layer checkpoints (the Case-2 storage optimization).
 
+Beyond the paper's minimum the engine also carries Huber / column-weighted
+MSE losses, SGD/RMSProp optimizers, learning-rate schedules
+(:func:`apply_schedule` with constant/step/exponential/cosine/warmup),
+Dropout/LayerNorm layers, L2 regularization + gradient clipping, and
+:class:`EarlyStopping`.  :meth:`Trainer.fit` exposes the resilience hooks
+(``checkpoint=``, ``resume_from=``, ``health=`` — ``docs/RESILIENCE.md``)
+and, under an active ``repro.obs`` recorder, emits ``train.*`` spans and
+metrics (``docs/OBSERVABILITY.md``).
+
 Everything is vectorized over the batch dimension; see
 ``tests/test_nn_gradcheck.py`` for finite-difference verification of every
 layer's backward pass.

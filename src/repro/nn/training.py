@@ -14,6 +14,11 @@ Long runs additionally get the resilience hooks from
   run's parameters and loss history match an uninterrupted one;
 * ``health=`` detects NaN/Inf in loss, gradients and parameters per batch
   and epoch, with ``raise`` / ``skip_batch`` / ``rollback`` policies.
+
+When a :class:`repro.obs.RunRecorder` is active, every run additionally
+emits telemetry (``train.fit``/``train.epoch`` spans, ``train.batches``
+counters, ``train.loss``/``train.lr`` gauges, checkpoint and health
+events) at no cost to uninstrumented runs — see ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -24,6 +29,10 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.obs import counter as obs_counter
+from repro.obs import gauge as obs_gauge
+from repro.obs import histogram as obs_histogram
+from repro.obs import record_event, span
 from repro.nn.losses import Loss, MSELoss
 from repro.nn.network import Sequential
 from repro.nn.optimizers import Adam, Optimizer
@@ -171,39 +180,49 @@ class Trainer:
             snapshot = self._capture_state(rng, history, start_epoch)
 
         epoch = start_epoch
-        while epoch < epochs:
-            t0 = time.perf_counter()
-            order = rng.permutation(n) if shuffle else np.arange(n)
-            try:
-                epoch_loss = self._run_epoch(x, y, order, health, epoch)
-                if health is not None:
-                    problem = health.parameter_problem(self.optimizer.parameters)
-                    if problem is not None:
-                        self._handle_epoch_problem(health, epoch, problem)
-            except _RollbackSignal as signal:
-                epoch = self._rollback(health, snapshot, rng, history, epoch, signal)
-                continue
-            history.train_loss.append(epoch_loss)
-            if validation is not None:
-                xv, yv = validation
-                history.val_loss.append(self.evaluate(xv, yv))
-            history.epoch_seconds.append(time.perf_counter() - t0)
-            completed = epoch + 1
-            if checkpoint is not None and checkpoint.due(completed, epochs):
-                save_training_checkpoint(
-                    checkpoint.path,
-                    model=self.model,
-                    optimizer=self.optimizer,
-                    rng=rng,
-                    history=history,
-                    epoch=completed,
-                    meta={"rows": n, "batch_size": self.batch_size, "seed": self.seed},
-                )
-            if snapshot is not None:
-                snapshot = self._capture_state(rng, history, completed)
-            if callback is not None and callback(epoch, history) is False:
-                break
-            epoch = completed
+        with span("train.fit", epochs=int(epochs), rows=n, resumed_from=start_epoch):
+            while epoch < epochs:
+                with span("train.epoch", epoch=epoch):
+                    t0 = time.perf_counter()
+                    order = rng.permutation(n) if shuffle else np.arange(n)
+                    try:
+                        epoch_loss = self._run_epoch(x, y, order, health, epoch)
+                        if health is not None:
+                            problem = health.parameter_problem(self.optimizer.parameters)
+                            if problem is not None:
+                                self._handle_epoch_problem(health, epoch, problem)
+                    except _RollbackSignal as signal:
+                        epoch = self._rollback(health, snapshot, rng, history, epoch, signal)
+                        continue
+                    history.train_loss.append(epoch_loss)
+                    if validation is not None:
+                        xv, yv = validation
+                        history.val_loss.append(self.evaluate(xv, yv))
+                    seconds = time.perf_counter() - t0
+                    history.epoch_seconds.append(seconds)
+                    obs_counter("train.epochs").inc()
+                    obs_gauge("train.loss").set(epoch_loss)
+                    obs_gauge("train.lr").set(self.optimizer.lr)
+                    obs_histogram("train.epoch.seconds").observe(seconds)
+                    completed = epoch + 1
+                    if checkpoint is not None and checkpoint.due(completed, epochs):
+                        with span("train.checkpoint", epoch=completed):
+                            save_training_checkpoint(
+                                checkpoint.path,
+                                model=self.model,
+                                optimizer=self.optimizer,
+                                rng=rng,
+                                history=history,
+                                epoch=completed,
+                                meta={"rows": n, "batch_size": self.batch_size, "seed": self.seed},
+                            )
+                        record_event("checkpoint", path=str(checkpoint.path), epoch=completed)
+                        obs_counter("train.checkpoints").inc()
+                    if snapshot is not None:
+                        snapshot = self._capture_state(rng, history, completed)
+                    if callback is not None and callback(epoch, history) is False:
+                        return history
+                    epoch = completed
         return history
 
     def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:
@@ -230,6 +249,7 @@ class Trainer:
             batch_loss = self.loss.value(pred, yb)
             self.optimizer.zero_grad()
             self.model.backward(self.loss.gradient(pred, yb))
+            obs_counter("train.batches").inc()
             if health is not None:
                 problem = health.loss_problem(batch_loss)
                 kind = "loss"
@@ -238,6 +258,7 @@ class Trainer:
                     kind = "gradient"
                 if problem is not None:
                     health.record(epoch, batch_index, kind, problem, health.policy)
+                    self._observe_health(epoch, batch_index, kind, problem, health.policy)
                     if health.policy == "raise":
                         raise NumericalHealthError(
                             f"epoch {epoch} batch {batch_index}: {problem}"
@@ -254,10 +275,19 @@ class Trainer:
             return float("nan")
         return epoch_loss / counted
 
+    @staticmethod
+    def _observe_health(epoch: int, batch: int, kind: str, detail: str, action: str) -> None:
+        """Mirror one health intervention into the active run record."""
+        obs_counter("health.events").inc()
+        record_event(
+            "health", epoch=epoch, batch=batch, problem=kind, detail=detail, action=action
+        )
+
     def _handle_epoch_problem(self, health: HealthGuard, epoch: int, problem: str) -> None:
         """Non-finite *parameters* after an epoch: skip_batch cannot help."""
         action = "rollback" if health.policy == "rollback" else "raise"
         health.record(epoch, -1, "parameter", problem, action)
+        self._observe_health(epoch, -1, "parameter", problem, action)
         if action == "rollback":
             raise _RollbackSignal(f"epoch {epoch}: {problem}")
         raise NumericalHealthError(f"epoch {epoch}: {problem}")
@@ -284,6 +314,10 @@ class Trainer:
             -1,
             "rollback",
             signal.detail,
+            f"restored epoch {restored_epoch}, lr -> {self.optimizer.lr:g}",
+        )
+        self._observe_health(
+            epoch, -1, "rollback", signal.detail,
             f"restored epoch {restored_epoch}, lr -> {self.optimizer.lr:g}",
         )
         return restored_epoch

@@ -1,0 +1,344 @@
+"""Load, render and diff run records written by :class:`~repro.obs.recorder.RunRecorder`.
+
+Three layers:
+
+* **Loaders** — :func:`read_events` / :func:`read_manifest` /
+  :func:`load_run` parse a run directory back into plain data.  They are
+  crash-tolerant: a truncated final JSONL line (the process died mid-write)
+  is dropped, and a missing ``run.json`` marks the run ``incomplete``
+  rather than failing.
+* **Views** — :func:`build_span_tree` reconstructs the span forest from
+  ``span_open``/``span_close`` events; :func:`collapse_spans` groups
+  sibling spans by name (150 ``train.epoch`` spans render as one line with
+  count/total/mean); :func:`format_report` renders the whole run as text.
+* **Diff** — :func:`diff_runs` compares two runs' per-name span wall times
+  and counters, flagging regressions beyond a relative threshold — the
+  machinery behind ``repro obs report A --diff B``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.recorder import EVENTS_FILENAME, MANIFEST_FILENAME
+
+__all__ = [
+    "EventNode",
+    "RunRecord",
+    "read_events",
+    "read_manifest",
+    "load_run",
+    "build_span_tree",
+    "collapse_spans",
+    "aggregate_spans",
+    "format_report",
+    "diff_runs",
+    "format_diff",
+]
+
+
+@dataclass
+class EventNode:
+    """A span rebuilt from its open/close events."""
+
+    id: int
+    name: str
+    parent_id: int | None
+    attrs: dict = field(default_factory=dict)
+    wall: float | None = None     # None: the run died before the span closed
+    cpu: float | None = None
+    children: list["EventNode"] = field(default_factory=list)
+
+    @property
+    def closed(self) -> bool:
+        return self.wall is not None
+
+
+@dataclass
+class RunRecord:
+    """One loaded run directory."""
+
+    run_dir: Path
+    events: list[dict]
+    manifest: dict | None
+    roots: list[EventNode]
+
+    @property
+    def status(self) -> str:
+        """Manifest status, or ``"incomplete"`` when the run never finalized."""
+        if self.manifest is None:
+            return "incomplete"
+        return self.manifest.get("status", "unknown")
+
+    @property
+    def metrics(self) -> dict:
+        """Final metric snapshot (from the manifest, else the last event)."""
+        if self.manifest is not None and "metrics" in self.manifest:
+            return self.manifest["metrics"]
+        for event in reversed(self.events):
+            if event.get("kind") == "metrics":
+                return event.get("snapshot", {})
+        return {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+def read_events(run_dir: str | Path) -> list[dict]:
+    """Parse ``events.jsonl``; drops an unparseable (truncated) final line."""
+    path = Path(run_dir) / EVENTS_FILENAME
+    if not path.exists():
+        raise FileNotFoundError(f"{run_dir}: no {EVENTS_FILENAME} (not a run directory?)")
+    events: list[dict] = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                break  # process died mid-write; the prefix is still valid
+            raise ValueError(f"{path}:{i + 1}: corrupt event line") from None
+    return events
+
+
+def read_manifest(run_dir: str | Path) -> dict | None:
+    """Parse ``run.json``; ``None`` when the run never finalized."""
+    path = Path(run_dir) / MANIFEST_FILENAME
+    if not path.exists():
+        return None
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def build_span_tree(events: list[dict]) -> list[EventNode]:
+    """Rebuild the span forest from ``span_open``/``span_close`` events."""
+    nodes: dict[int, EventNode] = {}
+    roots: list[EventNode] = []
+    for event in events:
+        kind = event.get("kind")
+        if kind == "span_open":
+            node = EventNode(
+                id=int(event["id"]),
+                name=str(event["name"]),
+                parent_id=event.get("parent"),
+                attrs=dict(event.get("attrs") or {}),
+            )
+            nodes[node.id] = node
+            parent = nodes.get(node.parent_id) if node.parent_id is not None else None
+            if parent is None:
+                roots.append(node)
+            else:
+                parent.children.append(node)
+        elif kind == "span_close":
+            node = nodes.get(int(event["id"]))
+            if node is not None:
+                node.wall = float(event.get("wall", 0.0))
+                node.cpu = float(event.get("cpu", 0.0))
+                node.attrs.update(event.get("attrs") or {})
+    return roots
+
+
+def load_run(run_dir: str | Path) -> RunRecord:
+    """Load one run directory (events + manifest + rebuilt span forest)."""
+    run_dir = Path(run_dir)
+    events = read_events(run_dir)
+    return RunRecord(
+        run_dir=run_dir,
+        events=events,
+        manifest=read_manifest(run_dir),
+        roots=build_span_tree(events),
+    )
+
+
+# ---------------------------------------------------------------- rendering
+
+
+@dataclass
+class _Group:
+    """Sibling spans of one name, collapsed for display."""
+
+    name: str
+    count: int = 0
+    wall: float = 0.0
+    cpu: float = 0.0
+    open_count: int = 0
+    children: list = field(default_factory=list)
+
+
+def collapse_spans(roots: list[EventNode]) -> list[_Group]:
+    """Group sibling spans by name, recursively (insertion-ordered)."""
+    groups: dict[str, _Group] = {}
+    descendants: dict[str, list[EventNode]] = {}
+    for node in roots:
+        group = groups.setdefault(node.name, _Group(name=node.name))
+        group.count += 1
+        if node.closed:
+            group.wall += node.wall
+            group.cpu += node.cpu
+        else:
+            group.open_count += 1
+        descendants.setdefault(node.name, []).extend(node.children)
+    for name, group in groups.items():
+        group.children = collapse_spans(descendants[name])
+    return list(groups.values())
+
+
+def aggregate_spans(roots: list[EventNode]) -> dict:
+    """Flat per-name totals ``{name: {count, wall, cpu}}`` over the forest."""
+    totals: dict[str, dict] = {}
+    def visit(nodes):
+        for node in nodes:
+            agg = totals.setdefault(node.name, {"count": 0, "wall": 0.0, "cpu": 0.0})
+            agg["count"] += 1
+            if node.closed:
+                agg["wall"] += node.wall
+                agg["cpu"] += node.cpu
+            visit(node.children)
+    visit(roots)
+    return totals
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f}s"
+    return f"{seconds * 1e3:7.2f}ms"
+
+
+def _render_groups(groups: list[_Group], lines: list[str], depth: int) -> None:
+    for group in groups:
+        label = group.name if group.count == 1 else f"{group.name} x{group.count}"
+        mean = group.wall / max(group.count - group.open_count, 1)
+        parts = [
+            f"{'  ' * depth}{label:<{max(44 - 2 * depth, 8)}}",
+            f"wall {_fmt_seconds(group.wall)}",
+            f"cpu {_fmt_seconds(group.cpu)}",
+        ]
+        if group.count > 1:
+            parts.append(f"mean {_fmt_seconds(mean)}")
+        if group.open_count:
+            parts.append(f"[{group.open_count} never closed]")
+        lines.append("  ".join(parts))
+        _render_groups(group.children, lines, depth + 1)
+
+
+def format_report(record: RunRecord, show_metrics: bool = True) -> str:
+    """Human-readable text report: header, span tree, metric tables."""
+    lines = [f"run {record.run_dir}  [{record.status}]"]
+    manifest = record.manifest
+    if manifest is not None:
+        header = []
+        if manifest.get("wall_seconds") is not None:
+            header.append(f"wall {manifest['wall_seconds']:.3f}s")
+        if manifest.get("git_sha"):
+            header.append(f"git {str(manifest['git_sha'])[:12]}")
+        if manifest.get("config_hash"):
+            header.append(f"config {manifest['config_hash']}")
+        if manifest.get("seed") is not None:
+            header.append(f"seed {manifest['seed']}")
+        if manifest.get("peak_rss_kb"):
+            header.append(f"peak rss {manifest['peak_rss_kb'] / 1024:.1f} MiB")
+        if header:
+            lines.append("  " + "  ".join(header))
+    lines.append("")
+    lines.append("spans:")
+    groups = collapse_spans(record.roots)
+    if groups:
+        _render_groups(groups, lines, 1)
+    else:
+        lines.append("  (none recorded)")
+    if show_metrics:
+        metrics = record.metrics
+        if metrics.get("counters"):
+            lines.append("")
+            lines.append("counters:")
+            for name, value in metrics["counters"].items():
+                lines.append(f"  {name:<44}{value}")
+        if metrics.get("gauges"):
+            lines.append("")
+            lines.append("gauges:")
+            for name, value in metrics["gauges"].items():
+                shown = f"{value:.6g}" if isinstance(value, float) else value
+                lines.append(f"  {name:<44}{shown}")
+        if metrics.get("histograms"):
+            lines.append("")
+            lines.append("histograms:")
+            for name, summary in metrics["histograms"].items():
+                mean = summary.get("mean")
+                shown = "empty" if mean is None else (
+                    f"count={summary['count']} mean={mean:.6g} "
+                    f"min={summary['min']:.6g} max={summary['max']:.6g}"
+                )
+                lines.append(f"  {name:<44}{shown}")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- diff
+
+
+@dataclass
+class DiffEntry:
+    """One compared quantity across two runs."""
+
+    kind: str          # "span" | "counter"
+    name: str
+    a: float
+    b: float
+    regressed: bool
+
+    @property
+    def ratio(self) -> float | None:
+        if self.a == 0:
+            return None
+        return self.b / self.a
+
+
+def diff_runs(a: RunRecord, b: RunRecord, threshold: float = 0.2) -> list[DiffEntry]:
+    """Compare per-name span wall totals and counters of two runs.
+
+    A span is *regressed* when run B spends more than ``(1 + threshold)``
+    times run A's wall time on it; a counter when the values differ at all.
+    Entries are returned for every name present in either run (missing ->
+    0), spans first, sorted by name.
+    """
+    entries: list[DiffEntry] = []
+    spans_a = aggregate_spans(a.roots)
+    spans_b = aggregate_spans(b.roots)
+    for name in sorted(set(spans_a) | set(spans_b)):
+        wall_a = spans_a.get(name, {}).get("wall", 0.0)
+        wall_b = spans_b.get(name, {}).get("wall", 0.0)
+        regressed = wall_b > wall_a * (1.0 + threshold) and wall_b - wall_a > 1e-6
+        entries.append(DiffEntry("span", name, wall_a, wall_b, regressed))
+    counters_a = a.metrics.get("counters", {})
+    counters_b = b.metrics.get("counters", {})
+    for name in sorted(set(counters_a) | set(counters_b)):
+        va = float(counters_a.get(name, 0))
+        vb = float(counters_b.get(name, 0))
+        entries.append(DiffEntry("counter", name, va, vb, va != vb))
+    return entries
+
+
+def format_diff(entries: list[DiffEntry], threshold: float = 0.2) -> str:
+    """Aligned diff table; regressions are marked with ``<-- REGRESSED``."""
+    lines = [
+        f"{'kind':<8}{'name':<44}{'A':>12}{'B':>12}{'B/A':>8}",
+        "-" * 84,
+    ]
+    for entry in entries:
+        if entry.kind == "span":
+            va, vb = f"{entry.a:.4f}s", f"{entry.b:.4f}s"
+        else:
+            va, vb = f"{entry.a:g}", f"{entry.b:g}"
+        ratio = entry.ratio
+        shown_ratio = "-" if ratio is None else f"{ratio:.2f}"
+        mark = "  <-- REGRESSED" if entry.regressed and entry.kind == "span" else (
+            "  <-- CHANGED" if entry.regressed else ""
+        )
+        lines.append(f"{entry.kind:<8}{entry.name:<44}{va:>12}{vb:>12}{shown_ratio:>8}{mark}")
+    regressions = sum(1 for e in entries if e.regressed and e.kind == "span")
+    lines.append("")
+    lines.append(
+        f"{regressions} span regression(s) at threshold {threshold:.0%}"
+        if regressions
+        else f"no span regressions at threshold {threshold:.0%}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,215 @@
+"""Hierarchical span timing: ``span()`` context managers and ``@timed``.
+
+A *span* is one timed region of a run — an epoch, a reconstruction, one
+interpolator's void fill.  Spans nest: entering a span inside another makes
+it a child, so a completed run yields a tree whose wall/CPU totals
+attribute time to the exact code path that spent it (e.g. Fig 10's
+``interp.linear.eval`` vs ``fcnn.predict``).
+
+Clocks are monotonic: wall time from :func:`time.perf_counter`, CPU time
+from :func:`time.process_time`.  Both are recorded per span.
+
+Instrumentation is **off-by-default-cheap**: :func:`span` consults the
+module-level active :class:`SpanTracker` and, when none is installed
+(the normal state — no :class:`~repro.obs.recorder.RunRecorder` running),
+returns a shared no-op context manager without allocating or reading any
+clock.  Hot loops can therefore stay instrumented unconditionally.
+
+Activation is managed by :class:`repro.obs.recorder.RunRecorder`; tests
+may call :func:`activate` / :func:`deactivate` directly.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Span",
+    "SpanTracker",
+    "span",
+    "timed",
+    "activate",
+    "deactivate",
+    "active_tracker",
+]
+
+
+@dataclass
+class Span:
+    """One timed region; ``wall``/``cpu`` are filled when the span closes."""
+
+    id: int
+    name: str
+    parent_id: int | None
+    attrs: dict = field(default_factory=dict)
+    wall: float = 0.0
+    cpu: float = 0.0
+    closed: bool = False
+    children: list["Span"] = field(default_factory=list)
+    _wall0: float = 0.0
+    _cpu0: float = 0.0
+
+
+class SpanTracker:
+    """Builds the span tree and notifies listeners on open/close.
+
+    Parameters
+    ----------
+    on_open, on_close:
+        Optional callbacks ``fn(span)`` — the
+        :class:`~repro.obs.recorder.RunRecorder` uses them to stream
+        ``span_open`` / ``span_close`` JSONL events as they happen, so a
+        crashed run still leaves a readable prefix.
+    """
+
+    def __init__(self, on_open=None, on_close=None) -> None:
+        self.roots: list[Span] = []
+        self.on_open = on_open
+        self.on_close = on_close
+        self._stack: list[Span] = []
+        self._next_id = 0
+
+    # ------------------------------------------------------------ lifecycle
+    def open(self, name: str, attrs: dict | None = None) -> Span:
+        """Open a child of the current span (or a new root)."""
+        parent = self._stack[-1] if self._stack else None
+        node = Span(
+            id=self._next_id,
+            name=str(name),
+            parent_id=None if parent is None else parent.id,
+            attrs=dict(attrs) if attrs else {},
+        )
+        self._next_id += 1
+        if parent is None:
+            self.roots.append(node)
+        else:
+            parent.children.append(node)
+        self._stack.append(node)
+        node._wall0 = time.perf_counter()
+        node._cpu0 = time.process_time()
+        if self.on_open is not None:
+            self.on_open(node)
+        return node
+
+    def close(self, node: Span) -> None:
+        """Close ``node``; spans must close in LIFO order."""
+        wall1 = time.perf_counter()
+        cpu1 = time.process_time()
+        if not self._stack or self._stack[-1] is not node:
+            raise RuntimeError(
+                f"span {node.name!r} closed out of order; spans must nest "
+                "(use the context manager form)"
+            )
+        self._stack.pop()
+        node.wall = wall1 - node._wall0
+        node.cpu = cpu1 - node._cpu0
+        node.closed = True
+        if self.on_close is not None:
+            self.on_close(node)
+
+    @property
+    def depth(self) -> int:
+        """Current nesting depth (0 outside any span)."""
+        return len(self._stack)
+
+    def span(self, name: str, attrs: dict | None = None) -> "_SpanContext":
+        """Context manager opening/closing one span on this tracker."""
+        return _SpanContext(self, name, attrs)
+
+
+class _SpanContext:
+    """``with``-wrapper around :meth:`SpanTracker.open`/``close``."""
+
+    __slots__ = ("_tracker", "_name", "_attrs", "_span")
+
+    def __init__(self, tracker: SpanTracker, name: str, attrs: dict | None) -> None:
+        self._tracker = tracker
+        self._name = name
+        self._attrs = attrs
+        self._span: Span | None = None
+
+    def __enter__(self) -> Span:
+        self._span = self._tracker.open(self._name, self._attrs)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self._span.attrs.setdefault("error", exc_type.__name__)
+        self._tracker.close(self._span)
+        return False
+
+
+class _NullSpanContext:
+    """Shared, stateless no-op used while no tracker is active."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpanContext()
+_ACTIVE: SpanTracker | None = None
+
+
+def activate(tracker: SpanTracker) -> SpanTracker | None:
+    """Install ``tracker`` as the process-wide span sink; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracker
+    return previous
+
+
+def deactivate(previous: SpanTracker | None = None) -> None:
+    """Remove the active tracker (restoring ``previous``, usually ``None``)."""
+    global _ACTIVE
+    _ACTIVE = previous
+
+
+def active_tracker() -> SpanTracker | None:
+    """The currently installed tracker, or ``None`` when observability is off."""
+    return _ACTIVE
+
+
+def span(name: str, **attrs):
+    """Time a region against the active tracker; no-op when none is active.
+
+    ::
+
+        with span("train.epoch", epoch=3):
+            ...
+    """
+    tracker = _ACTIVE
+    if tracker is None:
+        return _NULL_SPAN
+    return _SpanContext(tracker, name, attrs or None)
+
+
+def timed(name: str | None = None):
+    """Decorator form of :func:`span`; defaults to the function's qualname.
+
+    ::
+
+        @timed("sampler.draw")
+        def sample(...): ...
+    """
+
+    def decorate(fn):
+        label = name if name is not None else fn.__qualname__
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            tracker = _ACTIVE
+            if tracker is None:
+                return fn(*args, **kwargs)
+            with _SpanContext(tracker, label, None):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate

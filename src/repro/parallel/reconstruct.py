@@ -22,6 +22,8 @@ import numpy as np
 from repro.grid import UniformGrid
 from repro.interpolation.base import GridInterpolator
 from repro.interpolation.nearest import NearestNeighborInterpolator
+from repro.obs import counter as obs_counter
+from repro.obs import record_event, span
 from repro.parallel.chunking import chunk_indices
 from repro.parallel.executor import ParallelExecutor
 from repro.resilience.report import ReconstructionReport
@@ -91,40 +93,54 @@ def parallel_reconstruct(
     payloads = [
         (interpolator, sample.points, sample.values, query[c], grid) for c in chunks
     ]
-    outcomes = executor.map_outcomes(_run_chunk, payloads)
+    method = getattr(interpolator, "name", "interpolator")
+    obs_counter("reconstruct.chunks.total").inc(len(chunks))
+    with span("parallel.reconstruct", method=method, chunks=len(chunks)):
+        outcomes = executor.map_outcomes(_run_chunk, payloads)
 
-    report = ReconstructionReport(
-        total_points=int(grid.num_points),
-        fallback_method=getattr(fallback_interp, "name", None),
-    )
-    out = grid.empty_field().ravel()
-    if same_grid:
-        out[sample.indices] = sample.values
-    for k, (c, outcome) in enumerate(zip(chunks, outcomes)):
-        if outcome.ok:
-            piece = np.asarray(outcome.result, dtype=np.float64)
-            bad = ~np.isfinite(piece)
-            if bad.any() and fallback_interp is not None:
-                piece = piece.copy()
-                piece[bad] = fallback_interp.interpolate(
-                    sample.points, sample.values, query[c][bad], grid
+        report = ReconstructionReport(
+            total_points=int(grid.num_points),
+            fallback_method=getattr(fallback_interp, "name", None),
+        )
+        out = grid.empty_field().ravel()
+        if same_grid:
+            out[sample.indices] = sample.values
+        for k, (c, outcome) in enumerate(zip(chunks, outcomes)):
+            if outcome.ok:
+                piece = np.asarray(outcome.result, dtype=np.float64)
+                bad = ~np.isfinite(piece)
+                if bad.any() and fallback_interp is not None:
+                    piece = piece.copy()
+                    piece[bad] = fallback_interp.interpolate(
+                        sample.points, sample.values, query[c][bad], grid
+                    )
+                    report.flag(
+                        k,
+                        int(bad.sum()),
+                        f"{int(bad.sum())}/{piece.size} non-finite prediction(s)",
+                        fallback_interp.name,
+                    )
+                    obs_counter("reconstruct.chunks.fallback").inc()
+                    record_event(
+                        "degraded", where="parallel.chunk", chunk=k,
+                        count=int(bad.sum()), fallback=fallback_interp.name,
+                    )
+            else:
+                if fallback_interp is None:
+                    if outcome.exception is not None:
+                        raise outcome.exception
+                    raise RuntimeError(f"chunk {k} failed: {outcome.error or 'unknown error'}")
+                piece = fallback_interp.interpolate(
+                    sample.points, sample.values, query[c], grid
                 )
-                report.flag(
-                    k,
-                    int(bad.sum()),
-                    f"{int(bad.sum())}/{piece.size} non-finite prediction(s)",
-                    fallback_interp.name,
+                report.flag(k, len(c), outcome.error or "task failed", fallback_interp.name)
+                obs_counter("reconstruct.chunks.fallback").inc()
+                record_event(
+                    "degraded", where="parallel.chunk", chunk=k,
+                    count=len(c), fallback=fallback_interp.name,
+                    error=outcome.error or "task failed",
                 )
-        else:
-            if fallback_interp is None:
-                if outcome.exception is not None:
-                    raise outcome.exception
-                raise RuntimeError(f"chunk {k} failed: {outcome.error or 'unknown error'}")
-            piece = fallback_interp.interpolate(
-                sample.points, sample.values, query[c], grid
-            )
-            report.flag(k, len(c), outcome.error or "task failed", fallback_interp.name)
-        out[fill_indices[c]] = piece
+            out[fill_indices[c]] = piece
     field = out.reshape(grid.dims)
     if return_report:
         return field, report

@@ -1,0 +1,153 @@
+"""Span trees, the @timed decorator, and the disabled-mode no-op guarantees."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.obs import timing
+from repro.obs.timing import SpanTracker, activate, active_tracker, deactivate, span, timed
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracker_state():
+    """Every test starts and ends with observability off."""
+    assert active_tracker() is None
+    yield
+    deactivate(None)
+
+
+class TestSpanTracker:
+    def test_nested_spans_build_a_tree(self):
+        tracker = SpanTracker()
+        previous = activate(tracker)
+        try:
+            with span("outer", size=3) as outer:
+                with span("inner.a"):
+                    pass
+                with span("inner.b"):
+                    pass
+        finally:
+            deactivate(previous)
+
+        assert [root.name for root in tracker.roots] == ["outer"]
+        assert [child.name for child in outer.children] == ["inner.a", "inner.b"]
+        assert outer.attrs == {"size": 3}
+        assert all(child.parent_id == outer.id for child in outer.children)
+        assert outer.closed and all(c.closed for c in outer.children)
+        # children's time is contained in the parent's
+        assert outer.wall >= max(c.wall for c in outer.children)
+        assert tracker.depth == 0
+
+    def test_sibling_spans_after_close_become_new_roots(self):
+        tracker = SpanTracker()
+        with tracker.span("first"):
+            pass
+        with tracker.span("second"):
+            pass
+        assert [r.name for r in tracker.roots] == ["first", "second"]
+
+    def test_wall_and_cpu_clocks_recorded(self):
+        tracker = SpanTracker()
+        with tracker.span("sleepy"):
+            time.sleep(0.01)
+        node = tracker.roots[0]
+        assert node.wall >= 0.01
+        assert node.cpu >= 0.0  # sleep burns no CPU; must still be filled in
+
+    def test_out_of_order_close_raises(self):
+        tracker = SpanTracker()
+        first = tracker.open("first")
+        tracker.open("second")
+        with pytest.raises(RuntimeError, match="out of order"):
+            tracker.close(first)
+
+    def test_exception_marks_span_and_propagates(self):
+        tracker = SpanTracker()
+        previous = activate(tracker)
+        try:
+            with pytest.raises(ValueError):
+                with span("doomed"):
+                    raise ValueError("boom")
+        finally:
+            deactivate(previous)
+        node = tracker.roots[0]
+        assert node.closed
+        assert node.attrs["error"] == "ValueError"
+
+    def test_open_close_callbacks_stream(self):
+        opened, closed = [], []
+        tracker = SpanTracker(on_open=lambda s: opened.append(s.name),
+                              on_close=lambda s: closed.append(s.name))
+        with tracker.span("a"):
+            with tracker.span("b"):
+                pass
+        assert opened == ["a", "b"]
+        assert closed == ["b", "a"]  # LIFO
+
+
+class TestTimedDecorator:
+    def test_defaults_to_qualname(self):
+        @timed()
+        def compute(x):
+            return x * 2
+
+        tracker = SpanTracker()
+        previous = activate(tracker)
+        try:
+            assert compute(21) == 42
+        finally:
+            deactivate(previous)
+        assert len(tracker.roots) == 1
+        assert "compute" in tracker.roots[0].name
+
+    def test_explicit_name_and_no_tracker_bypass(self):
+        calls = []
+
+        @timed("custom.op")
+        def work():
+            calls.append(active_tracker())
+            return "ok"
+
+        # disabled: the function runs with no span machinery at all
+        assert work() == "ok"
+        assert calls == [None]
+
+        tracker = SpanTracker()
+        previous = activate(tracker)
+        try:
+            work()
+        finally:
+            deactivate(previous)
+        assert tracker.roots[0].name == "custom.op"
+
+
+class TestDisabledMode:
+    def test_span_returns_shared_noop(self):
+        assert span("anything") is span("something.else")
+        assert span("x") is timing._NULL_SPAN
+        with span("nothing") as handle:
+            assert handle is None
+
+    def test_activate_returns_previous(self):
+        a, b = SpanTracker(), SpanTracker()
+        assert activate(a) is None
+        assert activate(b) is a
+        deactivate(a)
+        assert active_tracker() is a
+        deactivate(None)
+
+    def test_disabled_spans_are_cheap(self):
+        """Off-by-default-cheap guard: 50k disabled spans in well under 1s.
+
+        An accidental allocation, clock read or dict lookup per disabled
+        call shows up here as an order-of-magnitude slowdown.
+        """
+        n = 50_000
+        t0 = time.perf_counter()
+        for _ in range(n):
+            with span("hot.loop"):
+                pass
+        elapsed = time.perf_counter() - t0
+        assert elapsed < 1.0, f"{n} disabled spans took {elapsed:.3f}s"
