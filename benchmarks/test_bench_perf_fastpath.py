@@ -1,0 +1,163 @@
+"""Fast-path benchmark — slow path vs workspace fast path (``BENCH_perf``).
+
+Three configurations of the same FCNN pipeline run on one hurricane
+field/sample pair:
+
+* ``slow``   — the pre-PR execution model: ``fast_path=False`` (fresh
+  temporaries in every Dense/ReLU/Adam step, full N x 23 feature matrix
+  materialized per predict call) and ``cache_geometry=False`` (kd-tree
+  rebuilt per call).
+* ``fast64`` — the default fast path: workspace-reuse kernels, chunked
+  inference with a reused feature buffer, cached geometry.  Numerics are
+  **bit-identical** to ``slow`` (asserted below, strictly).
+* ``fast32`` — ``fast64`` plus the opt-in ``dtype_policy="float32"``
+  (float32 compute, float64 loss/SNR accumulation).  Value-approximate,
+  not bit-identical — this row is the headline-throughput configuration.
+
+Measured quantities (the paper's systems claims, Fig 10 / Table I):
+
+* mean ``train.epoch`` wall seconds over the run's epochs, and
+* full-grid reconstruction seconds (mean over ``REPEATS`` calls — the
+  paper reconstructs every timestep from one sample geometry, which is
+  what lets the geometry cache amortize).
+
+``publish()`` writes ``results/BENCH_perf.json``; the ``slow`` and
+``fast64`` runs additionally leave :mod:`repro.obs` run records under
+``results/obs_perf/{slow,fast}`` so CI can gate with::
+
+    repro obs report benchmarks/results/obs_perf/slow \
+        --diff benchmarks/results/obs_perf/fast --fail-on-regression
+
+(the fast path must never be a >20% span regression over the slow path).
+
+Speed assertions are *soft* on the ``quick`` profile (tiny sizes measure
+noise); bit-identity assertions are strict on every profile.
+"""
+
+import shutil
+import time
+from contextlib import nullcontext
+
+import numpy as np
+import pytest
+
+from conftest import RESULTS_DIR, publish
+from repro.core import FCNNReconstructor
+from repro.datasets import HurricaneDataset
+from repro.experiments.runner import ExperimentResult
+from repro.obs import RunRecorder
+
+#: grid dims per --bench-profile (queries scale the reconstruction side)
+SIZES = {"quick": (16, 16, 8), "bench": (48, 48, 22), "paper": (96, 96, 48)}
+#: training epochs per profile (epoch wall time is averaged over these)
+EPOCHS = {"quick": 3, "bench": 8, "paper": 20}
+#: reconstruction repeats — models per-timestep reconstruction reuse
+REPEATS = {"quick": 2, "bench": 3, "paper": 5}
+
+FRACTION = 0.01
+HIDDEN = (128, 64, 32, 16)
+OBS_DIRS = {"slow": RESULTS_DIR / "obs_perf" / "slow", "fast64": RESULTS_DIR / "obs_perf" / "fast"}
+
+
+def _run_config(name, field, sample, profile):
+    """Train + repeatedly reconstruct one configuration; return measurements."""
+    fast = name != "slow"
+    recon = FCNNReconstructor(
+        hidden_layers=HIDDEN,
+        batch_size=4096,
+        seed=0,
+        fast_path=fast,
+        dtype_policy="float32" if name == "fast32" else "float64",
+    )
+    recon.extractor.cache_geometry = fast
+
+    obs_dir = OBS_DIRS.get(name)
+    if obs_dir is not None:
+        shutil.rmtree(obs_dir, ignore_errors=True)
+    recorder = (
+        RunRecorder(obs_dir, meta={"config": name, "profile": profile})
+        if obs_dir is not None
+        else nullcontext()
+    )
+    epochs, repeats = EPOCHS[profile], REPEATS[profile]
+    with recorder:
+        t0 = time.perf_counter()
+        history = recon.train(field, sample, epochs=epochs)
+        train_s = time.perf_counter() - t0
+
+        recon.reconstruct(sample)  # warm caches outside the timed region
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            volume = recon.reconstruct(sample)
+        recon_s = (time.perf_counter() - t0) / repeats
+    return {
+        "config": name,
+        "train_s": train_s,
+        "epoch_s": train_s / epochs,
+        "recon_s": recon_s,
+        "losses": list(history.train_loss),
+        "volume": volume,
+    }
+
+
+def test_perf_fastpath(benchmark, bench_profile):
+    from repro.sampling import MultiCriteriaSampler
+
+    profile = bench_profile
+    grid = HurricaneDataset.default_grid().with_resolution(SIZES[profile])
+    field = HurricaneDataset(grid=grid).field(t=0)
+    sample = MultiCriteriaSampler(seed=0).sample(field, FRACTION)
+
+    def run():
+        return {name: _run_config(name, field, sample, profile) for name in ("slow", "fast64", "fast32")}
+
+    runs = benchmark.pedantic(run, rounds=1, iterations=1)
+    slow, fast64, fast32 = runs["slow"], runs["fast64"], runs["fast32"]
+
+    # --- bit-exactness (strict on every profile) --------------------------
+    # The default fast path must be indistinguishable from the slow path:
+    # identical per-epoch losses and an identical reconstructed volume.
+    assert slow["losses"] == fast64["losses"]
+    assert np.array_equal(slow["volume"], fast64["volume"])
+    # float32 policy is value-approximate only.
+    rel = np.max(np.abs(fast32["volume"] - slow["volume"])) / max(
+        np.max(np.abs(slow["volume"])), 1e-12
+    )
+    assert rel < 1e-3, f"float32 policy drifted: rel err {rel:.2e}"
+
+    rows = []
+    for name in ("slow", "fast64", "fast32"):
+        r = runs[name]
+        rows.append(
+            {
+                "config": name,
+                "epoch_s": round(r["epoch_s"], 4),
+                "train_speedup": round(slow["epoch_s"] / r["epoch_s"], 2),
+                "recon_s": round(r["recon_s"], 4),
+                "recon_speedup": round(slow["recon_s"] / r["recon_s"], 2),
+                "bit_identical": name != "fast32",
+            }
+        )
+    result = ExperimentResult(
+        experiment="perf",
+        rows=rows,
+        series={
+            "epoch_s": {r["config"]: r["epoch_s"] for r in rows},
+            "recon_s": {r["config"]: r["recon_s"] for r in rows},
+        },
+        notes={
+            "profile": profile,
+            "dims": "x".join(str(d) for d in SIZES[profile]),
+            "fraction": FRACTION,
+            "epochs": EPOCHS[profile],
+            "recon_repeats": REPEATS[profile],
+            "hidden_layers": HIDDEN,
+            "targets": "train.epoch >= 2x, full-grid reconstruction >= 3x (fast32 row)",
+        },
+    )
+    publish(result)
+
+    # --- speed (soft on quick: tiny sizes time noise, not kernels) --------
+    if profile != "quick":
+        assert fast64["epoch_s"] <= slow["epoch_s"] * 1.2, "fast64 regressed training"
+        assert fast64["recon_s"] <= slow["recon_s"] * 1.2, "fast64 regressed reconstruction"

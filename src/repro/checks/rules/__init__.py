@@ -12,6 +12,7 @@ from repro.checks.rules.defaults import MutableDefaultArgumentRule
 from repro.checks.rules.division import GuardedDivisionRule
 from repro.checks.rules.dtype import ExplicitDtypeBoundaryRule, Float32DowncastRule
 from repro.checks.rules.imports import ImportCycleRule
+from repro.checks.rules.perf import HotLoopAllocationRule
 from repro.checks.rules.registry_consistency import RegistryConsistencyRule
 from repro.checks.rules.rng import LegacyGlobalRNGRule, UnseededGeneratorRule
 
@@ -29,6 +30,7 @@ __all__ = [
     "ImportCycleRule",
     "MutableDefaultArgumentRule",
     "NonAtomicCheckpointWriteRule",
+    "HotLoopAllocationRule",
 ]
 
 ALL_RULES: tuple[type[Rule], ...] = (
@@ -41,4 +43,5 @@ ALL_RULES: tuple[type[Rule], ...] = (
     ImportCycleRule,
     MutableDefaultArgumentRule,
     NonAtomicCheckpointWriteRule,
+    HotLoopAllocationRule,
 )

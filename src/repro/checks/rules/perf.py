@@ -1,0 +1,69 @@
+"""Performance discipline for the workspace fast path.
+
+``PRF001`` — files that declare themselves hot paths (first line is the
+``# hot-path`` marker) route steady-state buffers through a
+:class:`repro.perf.Workspace`; a fresh ``np.zeros``/``np.empty``-family
+allocation inside a loop body of such a file reintroduces the per-batch
+allocations the fast path exists to remove.  Intentional loop allocations
+(startup warming, once-per-call results) are suppressed explicitly with
+``# repro: noqa[PRF001]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.checks.findings import Finding
+from repro.checks.rules.base import ModuleContext, Rule
+
+__all__ = ["HotLoopAllocationRule"]
+
+#: np.* constructors that allocate a fresh array every call
+_ALLOCATORS = frozenset(
+    {"zeros", "empty", "ones", "full", "zeros_like", "empty_like", "ones_like", "full_like"}
+)
+
+
+def _allocator_name(node: ast.Call) -> str | None:
+    """The ``X`` of ``np.X(...)`` / ``numpy.X(...)`` when ``X`` allocates."""
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and isinstance(func.value, ast.Name)
+        and func.value.id in ("np", "numpy")
+        and func.attr in _ALLOCATORS
+    ):
+        return func.attr
+    return None
+
+
+class HotLoopAllocationRule(Rule):
+    id = "PRF001"
+    name = "hot-loop-allocation"
+    description = "array allocation inside a loop of a # hot-path module"
+    default_options = {"marker": "# hot-path"}
+
+    def check_module(self, ctx: ModuleContext) -> Iterable[Finding]:
+        first_line = ctx.source.split("\n", 1)[0].strip()
+        if first_line != self.options["marker"]:
+            return
+        # Only statement loops count: comprehensions run once per call, the
+        # steady-state concern is the per-iteration body of for/while.
+        seen: set[int] = set()  # nested loops walk shared bodies once
+        for loop in ast.walk(ctx.tree):
+            if not isinstance(loop, (ast.For, ast.While)):
+                continue
+            for stmt in loop.body + loop.orelse:
+                for node in ast.walk(stmt):
+                    if isinstance(node, ast.Call) and id(node) not in seen:
+                        seen.add(id(node))
+                        name = _allocator_name(node)
+                        if name is not None:
+                            yield self.finding(
+                                ctx,
+                                node,
+                                f"np.{name} inside a loop of a hot-path module; "
+                                "reuse a repro.perf.Workspace buffer "
+                                "(# repro: noqa[PRF001] if intentional)",
+                            )

@@ -67,12 +67,39 @@ class Normalizer:
         """Physical positions → unit-cube coordinates (may exceed [0,1])."""
         return (np.asarray(points, dtype=np.float64) - self.origin) / self.span
 
+    def denormalize_coords(self, coords: np.ndarray) -> np.ndarray:
+        """Unit-cube coordinates → physical positions (inverse of normalize)."""
+        return np.asarray(coords, dtype=np.float64) * self.span + self.origin
+
     # -------------------------------------------------------------- values
     def normalize_values(self, values: np.ndarray) -> np.ndarray:
         return (np.asarray(values, dtype=np.float64) - self.value_mean) / self.value_std
 
     def denormalize_values(self, values: np.ndarray) -> np.ndarray:
         return np.asarray(values, dtype=np.float64) * self.value_std + self.value_mean
+
+    def denormalize_values_into(self, values: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """``denormalize_values`` writing into ``out`` (fast-path inference).
+
+        Same operation order (scale, then shift), so results are
+        bit-identical to the allocating form; ``out`` may be a strided view
+        (e.g. a slice of the full reconstruction vector).
+        """
+        np.multiply(values, self.value_std, out=out)
+        out += self.value_mean
+        return out
+
+    # ---------------------------------------------------- sklearn-style API
+    def transform(self, points: np.ndarray, values: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Normalize a (coords, values) pair in one call."""
+        return self.normalize_coords(points), self.normalize_values(values)
+
+    def inverse_transform(
+        self, coords: np.ndarray, values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Invert :meth:`transform`; ``inverse_transform(*transform(p, v))``
+        round-trips to the inputs (up to float rounding)."""
+        return self.denormalize_coords(coords), self.denormalize_values(values)
 
     # ------------------------------------------------------------ gradients
     def normalize_gradients(self, gradients: np.ndarray) -> np.ndarray:

@@ -1,3 +1,4 @@
+# hot-path
 """The FCNN reconstructor (paper Sec III-C/D/E, Fig 5).
 
 Architecture: 23 inputs → five hidden Dense+ReLU layers sized 512, 256,
@@ -29,6 +30,7 @@ from repro.nn import Adam, MSELoss, Sequential, Trainer, TrainingHistory, Weight
 from repro.nn.serialization import load_model, save_model, save_partial
 from repro.obs import counter as obs_counter
 from repro.obs import record_event, span
+from repro.perf import DtypePolicy, Workspace
 from repro.resilience.checkpoint import CheckpointConfig, TrainingCheckpoint
 from repro.resilience.health import HealthGuard, NumericalHealthError
 from repro.resilience.report import ReconstructionReport
@@ -64,6 +66,16 @@ class FCNNReconstructor:
         the optimization.
     seed:
         Controls weight init and shuffling; same seed → identical run.
+    fast_path:
+        Route training and inference through a reused
+        :class:`repro.perf.Workspace` (allocation-free hot loops, streamed
+        chunked inference).  Bit-identical to the slow path when
+        ``dtype_policy`` is ``"float64"``; set ``False`` to force the
+        allocating seed path.
+    dtype_policy:
+        Compute dtype for the network (``"float64"`` or ``"float32"``); see
+        :class:`repro.perf.DtypePolicy`.  Losses, SNR and reconstruction
+        outputs accumulate in float64 regardless.
     """
 
     name = "fcnn"
@@ -77,6 +89,8 @@ class FCNNReconstructor:
         batch_size: int = 4096,
         gradient_loss_weight: float = 0.1,
         seed: int = 0,
+        fast_path: bool = True,
+        dtype_policy: str = "float64",
     ) -> None:
         if not hidden_layers:
             raise ValueError("need at least one hidden layer")
@@ -90,6 +104,9 @@ class FCNNReconstructor:
             raise ValueError(f"gradient_loss_weight must be >= 0, got {gradient_loss_weight}")
         self.gradient_loss_weight = float(gradient_loss_weight)
         self.seed = int(seed)
+        self.fast_path = bool(fast_path)
+        self.dtype_policy = DtypePolicy(dtype_policy)
+        self._workspace: Workspace | None = None
         self.model: Sequential | None = None
         self.normalizer: Normalizer | None = None
         self.history = TrainingHistory()
@@ -103,6 +120,14 @@ class FCNNReconstructor:
         if self.model is None or self.normalizer is None:
             raise RuntimeError("model is not trained; call train() or load() first")
         return self.model, self.normalizer
+
+    def _get_workspace(self) -> Workspace | None:
+        """The reconstructor's arena (one per instance), or ``None`` when slow."""
+        if not self.fast_path:
+            return None
+        if self._workspace is None:
+            self._workspace = Workspace(dtype=self.dtype_policy.compute_dtype)
+        return self._workspace
 
     def _loss(self):
         if self.extractor.include_gradients:
@@ -191,6 +216,8 @@ class FCNNReconstructor:
             x, y = self._training_matrix(field, sample_list, normalizer, train_fraction, rng)
 
         self.model = self._build_model()
+        # Cast before building the optimizer so Adam's moments match.
+        self.dtype_policy.cast_model(self.model)
         self.normalizer = normalizer
         self.history = TrainingHistory()
         trainer = Trainer(
@@ -199,6 +226,7 @@ class FCNNReconstructor:
             optimizer=Adam(self.model.parameters(), lr=self.learning_rate),
             batch_size=self.batch_size,
             seed=self.seed,
+            workspace=self._get_workspace(),
         )
         run = trainer.fit(
             x,
@@ -256,6 +284,7 @@ class FCNNReconstructor:
             optimizer=Adam(model.parameters(), lr=self.learning_rate),
             batch_size=self.batch_size,
             seed=self.seed + 1,
+            workspace=self._get_workspace(),
         )
         run = trainer.fit(x, y, epochs=epochs, checkpoint=checkpoint, health=health)
         self.history.extend(run)
@@ -269,7 +298,16 @@ class FCNNReconstructor:
         points: np.ndarray,
         grid: UniformGrid | None = None,
     ) -> np.ndarray:
-        """Predict (denormalized) scalar values at arbitrary positions."""
+        """Predict (denormalized) scalar values at arbitrary positions.
+
+        With ``fast_path`` the query points stream through the workspace in
+        fixed-size blocks: each block's features are written into a reused
+        arena buffer (:meth:`FeatureExtractor.features_into`), pushed
+        through the network and denormalized straight into the result
+        slice, so peak memory is one block rather than the full feature
+        matrix.  Block boundaries equal the slow path's prediction batches,
+        keeping results bit-identical (``dtype_policy="float64"``).
+        """
         model, normalizer = self._require_trained()
         g = grid if grid is not None else sample.grid
         local = dataclasses.replace(
@@ -277,10 +315,51 @@ class FCNNReconstructor:
             origin=np.asarray(g.origin, dtype=np.float64),
             span=_grid_span(g),
         )
-        with span("fcnn.predict", queries=len(points)):
+        with span("fcnn.predict", queries=len(points), fast=self.fast_path):
+            if self.fast_path:
+                return self._predict_values_fast(model, sample, points, local)
             x = self.extractor.features(sample, points, local)
             pred = model.predict(x, batch_size=max(self.batch_size, 16384))
             return local.denormalize_values(pred[:, 0])
+
+    def _predict_values_fast(
+        self,
+        model: Sequential,
+        sample: SampledField,
+        points: np.ndarray,
+        local: Normalizer,
+    ) -> np.ndarray:
+        """Chunked inference through the reused workspace (see predict_values)."""
+        ws = self._get_workspace()
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        nq = len(points)
+        out = np.empty(nq, dtype=np.float64)
+        block = max(self.batch_size, 16384)
+        width = self.extractor.feature_size
+        # One kd-tree query for the whole call (memoized across calls when
+        # the same (sample, points) objects come back — the per-timestep
+        # reconstruction loop); blocks below then slice it for free.
+        idx = self.extractor._neighbor_indices(sample, points)
+        model.attach_workspace(ws)
+        model.set_training(False)
+        try:
+            for start in range(0, nq, block):
+                stop = min(start + block, nq)
+                feat = ws.buffer(("recon", "feat"), (stop - start, width))
+                self.extractor.features_into(
+                    sample,
+                    points[start:stop],
+                    local,
+                    feat,
+                    workspace=ws,
+                    neighbor_idx=idx[start:stop],
+                )
+                pred = model.forward(feat)
+                local.denormalize_values_into(pred[:, 0], out[start:stop])
+        finally:
+            model.set_training(True)
+            model.detach_workspace()
+        return out
 
     def reconstruct(
         self,
@@ -320,7 +399,9 @@ class FCNNReconstructor:
                 out[sample.indices] = sample.values
                 void = sample.void_indices()
                 if void.size:
-                    points = grid.index_to_position(grid.flat_to_multi(void))
+                    # Cached array identity (not just equal values) keeps the
+                    # extractor's neighbor-index memo hot across timesteps.
+                    points = sample.void_points()
                     out[void] = self._healthy_predictions(
                         sample, points, grid, on_nonfinite, report
                     )
@@ -381,6 +462,8 @@ class FCNNReconstructor:
             "learning_rate": self.learning_rate,
             "batch_size": self.batch_size,
             "seed": self.seed,
+            "fast_path": self.fast_path,
+            "dtype_policy": self.dtype_policy.compute,
             "normalizer": normalizer.as_dict(),
         }
         save_model(path, model, meta=meta)
@@ -401,8 +484,12 @@ class FCNNReconstructor:
             learning_rate=float(meta["learning_rate"]),
             batch_size=int(meta["batch_size"]),
             seed=int(meta["seed"]),
+            fast_path=bool(meta.get("fast_path", True)),
+            dtype_policy=str(meta.get("dtype_policy", "float64")),
         )
         recon.model = model
+        # Checkpoints store float64 weights; re-apply the compute policy.
+        recon.dtype_policy.cast_model(model)
         recon.normalizer = Normalizer.from_dict(meta["normalizer"])
         return recon
 

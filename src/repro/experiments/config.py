@@ -68,6 +68,12 @@ class ExperimentConfig:
     #: None (the default) disables observability — instrumented code paths
     #: then cost a no-op call (see docs/OBSERVABILITY.md)
     obs: str | None = None
+    #: route training/inference through the repro.perf workspace fast path
+    #: (bit-identical to the slow path while ``dtype_policy`` is float64)
+    fast_path: bool = True
+    #: network compute dtype ("float64" keeps seed numerics; "float32"
+    #: halves bandwidth at ~1e-7 relative error — see repro.perf.DtypePolicy)
+    dtype_policy: str = "float64"
     seed: int = 7
 
     def scaled(self, **overrides) -> "ExperimentConfig":

@@ -1,8 +1,18 @@
+# hot-path
 """Layers: dense affine maps and element-wise activations.
 
 Every layer implements ``forward`` (caching what backward needs) and
 ``backward`` (accumulating parameter gradients, returning the gradient with
 respect to its input).  Batches are rows: activations are ``(B, features)``.
+
+Fast path: when a :class:`repro.perf.Workspace` is attached (via
+:meth:`repro.nn.Sequential.attach_workspace`), ``Dense`` and ``ReLU``
+write into reused arena buffers instead of allocating — ``np.matmul(...,
+out=)`` for the affine maps, an in-place masked multiply for the
+activation (fusing Dense+ReLU into one buffer).  The operation sequence is
+unchanged, so results are bit-identical to the allocating path; layers
+without a fast branch simply ignore the workspace and keep allocating,
+which composes safely within one network.
 """
 
 from __future__ import annotations
@@ -17,6 +27,11 @@ __all__ = ["Layer", "Dense", "ReLU", "Tanh", "Sigmoid", "Identity", "LayerNorm"]
 
 class Layer:
     """Base class: a differentiable map with (possibly zero) parameters."""
+
+    # class-level defaults so subclasses that skip super().__init__ still
+    # see "no workspace attached"
+    _ws = None       # active repro.perf.Workspace, or None (slow path)
+    _ws_tag = -1     # layer index within the owning Sequential
 
     def __init__(self) -> None:
         self.trainable = True
@@ -81,22 +96,43 @@ class Dense(Layer):
         self._input: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
+        ws = self._ws
+        if ws is None:
+            x = np.asarray(x, dtype=np.float64)
+        elif x.dtype != ws.dtype:
+            x = x.astype(ws.dtype)
         if x.ndim != 2 or x.shape[1] != self.in_features:
             raise ValueError(
                 f"Dense({self.in_features}->{self.out_features}) got input shape {x.shape}"
             )
         self._input = x
-        return x @ self.weight.value + self.bias.value
+        if ws is None:
+            return x @ self.weight.value + self.bias.value
+        # Fast lane: same ops (matmul, then the bias add), arena-owned output.
+        out = ws.buffer((self._ws_tag, "fwd"), (x.shape[0], self.out_features))
+        np.matmul(x, self.weight.value, out=out)
+        out += self.bias.value
+        return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._input is None:
             raise RuntimeError("backward called before forward")
         x = self._input
-        # Accumulate (+=) so gradient checks can sum over micro-batches.
-        self.weight.grad += x.T @ grad_out
-        self.bias.grad += grad_out.sum(axis=0)
-        return grad_out @ self.weight.value.T
+        ws = self._ws
+        if ws is None:
+            # Accumulate (+=) so gradient checks can sum over micro-batches.
+            self.weight.grad += x.T @ grad_out
+            self.bias.grad += grad_out.sum(axis=0)
+            return grad_out @ self.weight.value.T
+        gw = ws.buffer((self._ws_tag, "gw"), self.weight.shape)
+        np.matmul(x.T, grad_out, out=gw)
+        self.weight.grad += gw
+        gb = ws.buffer((self._ws_tag, "gb"), self.bias.shape)
+        np.sum(grad_out, axis=0, out=gb)
+        self.bias.grad += gb
+        gin = ws.buffer((self._ws_tag, "bwd"), x.shape)
+        np.matmul(grad_out, self.weight.value.T, out=gin)
+        return gin
 
     def parameters(self) -> list[Parameter]:
         return [self.weight, self.bias]
@@ -118,13 +154,33 @@ class ReLU(Layer):
         self._mask: np.ndarray | None = None
 
     def forward(self, x: np.ndarray) -> np.ndarray:
-        self._mask = x > 0
-        return np.where(self._mask, x, 0.0)
+        ws = self._ws
+        if ws is None:
+            self._mask = x > 0
+            return np.where(self._mask, x, 0.0)
+        mask = ws.buffer((self._ws_tag, "mask"), x.shape, dtype=bool)
+        np.greater(x, 0, out=mask)
+        self._mask = mask
+        if ws.owns(x):
+            # Fuse with the producing Dense: rectify its buffer in place.
+            np.multiply(x, mask, out=x)
+            return x
+        out = ws.buffer((self._ws_tag, "fwd"), x.shape)
+        np.multiply(x, mask, out=out)
+        return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward called before forward")
-        return np.where(self._mask, grad_out, 0.0)
+        ws = self._ws
+        if ws is None:
+            return np.where(self._mask, grad_out, 0.0)
+        if ws.owns(grad_out):
+            np.multiply(grad_out, self._mask, out=grad_out)
+            return grad_out
+        out = ws.buffer((self._ws_tag, "bwd"), grad_out.shape)
+        np.multiply(grad_out, self._mask, out=out)
+        return out
 
 
 class Tanh(Layer):

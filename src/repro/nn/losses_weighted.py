@@ -21,6 +21,7 @@ class WeightedMSELoss(Loss):
     """MSE with a fixed non-negative weight per output column."""
 
     name = "weighted_mse"
+    supports_out = True
 
     def __init__(self, weights) -> None:
         w = np.asarray(weights, dtype=np.float64)
@@ -41,7 +42,14 @@ class WeightedMSELoss(Loss):
         self._check_width(p)
         return float(np.mean(self.weights * (p - t) ** 2))
 
-    def gradient(self, prediction: np.ndarray, target: np.ndarray) -> np.ndarray:
+    def gradient(
+        self, prediction: np.ndarray, target: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
         p, t = self._check(prediction, target)
         self._check_width(p)
-        return 2.0 * self.weights * (p - t) / p.size
+        if out is None:
+            return 2.0 * self.weights * (p - t) / p.size
+        np.subtract(p, t, out=out)
+        out *= 2.0 * self.weights
+        out /= p.size
+        return out

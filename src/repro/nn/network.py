@@ -20,21 +20,50 @@ class Sequential:
         if not layers:
             raise ValueError("Sequential needs at least one layer")
         self.layers = list(layers)
+        self._ws = None  # attached repro.perf.Workspace, or None (slow path)
 
     # ------------------------------------------------------------- compute
     def forward(self, x: np.ndarray) -> np.ndarray:
         """Forward propagation, caching intermediates for backward."""
-        out = np.asarray(x, dtype=np.float64)
+        ws = self._ws
+        out = np.asarray(x, dtype=np.float64 if ws is None else ws.dtype)
         for layer in self.layers:
             out = layer.forward(out)
         return out
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
         """Backpropagate a loss gradient; returns the input gradient."""
-        grad = np.asarray(grad_out, dtype=np.float64)
+        ws = self._ws
+        grad = np.asarray(grad_out, dtype=np.float64 if ws is None else ws.dtype)
         for layer in reversed(self.layers):
             grad = layer.backward(grad)
         return grad
+
+    # ------------------------------------------------------------ fast path
+    def attach_workspace(self, workspace) -> None:
+        """Route layer buffers through a :class:`repro.perf.Workspace`.
+
+        Each layer is tagged with its index so arena keys stay distinct;
+        results are bit-identical to the detached path (see
+        :mod:`repro.perf.workspace`).  A workspace serves one model at a
+        time — detach before attaching it elsewhere.
+        """
+        self._ws = workspace
+        for i, layer in enumerate(self.layers):
+            layer._ws = workspace
+            layer._ws_tag = i
+
+    def detach_workspace(self) -> None:
+        """Return to the allocating (seed) path; the arena keeps its buffers."""
+        self._ws = None
+        for layer in self.layers:
+            layer._ws = None
+            layer._ws_tag = -1
+
+    @property
+    def workspace(self):
+        """The attached :class:`repro.perf.Workspace`, or ``None``."""
+        return self._ws
 
     def set_training(self, flag: bool) -> None:
         """Toggle train/eval mode on layers that distinguish them (Dropout)."""
@@ -48,15 +77,30 @@ class Sequential:
         Runs in eval mode (Dropout disabled) and restores train mode after;
         does not disturb training caches beyond the last batch.
         """
-        x = np.asarray(x, dtype=np.float64)
+        ws = self._ws
+        x = np.asarray(x, dtype=np.float64 if ws is None else ws.dtype)
         self.set_training(False)
         try:
+            if ws is None:
+                if len(x) <= batch_size:
+                    return self.forward(x)
+                chunks = [
+                    self.forward(x[i : i + batch_size]) for i in range(0, len(x), batch_size)
+                ]
+                return np.concatenate(chunks, axis=0)
+            # Fast lane: forward() returns an arena buffer that the next
+            # block clobbers, so copy each block into one preallocated
+            # result.  Block boundaries match the slow path, keeping the
+            # matmul shapes — and therefore the bits — identical.
+            first = self.forward(x[:batch_size])
             if len(x) <= batch_size:
-                return self.forward(x)
-            chunks = [
-                self.forward(x[i : i + batch_size]) for i in range(0, len(x), batch_size)
-            ]
-            return np.concatenate(chunks, axis=0)
+                return first.copy()
+            out = np.empty((len(x),) + first.shape[1:], dtype=first.dtype)
+            out[: len(first)] = first
+            for i in range(batch_size, len(x), batch_size):
+                block = self.forward(x[i : i + batch_size])
+                out[i : i + len(block)] = block
+            return out
         finally:
             self.set_training(True)
 

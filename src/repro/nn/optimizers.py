@@ -1,9 +1,17 @@
+# hot-path
 """Gradient-descent optimizers.
 
 :class:`Adam` with ``lr=0.001`` is the paper's configuration (Sec III-C).
 Optimizers respect :attr:`Parameter.trainable`, so freezing layers for
 Case-2 fine-tuning simply stops their updates while per-parameter state
 (Adam moments) stays aligned.
+
+Updates run fully in place: each optimizer keeps per-parameter scratch
+buffers (allocated once, never checkpointed) and applies the textbook
+expressions as a sequence of ``out=`` ufunc calls.  The operation order is
+unchanged from the allocating forms, so steps are bit-identical; the
+bias-correction denominators ``1 - beta**t`` are computed once per step,
+not per parameter.
 """
 
 from __future__ import annotations
@@ -77,17 +85,19 @@ class SGD(Optimizer):
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")
         self.momentum = float(momentum)
         self._velocity = [np.zeros_like(p.value) for p in self.parameters]
+        self._scratch = [np.empty_like(p.value) for p in self.parameters]
 
     def step(self) -> None:
-        for p, v in zip(self.parameters, self._velocity):
+        for p, v, s in zip(self.parameters, self._velocity, self._scratch):
             if not p.trainable:
                 continue
+            np.multiply(p.grad, self.lr, out=s)
             if self.momentum > 0:
                 v *= self.momentum
-                v -= self.lr * p.grad
+                v -= s
                 p.value += v
             else:
-                p.value -= self.lr * p.grad
+                p.value -= s
 
     def state_dict(self) -> dict:
         state = super().state_dict()
@@ -117,14 +127,23 @@ class RMSProp(Optimizer):
         self.rho = float(rho)
         self.eps = float(eps)
         self._sq = [np.zeros_like(p.value) for p in self.parameters]
+        self._s1 = [np.empty_like(p.value) for p in self.parameters]
+        self._s2 = [np.empty_like(p.value) for p in self.parameters]
 
     def step(self) -> None:
-        for p, sq in zip(self.parameters, self._sq):
+        one_minus_rho = 1.0 - self.rho
+        for p, sq, s1, s2 in zip(self.parameters, self._sq, self._s1, self._s2):
             if not p.trainable:
                 continue
             sq *= self.rho
-            sq += (1.0 - self.rho) * p.grad**2
-            p.value -= self.lr * p.grad / (np.sqrt(sq) + self.eps)
+            np.multiply(p.grad, p.grad, out=s1)
+            s1 *= one_minus_rho
+            sq += s1
+            np.sqrt(sq, out=s2)
+            s2 += self.eps
+            np.multiply(p.grad, self.lr, out=s1)
+            s1 /= s2
+            p.value -= s1
 
     def state_dict(self) -> dict:
         state = super().state_dict()
@@ -159,22 +178,34 @@ class Adam(Optimizer):
         self.eps = float(eps)
         self._m = [np.zeros_like(p.value) for p in self.parameters]
         self._v = [np.zeros_like(p.value) for p in self.parameters]
+        self._s1 = [np.empty_like(p.value) for p in self.parameters]
+        self._s2 = [np.empty_like(p.value) for p in self.parameters]
         self._t = 0
 
     def step(self) -> None:
         self._t += 1
+        # Bias corrections depend only on t: hoisted out of the parameter loop.
         b1t = 1.0 - self.beta1**self._t
         b2t = 1.0 - self.beta2**self._t
-        for p, m, v in zip(self.parameters, self._m, self._v):
+        one_minus_b1 = 1.0 - self.beta1
+        one_minus_b2 = 1.0 - self.beta2
+        for p, m, v, s1, s2 in zip(self.parameters, self._m, self._v, self._s1, self._s2):
             if not p.trainable:
                 continue
             m *= self.beta1
-            m += (1.0 - self.beta1) * p.grad
+            np.multiply(p.grad, one_minus_b1, out=s1)
+            m += s1
             v *= self.beta2
-            v += (1.0 - self.beta2) * p.grad**2
-            m_hat = m / b1t
-            v_hat = v / b2t
-            p.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(p.grad, p.grad, out=s2)
+            s2 *= one_minus_b2
+            v += s2
+            np.divide(m, b1t, out=s1)          # m_hat
+            np.divide(v, b2t, out=s2)          # v_hat
+            np.sqrt(s2, out=s2)
+            s2 += self.eps
+            s1 *= self.lr
+            s1 /= s2
+            p.value -= s1
 
     def state_dict(self) -> dict:
         state = super().state_dict()

@@ -1,3 +1,4 @@
+# hot-path
 """Mini-batch training loop with loss history, checkpointing and health guards.
 
 The :class:`Trainer` reproduces the paper's training protocol: shuffled
@@ -96,6 +97,13 @@ class Trainer:
         Mini-batch rows per update.
     seed:
         Shuffling seed (deterministic epochs).
+    workspace:
+        Optional :class:`repro.perf.Workspace`.  When given, ``fit``
+        attaches it to the model for the duration of training: batch
+        gathers, layer activations/gradients and the loss gradient reuse
+        arena buffers, making the epoch loop allocation-free in steady
+        state.  Results are bit-identical to training without a workspace
+        (when the workspace dtype is float64).
     """
 
     def __init__(
@@ -105,6 +113,7 @@ class Trainer:
         optimizer: Optimizer | None = None,
         batch_size: int = 4096,
         seed: int = 0,
+        workspace=None,
     ) -> None:
         if batch_size < 1:
             raise ValueError(f"batch_size must be >= 1, got {batch_size}")
@@ -113,6 +122,7 @@ class Trainer:
         self.optimizer = optimizer if optimizer is not None else Adam(model.parameters())
         self.batch_size = int(batch_size)
         self.seed = int(seed)
+        self.workspace = workspace
 
     def fit(
         self,
@@ -180,7 +190,41 @@ class Trainer:
             snapshot = self._capture_state(rng, history, start_epoch)
 
         epoch = start_epoch
-        with span("train.fit", epochs=int(epochs), rows=n, resumed_from=start_epoch):
+        ws = self.workspace
+        if ws is not None:
+            # One up-front cast to the compute dtype (a no-op for float64)
+            # keeps the per-batch gathers cast-free.
+            x = np.ascontiguousarray(x, dtype=ws.dtype)
+            y = np.ascontiguousarray(y, dtype=ws.dtype)
+            self.model.attach_workspace(ws)
+        try:
+            return self._fit_loop(
+                x, y, epochs, validation, shuffle, callback,
+                checkpoint, health, n, rng, history, snapshot, epoch,
+            )
+        finally:
+            if ws is not None:
+                self.model.detach_workspace()
+                obs_gauge("train.workspace.bytes").set(float(ws.nbytes))
+                obs_gauge("train.workspace.buffers").set(float(ws.num_buffers))
+
+    def _fit_loop(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int,
+        validation,
+        shuffle: bool,
+        callback,
+        checkpoint: CheckpointConfig | None,
+        health: HealthGuard | None,
+        n: int,
+        rng: np.random.Generator,
+        history: TrainingHistory,
+        snapshot: dict | None,
+        epoch: int,
+    ) -> TrainingHistory:
+        with span("train.fit", epochs=int(epochs), rows=n, resumed_from=epoch):
             while epoch < epochs:
                 with span("train.epoch", epoch=epoch):
                     t0 = time.perf_counter()
@@ -242,13 +286,31 @@ class Trainer:
         n = len(x)
         epoch_loss = 0.0
         counted = 0
+        ws = self.model.workspace
+        # getattr: loss wrappers (e.g. fault injectors) may predate supports_out
+        grad_out = (
+            getattr(self.loss, "supports_out", False)
+            and ws is not None
+            and ws.dtype == np.float64
+        )
         for batch_index, start in enumerate(range(0, n, self.batch_size)):
             idx = order[start : start + self.batch_size]
-            xb, yb = x[idx], y[idx]
+            if ws is None:
+                xb, yb = x[idx], y[idx]
+            else:
+                # Gather into arena buffers instead of fancy-index copies.
+                xb = ws.buffer(("batch", "x"), (len(idx), x.shape[1]), dtype=x.dtype)
+                np.take(x, idx, axis=0, out=xb)
+                yb = ws.buffer(("batch", "y"), (len(idx), y.shape[1]), dtype=y.dtype)
+                np.take(y, idx, axis=0, out=yb)
             pred = self.model.forward(xb)
             batch_loss = self.loss.value(pred, yb)
             self.optimizer.zero_grad()
-            self.model.backward(self.loss.gradient(pred, yb))
+            if grad_out:
+                gbuf = ws.buffer(("loss", "grad"), pred.shape, dtype=np.float64)
+                self.model.backward(self.loss.gradient(pred, yb, out=gbuf))
+            else:
+                self.model.backward(self.loss.gradient(pred, yb))
             obs_counter("train.batches").inc()
             if health is not None:
                 problem = health.loss_problem(batch_loss)

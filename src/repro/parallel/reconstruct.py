@@ -13,6 +13,15 @@ neighbor interpolation and the chunk is flagged in the
 :class:`~repro.resilience.ReconstructionReport` (request it with
 ``return_report=True``).  Pass ``fallback=None`` to restore strict
 behavior: task failures raise and non-finite values pass through.
+
+Transport: with ``transport="auto"`` (default) the sampled cloud, the
+query matrix and the result vector live in POSIX shared memory
+(:mod:`repro.perf.shm`) and workers receive only segment names plus a
+``[start, stop)`` slice — payload pickles shrink from O(grid) to a few
+hundred bytes.  Hosts without usable shared memory degrade to the
+classic pickled-arrays transport automatically; ``transport="pickle"``
+forces it, ``transport="shm"`` makes shared-memory failures raise.
+Fallback semantics are identical on both transports.
 """
 
 from __future__ import annotations
@@ -26,6 +35,7 @@ from repro.obs import counter as obs_counter
 from repro.obs import record_event, span
 from repro.parallel.chunking import chunk_indices
 from repro.parallel.executor import ParallelExecutor
+from repro.perf import SharedArrayBundle, attached_arrays
 from repro.resilience.report import ReconstructionReport
 from repro.sampling.base import SampledField
 
@@ -35,6 +45,20 @@ __all__ = ["parallel_reconstruct"]
 def _run_chunk(payload) -> np.ndarray:
     interpolator, points, values, query, grid = payload
     return interpolator.interpolate(points, values, query, grid)
+
+
+def _run_chunk_shm(payload) -> None:
+    """Worker body for the shared-memory transport.
+
+    Maps the parent's segments, interpolates its ``[start, stop)`` slice of
+    the shared query matrix and writes the result into the shared output
+    vector; nothing but ``None`` travels back through the pool.
+    """
+    interpolator, specs, start, stop, grid = payload
+    with attached_arrays(specs) as arrays:
+        arrays["out"][start:stop] = interpolator.interpolate(
+            arrays["points"], arrays["values"], arrays["query"][start:stop], grid
+        )
 
 
 def _resolve_fallback(fallback) -> GridInterpolator | None:
@@ -55,6 +79,7 @@ def parallel_reconstruct(
     executor: ParallelExecutor | None = None,
     fallback: str | GridInterpolator | None = "nearest",
     return_report: bool = False,
+    transport: str = "auto",
 ) -> np.ndarray | tuple[np.ndarray, ReconstructionReport]:
     """Reconstruct like ``interpolator.reconstruct`` but chunk the queries.
 
@@ -77,7 +102,14 @@ def parallel_reconstruct(
     return_report:
         When true, return ``(field, report)`` with per-chunk degradation
         metadata instead of the bare field.
+    transport:
+        ``"auto"`` (shared memory, degrading to pickles when unavailable),
+        ``"shm"`` (shared memory or raise) or ``"pickle"``.
     """
+    if transport not in ("auto", "shm", "pickle"):
+        raise ValueError(
+            f"transport must be 'auto', 'shm' or 'pickle', got {transport!r}"
+        )
     executor = executor if executor is not None else ParallelExecutor()
     grid = target_grid if target_grid is not None else sample.grid
     same_grid = target_grid is None or target_grid == sample.grid
@@ -90,57 +122,99 @@ def parallel_reconstruct(
     query = grid.index_to_position(grid.flat_to_multi(fill_indices))
 
     chunks = chunk_indices(len(fill_indices), num_chunks or executor.max_workers)
-    payloads = [
-        (interpolator, sample.points, sample.values, query[c], grid) for c in chunks
-    ]
     method = getattr(interpolator, "name", "interpolator")
-    obs_counter("reconstruct.chunks.total").inc(len(chunks))
-    with span("parallel.reconstruct", method=method, chunks=len(chunks)):
-        outcomes = executor.map_outcomes(_run_chunk, payloads)
 
-        report = ReconstructionReport(
-            total_points=int(grid.num_points),
-            fallback_method=getattr(fallback_interp, "name", None),
-        )
-        out = grid.empty_field().ravel()
-        if same_grid:
-            out[sample.indices] = sample.values
-        for k, (c, outcome) in enumerate(zip(chunks, outcomes)):
-            if outcome.ok:
-                piece = np.asarray(outcome.result, dtype=np.float64)
-                bad = ~np.isfinite(piece)
-                if bad.any() and fallback_interp is not None:
-                    piece = piece.copy()
-                    piece[bad] = fallback_interp.interpolate(
-                        sample.points, sample.values, query[c][bad], grid
+    bundle = None
+    if transport in ("auto", "shm"):
+        try:
+            bundle = SharedArrayBundle.create(
+                {
+                    "points": np.asarray(sample.points, dtype=np.float64),
+                    "values": np.asarray(sample.values, dtype=np.float64),
+                    "query": query,
+                    "out": np.empty(len(fill_indices), dtype=np.float64),
+                }
+            )
+        except OSError as exc:
+            if transport == "shm":
+                raise
+            record_event("transport.fallback", method=method, error=str(exc))
+            bundle = None
+    if bundle is not None:
+        specs = bundle.specs
+        # chunk_indices yields contiguous slabs, so a [start, stop) pair
+        # fully identifies each worker's slice of the shared query matrix.
+        payloads = [
+            (interpolator, specs, int(c[0]), int(c[-1]) + 1, grid) for c in chunks
+        ]
+        fn = _run_chunk_shm
+    else:
+        payloads = [
+            (interpolator, sample.points, sample.values, query[c], grid) for c in chunks
+        ]
+        fn = _run_chunk
+
+    obs_counter("reconstruct.chunks.total").inc(len(chunks))
+    try:
+        with span(
+            "parallel.reconstruct",
+            method=method,
+            chunks=len(chunks),
+            transport="shm" if bundle is not None else "pickle",
+        ):
+            outcomes = executor.map_outcomes(fn, payloads)
+
+            report = ReconstructionReport(
+                total_points=int(grid.num_points),
+                fallback_method=getattr(fallback_interp, "name", None),
+            )
+            out = grid.empty_field().ravel()
+            if same_grid:
+                out[sample.indices] = sample.values
+            for k, (c, outcome) in enumerate(zip(chunks, outcomes)):
+                if outcome.ok:
+                    if bundle is not None:
+                        piece = bundle.view("out")[int(c[0]) : int(c[-1]) + 1]
+                    else:
+                        piece = np.asarray(outcome.result, dtype=np.float64)
+                    bad = ~np.isfinite(piece)
+                    if bad.any() and fallback_interp is not None:
+                        piece = piece.copy()
+                        piece[bad] = fallback_interp.interpolate(
+                            sample.points, sample.values, query[c][bad], grid
+                        )
+                        report.flag(
+                            k,
+                            int(bad.sum()),
+                            f"{int(bad.sum())}/{piece.size} non-finite prediction(s)",
+                            fallback_interp.name,
+                        )
+                        obs_counter("reconstruct.chunks.fallback").inc()
+                        record_event(
+                            "degraded", where="parallel.chunk", chunk=k,
+                            count=int(bad.sum()), fallback=fallback_interp.name,
+                        )
+                else:
+                    if fallback_interp is None:
+                        if outcome.exception is not None:
+                            raise outcome.exception
+                        raise RuntimeError(
+                            f"chunk {k} failed: {outcome.error or 'unknown error'}"
+                        )
+                    piece = fallback_interp.interpolate(
+                        sample.points, sample.values, query[c], grid
                     )
-                    report.flag(
-                        k,
-                        int(bad.sum()),
-                        f"{int(bad.sum())}/{piece.size} non-finite prediction(s)",
-                        fallback_interp.name,
-                    )
+                    report.flag(k, len(c), outcome.error or "task failed", fallback_interp.name)
                     obs_counter("reconstruct.chunks.fallback").inc()
                     record_event(
                         "degraded", where="parallel.chunk", chunk=k,
-                        count=int(bad.sum()), fallback=fallback_interp.name,
+                        count=len(c), fallback=fallback_interp.name,
+                        error=outcome.error or "task failed",
                     )
-            else:
-                if fallback_interp is None:
-                    if outcome.exception is not None:
-                        raise outcome.exception
-                    raise RuntimeError(f"chunk {k} failed: {outcome.error or 'unknown error'}")
-                piece = fallback_interp.interpolate(
-                    sample.points, sample.values, query[c], grid
-                )
-                report.flag(k, len(c), outcome.error or "task failed", fallback_interp.name)
-                obs_counter("reconstruct.chunks.fallback").inc()
-                record_event(
-                    "degraded", where="parallel.chunk", chunk=k,
-                    count=len(c), fallback=fallback_interp.name,
-                    error=outcome.error or "task failed",
-                )
-            out[fill_indices[c]] = piece
+                out[fill_indices[c]] = piece
+    finally:
+        if bundle is not None:
+            bundle.close()
     field = out.reshape(grid.dims)
     if return_report:
         return field, report

@@ -1,0 +1,36 @@
+"""repro.perf — the performance subsystem: fast paths that change nothing else.
+
+Three independent pieces, all opt-in and all preserving the engine's
+numerics (see ``docs/PERFORMANCE.md`` for design and measurements):
+
+* :class:`Workspace` — a preallocated buffer arena that makes the
+  ``Dense``/``ReLU`` forward-backward loop, the optimizer step and chunked
+  FCNN inference allocation-free in steady state, bit-identical to the
+  allocating path.  Attach to a network with
+  :meth:`repro.nn.Sequential.attach_workspace` or pass ``workspace=`` to
+  :class:`repro.nn.Trainer`.
+* :class:`DtypePolicy` — explicit float32-compute/float64-accumulate
+  selection (default ``float64`` = off).  The only sanctioned float32 in
+  the numerics; everything downstream of the network still accumulates in
+  float64.
+* :class:`SharedArrayBundle` / :func:`attached_arrays` — POSIX
+  shared-memory transport that ships sampled points, queries and results
+  to ``parallel_reconstruct`` workers as segment names instead of pickled
+  arrays.
+
+``BENCH_perf.json`` (written by ``benchmarks/test_bench_perf_fastpath.py``)
+records the measured speedups; the CI ``perf`` job keeps them from
+regressing via ``repro obs report --diff --fail-on-regression``.
+"""
+
+from repro.perf.policy import DtypePolicy
+from repro.perf.shm import SharedArrayBundle, SharedArraySpec, attached_arrays
+from repro.perf.workspace import Workspace
+
+__all__ = [
+    "Workspace",
+    "DtypePolicy",
+    "SharedArrayBundle",
+    "SharedArraySpec",
+    "attached_arrays",
+]

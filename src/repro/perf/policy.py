@@ -1,0 +1,75 @@
+"""Dtype policy: float32 compute with float64 accumulation, opt-in.
+
+The engine's default discipline is float64 end to end (``repro.checks``
+rule DT002 polices accidental downcasts).  On CPU, though, the FCNN's
+matmuls are bandwidth/SIMD bound and run roughly twice as fast in float32,
+and the paper's reconstruction quality target (~30-40 dB SNR) sits far
+above float32's ~7 decimal digits.  A :class:`DtypePolicy` makes the
+trade-off explicit and *opt-in*:
+
+* ``compute`` — dtype of activations, weights and gradients inside the
+  network (``float32`` or ``float64``).
+* accumulation stays float64 regardless: losses upcast predictions before
+  reduction (:meth:`repro.nn.Loss._check`), and reconstruction outputs are
+  denormalized into float64 fields, so epoch losses, SNR and every
+  downstream metric are accumulated at full precision.
+
+The default policy is ``float64`` — a no-op that keeps the fast path
+bit-identical to the allocating path.  Select per run via
+``ExperimentConfig(dtype_policy="float32")`` or
+``FCNNReconstructor(dtype_policy="float32")``.
+
+Checkpoint interplay: ``resume_from=`` restores float64 state; resuming
+under a float32 policy casts the restored weights down, so bit-exact
+resume is only guaranteed with the policy off (see docs/PERFORMANCE.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DtypePolicy"]
+
+#: dtype names a policy accepts
+_ALLOWED = ("float64", "float32")
+
+
+@dataclass(frozen=True)
+class DtypePolicy:
+    """Compute-dtype selection for the fast path; ``float64`` is the identity."""
+
+    compute: str = "float64"
+
+    def __post_init__(self) -> None:
+        if self.compute not in _ALLOWED:
+            raise ValueError(
+                f"dtype policy must be one of {_ALLOWED}, got {self.compute!r}"
+            )
+
+    @property
+    def compute_dtype(self) -> np.dtype:
+        return np.dtype(self.compute)
+
+    @property
+    def enabled(self) -> bool:
+        """True when the policy changes anything (compute is not float64)."""
+        return self.compute != "float64"
+
+    def cast_model(self, model) -> None:
+        """Cast a :class:`repro.nn.Sequential`'s parameters to the compute dtype.
+
+        In-place on each :class:`~repro.nn.Parameter`: ``value`` and
+        ``grad`` are replaced by casts, keeping identity of the Parameter
+        objects (optimizers built *after* the cast pick up matching moment
+        dtypes).  A float64 policy is a no-op.
+        """
+        if not self.enabled:
+            return
+        dt = self.compute_dtype
+        for p in model.parameters():
+            if p.value.dtype != dt:
+                p.value = p.value.astype(dt)
+            if p.grad.dtype != dt:
+                p.grad = p.grad.astype(dt)

@@ -1,0 +1,170 @@
+"""Zero-copy task transport: numpy arrays in POSIX shared memory.
+
+``parallel_reconstruct`` used to pickle the full sampled point cloud and
+each chunk's query matrix into every worker — for a 128³ grid that is
+hundreds of megabytes serialized per reconstruction.  This module ships
+the arrays once: the parent copies each array into a
+:class:`multiprocessing.shared_memory.SharedMemory` segment and workers
+receive only a tiny picklable :class:`SharedArraySpec` (segment name +
+shape + dtype) from which they map a zero-copy numpy view.  Results are
+written back into a shared output segment, so a chunk's payload and
+result pickles shrink to a few hundred bytes regardless of grid size.
+
+Lifetime protocol:
+
+* the parent owns the segments through a :class:`SharedArrayBundle` and
+  must call :meth:`SharedArrayBundle.close` (unlinking) when done — use a
+  ``try/finally``;
+* workers attach with :func:`attached_arrays` (a context manager) which
+  drops its numpy views before closing the mapping, the order
+  ``SharedMemory.close`` requires;
+* attaching never registers the segment with the resource tracker (on
+  Python < 3.13, where attach-side tracking is unavoidable through the
+  public API, registration is suppressed for the duration of the attach) —
+  the parent's unlink stays authoritative and pooled workers don't race
+  each other's tracker bookkeeping.
+
+Environments without a usable ``/dev/shm`` raise ``OSError`` at creation;
+callers degrade to the pickle transport (see
+:func:`repro.parallel.parallel_reconstruct`'s ``transport="auto"``).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["SharedArraySpec", "SharedArrayBundle", "attached_arrays"]
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Picklable handle to one shared array: everything a worker needs to map it."""
+
+    shm_name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.prod(self.shape, dtype=np.int64)) * np.dtype(self.dtype).itemsize
+
+
+def _attach(name: str) -> shared_memory.SharedMemory:
+    """Open an existing segment without resource-tracker registration.
+
+    Before Python 3.13 (``track=False``) attaching registers the segment
+    with the process's resource tracker, which then tries to unlink it at
+    exit and races sibling workers' unregisters.  Attach-side tracking is
+    wrong for our protocol — the creating parent owns cleanup — so it is
+    suppressed either way.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python < 3.13: no track parameter
+        pass
+    from multiprocessing import resource_tracker
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class SharedArrayBundle:
+    """Parent-side owner of a named set of shared arrays."""
+
+    def __init__(self, segments: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]]):
+        self._segments = segments
+
+    @classmethod
+    def create(cls, arrays: dict[str, np.ndarray]) -> "SharedArrayBundle":
+        """Copy each array into its own shared segment.
+
+        Raises ``OSError`` when shared memory is unavailable (no
+        ``/dev/shm``, exhausted quota); the partial bundle is cleaned up
+        before re-raising.
+        """
+        segments: dict[str, tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+        try:
+            for name, arr in arrays.items():
+                arr = np.ascontiguousarray(arr)
+                shm = shared_memory.SharedMemory(create=True, size=max(arr.nbytes, 1))
+                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf)
+                view[...] = arr
+                segments[name] = (shm, view)
+        except BaseException:
+            cls(segments).close()
+            raise
+        return cls(segments)
+
+    @property
+    def specs(self) -> dict[str, SharedArraySpec]:
+        """Picklable worker payload: ``{array name: SharedArraySpec}``."""
+        return {
+            name: SharedArraySpec(shm.name, view.shape, view.dtype.str)
+            for name, (shm, view) in self._segments.items()
+        }
+
+    def view(self, name: str) -> np.ndarray:
+        """The parent's zero-copy view of one array (valid until close)."""
+        return self._segments[name][1]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(view.nbytes for _, view in self._segments.values())
+
+    def close(self) -> None:
+        """Release and unlink every segment; safe to call twice."""
+        segments, self._segments = self._segments, {}
+        for shm, view in segments.values():
+            del view
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - view still referenced
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __enter__(self) -> "SharedArrayBundle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+@contextmanager
+def attached_arrays(specs: dict[str, SharedArraySpec]):
+    """Worker-side map of every spec to a numpy view; detaches on exit.
+
+    ::
+
+        with attached_arrays(payload.specs) as arrays:
+            arrays["out"][start:stop] = compute(arrays["points"], ...)
+
+    Views are invalid outside the ``with`` block — copy anything that must
+    outlive it.
+    """
+    handles: list[shared_memory.SharedMemory] = []
+    arrays: dict[str, np.ndarray] = {}
+    try:
+        for name, spec in specs.items():
+            shm = _attach(spec.shm_name)
+            handles.append(shm)
+            arrays[name] = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf)
+        yield arrays
+    finally:
+        arrays.clear()
+        for shm in handles:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - caller kept a view alive
+                pass

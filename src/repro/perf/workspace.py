@@ -1,0 +1,115 @@
+# hot-path
+"""Workspace arenas: preallocated, reusable buffers for the training/inference fast path.
+
+The numpy engine's hot loops (``Dense``/``ReLU`` forward-backward, the
+optimizer step, chunked FCNN inference) are memory-bandwidth bound: at
+batch 4096 a single ``Dense(23, 512)`` forward materializes a 16 MiB
+activation, and the naive expression forms (``x @ W + b``,
+``np.where(mask, x, 0)``) allocate a fresh temporary per operation per
+batch.  A :class:`Workspace` removes those allocations: buffers are keyed
+on ``(tag, shape, dtype)`` and handed back to the same call site every
+step, so after the first batch of an epoch the training loop runs
+allocation-free (the arena reaches steady state — every subsequent
+request is a *hit*).
+
+Bit-exactness contract: the fast path only changes *where* results are
+written, never the operations or their order, so losses and weights match
+the allocating path bit for bit (IEEE sign-of-zero excepted — ``x * mask``
+yields ``-0.0`` where ``np.where`` yields ``+0.0``; the values compare
+equal and cannot diverge downstream).  See ``docs/PERFORMANCE.md``.
+
+A workspace is bound to one model at a time (tags embed the layer index
+assigned by :meth:`repro.nn.Sequential.attach_workspace`); sharing one
+arena between two concurrently-active models aliases their buffers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Workspace"]
+
+
+class Workspace:
+    """A get-or-allocate buffer arena keyed on ``(tag, shape, dtype)``.
+
+    Parameters
+    ----------
+    dtype:
+        Default dtype of requested buffers — the *compute* dtype of the
+        fast path (:class:`repro.perf.DtypePolicy`).  ``float64`` keeps
+        seed numerics; ``float32`` doubles effective memory bandwidth at
+        reduced precision.
+    """
+
+    def __init__(self, dtype=np.float64) -> None:
+        self.dtype = np.dtype(dtype)
+        self._buffers: dict[tuple, np.ndarray] = {}
+        self._owned: set[int] = set()
+        self.hits = 0
+        self.misses = 0
+
+    def buffer(self, tag, shape, dtype=None) -> np.ndarray:
+        """The arena's buffer for ``(tag, shape, dtype)``, allocating on first use.
+
+        The returned array is *reused*: contents are undefined on entry and
+        valid only until the same key is requested again.  Callers must
+        fully overwrite it (``out=`` semantics).
+        """
+        dt = self.dtype if dtype is None else np.dtype(dtype)
+        key = (tag, tuple(int(s) for s in shape), dt)
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = np.empty(key[1], dtype=dt)
+            self._buffers[key] = buf
+            self._owned.add(id(buf))
+            self.misses += 1
+        else:
+            self.hits += 1
+        return buf
+
+    def owns(self, array: np.ndarray) -> bool:
+        """True when ``array`` is one of this arena's buffers.
+
+        Layers use this to decide whether an in-place update is safe: a
+        workspace buffer may be clobbered (its producer has already been
+        consumed by the time the next layer runs), a caller-owned array
+        may not.
+        """
+        return id(array) in self._owned
+
+    def preallocate(self, entries) -> None:
+        """Warm the arena: ``entries`` is an iterable of ``(tag, shape[, dtype])``.
+
+        Optional — buffers are created on demand — but warming moves every
+        allocation ahead of the first timed step.
+        """
+        for entry in entries:  # intentional startup allocation, not steady state
+            tag, shape = entry[0], entry[1]
+            dtype = entry[2] if len(entry) > 2 else None
+            self.buffer(tag, shape, dtype)
+        # preallocation is not a miss of the steady state: reset the stats
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes held by the arena."""
+        return sum(buf.nbytes for buf in self._buffers.values())
+
+    @property
+    def num_buffers(self) -> int:
+        return len(self._buffers)
+
+    def clear(self) -> None:
+        """Drop every buffer (e.g. between differently-shaped workloads)."""
+        self._buffers.clear()
+        self._owned.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Workspace(dtype={self.dtype.name}, buffers={self.num_buffers}, "
+            f"bytes={self.nbytes}, hits={self.hits}, misses={self.misses})"
+        )

@@ -61,14 +61,35 @@ class SampledField:
         return self.grid.index_to_position(self.grid.flat_to_multi(self.indices))
 
     def void_indices(self) -> np.ndarray:
-        """Flat indices of the rejected grid points (the "void locations")."""
-        mask = np.ones(self.grid.num_points, dtype=bool)
-        mask[self.indices] = False
-        return np.flatnonzero(mask)
+        """Flat indices of the rejected grid points (the "void locations").
+
+        Cached on first use — the field is frozen, so the void set can
+        never change, and per-timestep reconstruction asks for it on every
+        call.  Treat the returned array as read-only.
+        """
+        cached = getattr(self, "_void_indices", None)
+        if cached is None:
+            mask = np.ones(self.grid.num_points, dtype=bool)
+            mask[self.indices] = False
+            cached = np.flatnonzero(mask)
+            object.__setattr__(self, "_void_indices", cached)
+        return cached
 
     def void_points(self) -> np.ndarray:
-        """Physical positions ``(K, 3)`` of the void locations."""
-        return self.grid.index_to_position(self.grid.flat_to_multi(self.void_indices()))
+        """Physical positions ``(K, 3)`` of the void locations (cached, read-only).
+
+        Returning the *same* array object every call is load-bearing for
+        the fast path: :class:`repro.core.FeatureExtractor`'s geometry
+        cache is keyed on query identity, so repeated reconstructions of
+        one sample skip the kd-tree neighbor query entirely.
+        """
+        cached = getattr(self, "_void_points", None)
+        if cached is None:
+            cached = self.grid.index_to_position(
+                self.grid.flat_to_multi(self.void_indices())
+            )
+            object.__setattr__(self, "_void_points", cached)
+        return cached
 
     # ----------------------------------------------------------------- I/O
     def to_vtp(self, path: str | Path, binary: bool = True) -> None:

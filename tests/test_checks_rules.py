@@ -192,6 +192,33 @@ FIXTURES: dict[str, RuleFixture] = {
             "    np.savez_compressed(path, arr=arr)  # repro: noqa[ATM001]\n"
         ),
     ),
+    "PRF001": RuleFixture(
+        relpath="repro_fixture/kernels.py",
+        trigger=(
+            "# hot-path\n"
+            "import numpy as np\n"
+            "def run(batches):\n"
+            "    for b in batches:\n"
+            "        out = np.empty(b.shape)\n"
+            "        np.multiply(b, 2.0, out=out)\n"
+        ),
+        clean=(
+            "# hot-path\n"
+            "import numpy as np\n"
+            "def run(batches, ws):\n"
+            "    for b in batches:\n"
+            "        out = ws.buffer('out', b.shape)\n"
+            "        np.multiply(b, 2.0, out=out)\n"
+        ),
+        suppressed=(
+            "# hot-path\n"
+            "import numpy as np\n"
+            "def run(batches):\n"
+            "    for b in batches:\n"
+            "        out = np.empty(b.shape)  # repro: noqa[PRF001]\n"
+            "        np.multiply(b, 2.0, out=out)\n"
+        ),
+    ),
 }
 
 

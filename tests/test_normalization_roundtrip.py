@@ -1,0 +1,61 @@
+"""Normalizer transform/inverse_transform round-trips and into-variants."""
+
+import numpy as np
+import pytest
+
+from repro.core.normalization import Normalizer
+from repro.grid import UniformGrid
+
+
+@pytest.fixture
+def normalizer(grid):
+    rng = np.random.default_rng(1)
+    return Normalizer.fit(grid, rng.normal(loc=3.0, scale=2.0, size=200))
+
+
+class TestRoundTrip:
+    def test_inverse_transform_round_trips(self, grid, normalizer):
+        rng = np.random.default_rng(2)
+        points = grid.points()[rng.choice(grid.num_points, size=50, replace=False)]
+        values = rng.normal(size=50)
+        coords, norm_values = normalizer.transform(points, values)
+        back_points, back_values = normalizer.inverse_transform(coords, norm_values)
+        np.testing.assert_allclose(back_points, points, rtol=0, atol=1e-12)
+        np.testing.assert_allclose(back_values, values, rtol=1e-12)
+
+    def test_transform_is_idempotent_on_fixed_stats(self, normalizer):
+        """Applying transform twice equals composing the affine map twice —
+        the stats do not drift with the data passed through."""
+        rng = np.random.default_rng(3)
+        values = rng.normal(size=20)
+        once = normalizer.normalize_values(values)
+        twice = normalizer.normalize_values(once)
+        np.testing.assert_allclose(
+            twice, (once - normalizer.value_mean) / normalizer.value_std
+        )
+
+    def test_degenerate_stats_round_trip(self, grid):
+        flat = Normalizer.fit(grid, np.full(10, 4.2))  # zero variance -> std 1.0
+        values = np.array([4.2, 5.0, -1.0])
+        back = flat.denormalize_values(flat.normalize_values(values))
+        np.testing.assert_allclose(back, values, rtol=1e-12)
+
+
+class TestIntoVariants:
+    def test_denormalize_values_into_bit_identical(self, normalizer):
+        rng = np.random.default_rng(4)
+        values = rng.normal(size=64)
+        out = np.empty(64)
+        result = normalizer.denormalize_values_into(values, out)
+        assert result is out
+        np.testing.assert_array_equal(out, normalizer.denormalize_values(values))
+
+    def test_into_strided_view(self, normalizer):
+        rng = np.random.default_rng(5)
+        values = rng.normal(size=16)
+        backing = np.zeros(32)
+        normalizer.denormalize_values_into(values, backing[1:32:2])
+        np.testing.assert_array_equal(
+            backing[1:32:2], normalizer.denormalize_values(values)
+        )
+        assert (backing[0:32:2] == 0).all()

@@ -1,0 +1,116 @@
+"""Shared-memory transport: bundle lifecycle, worker attach, parallel parity."""
+
+import numpy as np
+import pytest
+
+from repro.interpolation.nearest import NearestNeighborInterpolator
+from repro.parallel import parallel_reconstruct
+from repro.parallel.executor import ParallelExecutor
+from repro.perf import SharedArrayBundle, SharedArraySpec, attached_arrays
+
+
+class BoomInterpolator(NearestNeighborInterpolator):
+    """Always-failing interpolator (module-level so workers can unpickle it)."""
+
+    name = "boom"
+
+    def interpolate(self, points, values, query, grid):
+        raise RuntimeError("kaboom")
+
+
+class TestBundle:
+    def test_round_trip(self):
+        rng = np.random.default_rng(0)
+        arrays = {
+            "points": rng.normal(size=(64, 3)),
+            "values": rng.normal(size=64),
+        }
+        with SharedArrayBundle.create(arrays) as bundle:
+            for name, arr in arrays.items():
+                np.testing.assert_array_equal(bundle.view(name), arr)
+            specs = bundle.specs
+            assert set(specs) == {"points", "values"}
+            assert specs["points"].shape == (64, 3)
+            assert bundle.nbytes == sum(a.nbytes for a in arrays.values())
+
+    def test_attach_sees_parent_writes_and_parent_sees_worker_writes(self):
+        with SharedArrayBundle.create({"out": np.zeros(8)}) as bundle:
+            with attached_arrays(bundle.specs) as arrays:
+                arrays["out"][:4] = 7.0
+            np.testing.assert_array_equal(
+                bundle.view("out"), [7, 7, 7, 7, 0, 0, 0, 0]
+            )
+
+    def test_close_is_idempotent_and_invalidates_specs(self):
+        bundle = SharedArrayBundle.create({"a": np.arange(3.0)})
+        specs = bundle.specs
+        bundle.close()
+        bundle.close()  # safe to call twice
+        with pytest.raises(FileNotFoundError):
+            with attached_arrays(specs):
+                pass
+
+    def test_empty_array_supported(self):
+        with SharedArrayBundle.create({"empty": np.empty((0, 3))}) as bundle:
+            with attached_arrays(bundle.specs) as arrays:
+                assert arrays["empty"].shape == (0, 3)
+
+    def test_spec_nbytes(self):
+        spec = SharedArraySpec("name", (4, 3), "<f8")
+        assert spec.nbytes == 4 * 3 * 8
+
+
+class TestParallelTransport:
+    @pytest.mark.parametrize("transport", ["shm", "pickle", "auto"])
+    def test_transports_agree(self, sample, transport):
+        interp = NearestNeighborInterpolator()
+        serial = interp.reconstruct(sample)
+        field = parallel_reconstruct(
+            interp,
+            sample,
+            executor=ParallelExecutor(max_workers=2),
+            num_chunks=3,
+            transport=transport,
+        )
+        np.testing.assert_array_equal(serial, field)
+
+    def test_invalid_transport_rejected(self, sample):
+        with pytest.raises(ValueError, match="transport"):
+            parallel_reconstruct(
+                NearestNeighborInterpolator(), sample, transport="carrier-pigeon"
+            )
+
+    def test_shm_failed_chunks_fall_back(self, sample):
+        field, report = parallel_reconstruct(
+            BoomInterpolator(),
+            sample,
+            executor=ParallelExecutor(max_workers=2),
+            num_chunks=3,
+            transport="shm",
+            return_report=True,
+        )
+        assert len(report.degraded) == 3
+        assert np.isfinite(field).all()
+
+    def test_shm_strict_mode_raises(self, sample):
+        with pytest.raises(RuntimeError):
+            parallel_reconstruct(
+                BoomInterpolator(), sample, fallback=None, transport="shm",
+                executor=ParallelExecutor(max_workers=2), num_chunks=2,
+            )
+
+    def test_no_segments_leak(self, sample, tmp_path):
+        import multiprocessing.shared_memory as sm
+        import os
+
+        before = set(os.listdir("/dev/shm")) if os.path.isdir("/dev/shm") else None
+        parallel_reconstruct(
+            NearestNeighborInterpolator(),
+            sample,
+            executor=ParallelExecutor(max_workers=2),
+            num_chunks=2,
+            transport="shm",
+        )
+        if before is not None:
+            leaked = set(os.listdir("/dev/shm")) - before
+            assert not {n for n in leaked if n.startswith("psm_")}

@@ -1,0 +1,83 @@
+"""Workspace arena semantics: keying, reuse, ownership, stats."""
+
+import numpy as np
+import pytest
+
+from repro.nn import mlp
+from repro.perf import Workspace
+
+
+class TestBuffer:
+    def test_same_key_returns_same_array(self):
+        ws = Workspace()
+        a = ws.buffer("a", (4, 3))
+        b = ws.buffer("a", (4, 3))
+        assert a is b
+        assert ws.hits == 1 and ws.misses == 1
+
+    def test_distinct_keys_get_distinct_buffers(self):
+        ws = Workspace()
+        a = ws.buffer("a", (4, 3))
+        assert ws.buffer("b", (4, 3)) is not a       # different tag
+        assert ws.buffer("a", (5, 3)) is not a       # different shape
+        assert ws.buffer("a", (4, 3), dtype=np.float32) is not a  # different dtype
+        assert ws.num_buffers == 4
+
+    def test_default_dtype_follows_workspace(self):
+        ws = Workspace(dtype=np.float32)
+        assert ws.buffer("x", (2,)).dtype == np.float32
+        assert ws.buffer("y", (2,), dtype=bool).dtype == np.bool_
+
+    def test_shape_normalization(self):
+        ws = Workspace()
+        a = ws.buffer("a", (np.int64(4), 3))
+        assert a is ws.buffer("a", [4, 3])
+
+
+class TestOwnership:
+    def test_owns_only_arena_buffers(self):
+        ws = Workspace()
+        buf = ws.buffer("x", (3,))
+        assert ws.owns(buf)
+        assert not ws.owns(np.empty(3))
+
+    def test_clear_forgets_everything(self):
+        ws = Workspace()
+        buf = ws.buffer("x", (3,))
+        ws.clear()
+        assert not ws.owns(buf)
+        assert ws.num_buffers == 0 and ws.nbytes == 0
+        assert ws.hits == 0 and ws.misses == 0
+
+
+class TestPreallocate:
+    def test_warm_buffers_are_steady_state_hits(self):
+        ws = Workspace()
+        ws.preallocate([("a", (4, 3)), ("m", (4, 3), bool)])
+        assert ws.num_buffers == 2
+        assert ws.misses == 0  # warming is not a steady-state miss
+        ws.buffer("a", (4, 3))
+        assert ws.hits == 1 and ws.misses == 0
+
+
+class TestAttachDetach:
+    def test_attach_tags_layers_and_detach_restores(self):
+        model = mlp(3, [4], 1, seed=0)
+        ws = Workspace()
+        model.attach_workspace(ws)
+        assert model.workspace is ws
+        assert [layer._ws_tag for layer in model.layers] == [0, 1, 2]
+        assert all(layer._ws is ws for layer in model.layers)
+        model.detach_workspace()
+        assert model.workspace is None
+        assert all(layer._ws is None for layer in model.layers)
+
+    def test_forward_steady_state_is_allocation_free(self):
+        model = mlp(3, [4], 1, seed=0)
+        ws = Workspace()
+        model.attach_workspace(ws)
+        x = np.random.default_rng(0).normal(size=(8, 3))
+        model.forward(x)
+        ws.hits = ws.misses = 0
+        model.forward(x)
+        assert ws.misses == 0 and ws.hits > 0
