@@ -1,0 +1,239 @@
+"""Streaming campaign benchmark — pipelined scheduler vs serial loops (``BENCH_campaign``).
+
+Three implementations of the same Fig 11-style rolling campaign
+(pretrained FCNN, per-timestep fine-tune + full reconstruction) run over
+identical timesteps:
+
+* ``legacy``    — the pre-PR per-timestep loop: ``copy.deepcopy`` of the
+  model, a fresh :class:`SampledField` every step (kd-tree, neighbor
+  indices and void geometry recomputed from scratch), in-process serial
+  reconstruction.
+* ``serial``    — :meth:`ReconstructionPipeline.run_campaign` with
+  ``pipeline=False, warm_pool=False``: shared campaign geometry and
+  snapshot/restore instead of deepcopy, but no stage overlap and no
+  worker pool.
+* ``pipelined`` — ``pipeline=True, warm_pool=True``: the full streaming
+  scheduler (prefetch / fine-tune / reconstruct overlapped) on the
+  persistent shared-memory worker pool.
+
+All three must produce **bit-identical** reconstructions and scores
+(asserted strictly on every profile).  Measured quantities:
+
+* ``end_to_end_speedup``   — legacy wall / pipelined wall (the ISSUE's
+  headline: >= 2x on the bench profile on a multi-core host);
+* ``overhead_speedup``     — the same ratio after subtracting fine-tune
+  time (fine-tuning is strictly sequential in every implementation, so
+  this isolates what the scheduler + caches actually optimize);
+* stage occupancies from :class:`repro.perf.CampaignStats`.
+
+``publish()`` writes ``results/BENCH_campaign.json`` and a copy lands at
+the repo root (``BENCH_campaign.json``) as the commit's perf baseline.
+The ``serial`` and ``pipelined`` runs leave :mod:`repro.obs` run records
+under ``results/obs_campaign/{serial,pipelined}`` so CI can gate with::
+
+    repro obs report benchmarks/results/obs_campaign/serial \
+        --diff benchmarks/results/obs_campaign/pipelined --fail-on-regression
+
+(pipelining must never be a >20% span regression over the serial path).
+
+Speed assertions are hardware-honest: the >= 2x end-to-end gate only
+applies off the ``quick`` profile on hosts with >= 2 effective cores
+(a single core cannot overlap anything); bit-identity is strict always.
+"""
+
+import copy
+import os
+import shutil
+import time
+from pathlib import Path
+
+import numpy as np
+
+from conftest import RESULTS_DIR, publish
+from repro.core import FCNNReconstructor, ReconstructionPipeline
+from repro.datasets import make_dataset
+from repro.experiments.runner import ExperimentResult
+from repro.metrics import score_reconstruction
+from repro.obs import RunRecorder
+from repro.sampling import SampledField
+
+#: grid dims per --bench-profile
+SIZES = {"quick": (16, 16, 8), "bench": (36, 36, 18), "paper": (64, 64, 32)}
+#: pretraining epochs (campaign fine-tuning always uses FINETUNE_EPOCHS)
+EPOCHS = {"quick": 3, "bench": 8, "paper": 20}
+#: the Fig 11-style timestep stream (>= 4 stored steps on every profile)
+TIMESTEPS = {
+    "quick": (0, 2, 4, 6),
+    "bench": (0, 3, 6, 9, 12),
+    "paper": (0, 2, 4, 6, 8, 10, 12, 14),
+}
+HIDDEN = {"quick": (32, 16), "bench": (64, 32, 16), "paper": (128, 64, 32, 16)}
+
+FRACTION = 0.05
+FINETUNE_EPOCHS = 2
+OBS_DIRS = {
+    "serial": RESULTS_DIR / "obs_campaign" / "serial",
+    "pipelined": RESULTS_DIR / "obs_campaign" / "pipelined",
+}
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _effective_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _legacy_campaign(pipeline, base, timesteps):
+    """The pre-PR per-timestep loop (deepcopy + cold geometry every step)."""
+    model = copy.deepcopy(base)
+    sample0 = pipeline.sample(pipeline.field(timesteps[0]), FRACTION)
+    rows, volumes, finetune_s = [], [], 0.0
+    for t in timesteps:
+        fld = pipeline.field(t)
+        train = [pipeline.sample(fld, f) for f in pipeline.train_fractions]
+        history = model.fine_tune(fld, train, epochs=FINETUNE_EPOCHS, strategy="full")
+        finetune_s += history.total_seconds
+        # fresh SampledField per step: void geometry, kd-tree and neighbor
+        # indices all recomputed — exactly what CampaignGeometry now amortizes
+        sample = SampledField(
+            grid=fld.grid,
+            indices=sample0.indices.copy(),
+            values=fld.values.ravel()[sample0.indices],
+            fraction=FRACTION,
+            timestep=t,
+        )
+        volume = model.reconstruct(sample)
+        rows.append({"timestep": t, **score_reconstruction(fld.values, volume).as_dict()})
+        volumes.append(volume)
+    return {"rows": rows, "volumes": volumes, "finetune_s": finetune_s}
+
+
+def _run_campaign(pipeline, base, timesteps, *, pipelined, obs_dir, profile):
+    shutil.rmtree(obs_dir, ignore_errors=True)
+    name = "pipelined" if pipelined else "serial"
+    with RunRecorder(obs_dir, meta={"config": name, "profile": profile}):
+        result = pipeline.run_campaign(
+            base.clone(),
+            timesteps,
+            FRACTION,
+            finetune_epochs=FINETUNE_EPOCHS,
+            pipeline=pipelined,
+            warm_pool=pipelined,
+        )
+    # keep only the deterministic score columns (the legacy loop has no
+    # wall-clock column, and bit-identity implies zero degraded points)
+    assert all(row["degraded_points"] == 0 for row in result.rows)
+    drop = ("finetune_seconds", "degraded_points")
+    rows = [{k: v for k, v in row.items() if k not in drop} for row in result.rows]
+    return {
+        "rows": rows,
+        "volumes": result.reconstructions,
+        "finetune_s": result.finetune_seconds,
+        "stats": result.stats,
+    }
+
+
+def test_campaign_pipeline(benchmark, bench_profile):
+    profile = bench_profile
+    timesteps = TIMESTEPS[profile]
+    data = make_dataset("combustion", dims=SIZES[profile], seed=0)
+    pipeline = ReconstructionPipeline(
+        data, train_fractions=(0.01, 0.05), keep_reconstructions=True
+    )
+    base = FCNNReconstructor(hidden_layers=HIDDEN[profile], batch_size=4096, seed=0)
+    pipeline.train_fcnn(base, timestep=timesteps[0], epochs=EPOCHS[profile])
+
+    def run():
+        out = {}
+        for name in ("legacy", "serial", "pipelined"):
+            t0 = time.perf_counter()
+            if name == "legacy":
+                out[name] = _legacy_campaign(pipeline, base, timesteps)
+            else:
+                out[name] = _run_campaign(
+                    pipeline,
+                    base,
+                    timesteps,
+                    pipelined=name == "pipelined",
+                    obs_dir=OBS_DIRS[name],
+                    profile=profile,
+                )
+            out[name]["wall_s"] = time.perf_counter() - t0
+        return out
+
+    runs = benchmark.pedantic(run, rounds=1, iterations=1)
+    legacy, serial, pipelined = runs["legacy"], runs["serial"], runs["pipelined"]
+
+    # --- bit-exactness (strict on every profile) --------------------------
+    # Scores are floats, so dict equality means bit-equal; volumes are
+    # compared on raw bytes.  The scheduler, the weight deltas, the shared
+    # geometry and the worker pool must all be invisible in the output.
+    scores = [{k: v for k, v in row.items() if k != "timestep"} for row in legacy["rows"]]
+    for name in ("serial", "pipelined"):
+        assert runs[name]["rows"] == legacy["rows"], f"{name} scores drifted from legacy"
+        for t, mine, theirs in zip(timesteps, runs[name]["volumes"], legacy["volumes"]):
+            assert mine.tobytes() == theirs.tobytes(), f"{name} t={t} not bit-identical"
+    assert len(legacy["volumes"]) == len(timesteps) >= 4
+    assert all(np.isfinite(v).all() for v in legacy["volumes"])
+
+    # --- speedups ---------------------------------------------------------
+    end_to_end = legacy["wall_s"] / pipelined["wall_s"]
+    serial_vs_pipelined = serial["wall_s"] / pipelined["wall_s"]
+    overhead = {n: runs[n]["wall_s"] - runs[n]["finetune_s"] for n in runs}
+    overhead_speedup = overhead["legacy"] / max(overhead["pipelined"], 1e-9)
+    stats = pipelined["stats"]
+
+    rows = []
+    for name in ("legacy", "serial", "pipelined"):
+        rows.append(
+            {
+                "config": name,
+                "wall_s": round(runs[name]["wall_s"], 4),
+                "finetune_s": round(runs[name]["finetune_s"], 4),
+                "overhead_s": round(overhead[name], 4),
+                "speedup_vs_legacy": round(legacy["wall_s"] / runs[name]["wall_s"], 2),
+                "bit_identical": True,
+                "mean_snr": round(float(np.mean([r["snr"] for r in scores])), 4),
+            }
+        )
+    result = ExperimentResult(
+        experiment="campaign",
+        rows=rows,
+        series={"wall_s": {r["config"]: r["wall_s"] for r in rows}},
+        notes={
+            "profile": profile,
+            "dims": "x".join(str(d) for d in SIZES[profile]),
+            "timesteps": list(timesteps),
+            "fraction": FRACTION,
+            "finetune_epochs": FINETUNE_EPOCHS,
+            "hidden_layers": HIDDEN[profile],
+            "effective_cores": _effective_cores(),
+            "end_to_end_speedup": round(end_to_end, 3),
+            "serial_vs_pipelined_speedup": round(serial_vs_pipelined, 3),
+            "overhead_speedup": round(overhead_speedup, 3),
+            "occupancy": {
+                "prefetch": round(stats.occupancy("prefetch"), 3),
+                "finetune": round(stats.occupancy("process"), 3),
+                "reconstruct": round(stats.occupancy("emit"), 3),
+            },
+            "target": "end_to_end_speedup >= 2x on bench profile with >= 2 cores",
+        },
+    )
+    publish(result)
+    # the commit's campaign perf baseline lives at the repo root
+    shutil.copyfile(RESULTS_DIR / "BENCH_campaign.json", REPO_ROOT / "BENCH_campaign.json")
+
+    # --- speed (hardware-honest gates) ------------------------------------
+    # A single core cannot overlap stages, and quick-profile sizes measure
+    # harness noise — the hard >= 2x end-to-end gate needs both real cores
+    # and real work.  The cache wins (geometry + snapshot vs deepcopy) must
+    # show up everywhere off the quick profile.
+    if profile != "quick":
+        assert end_to_end >= 1.0, f"pipelined slower than legacy ({end_to_end:.2f}x)"
+        if _effective_cores() >= 2:
+            assert end_to_end >= 2.0, (
+                f"end-to-end campaign speedup {end_to_end:.2f}x < 2x "
+                f"on {_effective_cores()} cores"
+            )

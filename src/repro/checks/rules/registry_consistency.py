@@ -15,7 +15,10 @@ package ``__init__``:
   lambdas/partials, making the aliasing visible);
 * every registered factory class is exported by the package ``__all__``;
 * package ``__all__`` lists are duplicate-free and every entry is bound
-  in the module.
+  in the module.  A module-level ``__getattr__`` (PEP 562 lazy exports,
+  e.g. ``repro.perf`` re-exporting the campaign layer without importing
+  it eagerly) makes the bound set unknowable, so the binding check is
+  skipped for such modules — like a star-import.
 """
 
 from __future__ import annotations
@@ -191,7 +194,8 @@ class RegistryConsistencyRule(Rule):
                 yield self.finding(ctx, node, f"__all__ lists {name!r} twice")
             seen.add(name)
         bound = _bound_names(ctx.tree)
-        if bound is None:
+        if bound is None or "__getattr__" in bound:
+            # PEP 562: a module __getattr__ can bind any name on demand.
             return
         for name, node in exported:
             # A package __init__ may list sibling submodules without

@@ -41,7 +41,7 @@ from repro.resilience import CheckpointCorruptionError
 
 __all__ = ["main"]
 
-_TOOL_COMMANDS = ("generate", "sample", "train", "reconstruct", "evaluate", "render")
+_TOOL_COMMANDS = ("generate", "sample", "train", "reconstruct", "evaluate", "render", "campaign")
 
 
 def _runners() -> dict[str, tuple[str, callable]]:
@@ -150,6 +150,26 @@ def _tool_main(argv: list[str]) -> int:
     p.add_argument("--axis", type=int, default=2)
     p.add_argument("--array", default=None)
 
+    p = sub.add_parser("campaign", help="run a multi-timestep in situ campaign to a directory")
+    p.add_argument("output_dir")
+    p.add_argument("--dataset", default="combustion")
+    p.add_argument("--dims", type=int, nargs=3, default=None)
+    p.add_argument("--timesteps", type=int, nargs="+", default=[0, 4, 8, 12])
+    p.add_argument("--fraction", type=float, default=0.03)
+    p.add_argument("--sampler", default="multicriteria", choices=sorted(tools.SAMPLERS))
+    p.add_argument("--train", action="store_true",
+                   help="train an FCNN in situ (fine-tuned per timestep)")
+    p.add_argument("--fractions", type=float, nargs="+", default=[0.01, 0.05],
+                   help="training sampling fractions (with --train)")
+    p.add_argument("--epochs", type=int, default=100)
+    p.add_argument("--finetune-epochs", type=int, default=10)
+    p.add_argument("--pipeline", default="on", choices=["on", "off"],
+                   help="overlap simulate/train/write across timesteps "
+                        "(bit-identical output either way; default on)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--obs", default=None, metavar="DIR",
+                   help="record run telemetry under DIR (repro obs report DIR)")
+
     args = parser.parse_args(argv)
     if getattr(args, "obs", None):
         from repro.obs import RunRecorder
@@ -195,6 +215,13 @@ def _tool_dispatch(args) -> str:
                                      method=args.method, model=args.model, array=args.array)
     if args.command == "evaluate":
         return tools.cmd_evaluate(args.original, args.reconstruction, array=args.array)
+    if args.command == "campaign":
+        return tools.cmd_campaign(args.output_dir, dataset=args.dataset, dims=args.dims,
+                                  timesteps=args.timesteps, fraction=args.fraction,
+                                  sampler=args.sampler, train=args.train,
+                                  fractions=tuple(args.fractions), epochs=args.epochs,
+                                  finetune_epochs=args.finetune_epochs, seed=args.seed,
+                                  pipeline=args.pipeline == "on")
     return tools.cmd_render(args.input, args.output, mode=args.mode,
                             axis=args.axis, array=args.array)
 

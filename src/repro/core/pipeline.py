@@ -18,10 +18,17 @@ from repro.datasets.base import AnalyticDataset, TimestepField
 from repro.grid import UniformGrid
 from repro.interpolation.base import GridInterpolator
 from repro.metrics import ReconstructionScore, score_reconstruction
+from repro.perf.campaign import (
+    CampaignScheduler,
+    CampaignStats,
+    GeometryCache,
+    make_reconstruction_sink,
+)
+from repro.perf.weights import snapshot_weights
 from repro.sampling.base import SampledField, Sampler
 from repro.sampling.importance import MultiCriteriaSampler
 
-__all__ = ["PipelineResult", "ReconstructionPipeline"]
+__all__ = ["PipelineResult", "CampaignResult", "ReconstructionPipeline"]
 
 
 @dataclass(frozen=True)
@@ -49,6 +56,20 @@ class PipelineResult:
         return row
 
 
+@dataclass(frozen=True)
+class CampaignResult:
+    """A multi-timestep campaign run (:meth:`ReconstructionPipeline.run_campaign`)."""
+
+    rows: list[dict]                     # per-timestep metrics, in timestep order
+    stats: CampaignStats                 # stage occupancy / wall accounting
+    reconstructions: list[np.ndarray] | None = None
+
+    @property
+    def finetune_seconds(self) -> float:
+        """Total epoch time spent fine-tuning (the irreducible sequential core)."""
+        return sum(row["finetune_seconds"] for row in self.rows)
+
+
 @dataclass
 class ReconstructionPipeline:
     """Sample → (train) → reconstruct → score, for one dataset.
@@ -71,6 +92,7 @@ class ReconstructionPipeline:
     sampler: Sampler = dataclass_field(default_factory=MultiCriteriaSampler)
     train_fractions: tuple[float, ...] = (0.01, 0.05)
     keep_reconstructions: bool = False
+    geometry_cache: GeometryCache = dataclass_field(default_factory=GeometryCache)
 
     # ------------------------------------------------------------- sampling
     def field(self, timestep: int = 0, grid: UniformGrid | None = None) -> TimestepField:
@@ -148,3 +170,92 @@ class ReconstructionPipeline:
             for method in methods:
                 results.append(self.run_method(method, sample, fld))
         return results
+
+    # -------------------------------------------------------------- campaign
+    def run_campaign(
+        self,
+        reconstructor: FCNNReconstructor,
+        timesteps,
+        fraction: float,
+        *,
+        finetune_epochs: int = 10,
+        finetune_strategy: str = "full",
+        pipeline: bool = True,
+        warm_pool: bool = True,
+        max_workers: int | None = None,
+        num_chunks: int | None = None,
+        depth: int = 1,
+    ) -> CampaignResult:
+        """Rolling fine-tune + reconstruct over a stream of timesteps (Fig 11).
+
+        Reconstruction locations are drawn **once** at the first timestep
+        (``fraction`` of the grid) and their values refreshed per timestep
+        — so all timesteps share one :class:`~repro.perf.CampaignGeometry`
+        and the warm pool ships geometry + base weights exactly once.
+        ``reconstructor`` must already be (pre)trained (see
+        :meth:`train_fcnn`); per timestep it is fine-tuned on fresh
+        ``train_fractions`` draws, its weights published as a bit-exact XOR
+        delta, and the timestep reconstructed and scored against the
+        original field.
+
+        ``pipeline=True`` overlaps the stages on a
+        :class:`~repro.perf.CampaignScheduler` (fine-tuning stays strictly
+        sequential); ``warm_pool=True`` reconstructs on a
+        :class:`~repro.perf.WarmReconstructionPool` (falling back to the
+        in-process sink when shared memory is unavailable).  Every
+        ``(pipeline, warm_pool)`` combination produces **bit-identical**
+        reconstructions and scores.
+        """
+        if not reconstructor.is_trained:
+            raise RuntimeError(
+                "run_campaign needs a (pre)trained reconstructor; call train_fcnn() first"
+            )
+        steps = [int(t) for t in timesteps]
+        if not steps:
+            return CampaignResult(rows=[], stats=CampaignStats(0, pipeline, 0.0, 0.0, 0.0, 0.0))
+        field0 = self.field(steps[0])
+        geometry = self.geometry_cache.get(self.sample(field0, fraction))
+        sink = make_reconstruction_sink(
+            geometry,
+            {"fcnn": reconstructor},
+            max_workers=max_workers,
+            num_chunks=num_chunks,
+            slots=depth + 1,
+            warm_pool=warm_pool,
+        )
+        train_shell = geometry.shell()
+
+        def materialize(t: int) -> TimestepField:
+            return field0 if t == steps[0] else self.field(t)
+
+        def process(t: int, fld: TimestepField):
+            geometry.refresh(train_shell, fld)
+            train = [self.sample(fld, f) for f in self.train_fractions]
+            history = reconstructor.fine_tune(
+                fld, train, epochs=finetune_epochs, strategy=finetune_strategy
+            )
+            flat = snapshot_weights(reconstructor.model).data
+            slot = sink.publish(t, train_shell.values, {"fcnn": flat})
+            return slot, fld, history.total_seconds
+
+        def emit(t: int, payload):
+            slot, fld, finetune_seconds = payload
+            volume, report = sink.reconstruct(slot, "fcnn")
+            row = {
+                "timestep": t,
+                "finetune_seconds": finetune_seconds,
+                "degraded_points": report.degraded_points,
+            }
+            row.update(score_reconstruction(fld.values, volume).as_dict())
+            return row, (volume if self.keep_reconstructions else None)
+
+        scheduler = CampaignScheduler(
+            materialize, process, emit, pipeline=pipeline, depth=depth
+        )
+        try:
+            emitted = scheduler.run(steps)
+        finally:
+            sink.close()
+        rows = [row for row, _ in emitted]
+        volumes = [vol for _, vol in emitted] if self.keep_reconstructions else None
+        return CampaignResult(rows=rows, stats=scheduler.stats, reconstructions=volumes)

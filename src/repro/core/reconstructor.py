@@ -451,6 +451,57 @@ class FCNNReconstructor:
         )
         return pred
 
+    # ------------------------------------------------------------- snapshots
+    def snapshot(self):
+        """Lightweight learned-state snapshot: ``(weights, normalizer)``.
+
+        Copies only the parameter tensors (plus freeze flags) and keeps a
+        reference to the immutable normalizer — unlike
+        ``copy.deepcopy(self)``, which also clones the Workspace arenas,
+        cached geometry and optimizer-adjacent scratch that are *not* part
+        of the learned state.  Pair with :meth:`restore` for rollback
+        points, or :meth:`clone` for an independent model.
+        """
+        model, normalizer = self._require_trained()
+        return (model.snapshot(), normalizer)
+
+    def restore(self, snapshot) -> None:
+        """Return this model to a :meth:`snapshot`'s learned state, in place."""
+        model, _ = self._require_trained()
+        weights, normalizer = snapshot
+        model.restore(weights)
+        self.normalizer = normalizer
+
+    def clone(self) -> "FCNNReconstructor":
+        """An independent reconstructor with identical learned state.
+
+        The replacement for per-timestep ``copy.deepcopy(model)`` in the
+        rolling fine-tuning loops (Fig 5/11): the clone gets a fresh
+        network and its own (empty) Workspace, then copies the weights in
+        — so the two models can be trained/reconstructed independently,
+        and nothing of the parent's arenas or caches is duplicated.
+        Training history carries over; the normalizer (immutable) is
+        shared.
+        """
+        recon = FCNNReconstructor(
+            hidden_layers=self.hidden_layers,
+            num_neighbors=self.extractor.num_neighbors,
+            include_gradients=self.extractor.include_gradients,
+            learning_rate=self.learning_rate,
+            batch_size=self.batch_size,
+            gradient_loss_weight=self.gradient_loss_weight,
+            seed=self.seed,
+            fast_path=self.fast_path,
+            dtype_policy=self.dtype_policy.compute,
+        )
+        if self.model is not None:
+            recon.model = self.model.clone_architecture()
+            recon.dtype_policy.cast_model(recon.model)
+            recon.model.restore(self.model.snapshot())
+        recon.normalizer = self.normalizer
+        recon.history.extend(self.history)
+        return recon
+
     # ----------------------------------------------------------- checkpoints
     def save(self, path: str | Path) -> None:
         """Full checkpoint: weights + architecture + normalization stats."""

@@ -74,6 +74,10 @@ class ExperimentConfig:
     #: network compute dtype ("float64" keeps seed numerics; "float32"
     #: halves bandwidth at ~1e-7 relative error — see repro.perf.DtypePolicy)
     dtype_policy: str = "float64"
+    #: overlap materialize/fine-tune/reconstruct across timesteps on the
+    #: streaming CampaignScheduler (bit-identical to the serial schedule;
+    #: False forces the serial loop — see docs/PERFORMANCE.md)
+    campaign_pipeline: bool = True
     seed: int = 7
 
     def scaled(self, **overrides) -> "ExperimentConfig":

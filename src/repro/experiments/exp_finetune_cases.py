@@ -13,7 +13,6 @@ needs to store the last two layers per additional timestep.
 
 from __future__ import annotations
 
-import copy
 import os
 import tempfile
 
@@ -66,12 +65,14 @@ def run(
 
     measure(base, "no-finetune", 0, 0.0)
 
-    case1 = copy.deepcopy(base)
+    # clone() copies only the learned state (weights + normalizer), not the
+    # Workspace arenas and cached geometry deepcopy used to duplicate.
+    case1 = base.clone()
     hist = case1.fine_tune(field, train, epochs=config.finetune_epochs, strategy="full")
     measure(case1, "case1-full", config.finetune_epochs, hist.total_seconds)
 
     for budget in case2_budgets:
-        case2 = copy.deepcopy(base)
+        case2 = base.clone()
         hist = case2.fine_tune(field, train, epochs=budget, strategy="last", num_trainable=2)
         measure(case2, "case2-last2", budget, hist.total_seconds)
 

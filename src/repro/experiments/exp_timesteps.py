@@ -9,15 +9,24 @@ Hurricane dataset at the paper's 3% sampling rate.  Five curves:
 * ``fcnn-ft@A`` / ``fcnn-ft@B`` — the same pretrained models rolled across
   the timesteps with ~10 epochs of Case-1 fine-tuning at each, which the
   paper shows recovers quality and beats linear everywhere.
+
+The timestep loop runs on the streaming
+:class:`~repro.perf.CampaignScheduler`: timestep ``t+1`` is materialized
+and sampled on the prefetch thread while ``t`` fine-tunes on the main
+thread and ``t-1`` reconstructs/scores on the emit thread.  Fine-tuning
+stays strictly sequential (model state rolls forward in time) and the
+emit stage works on published weight snapshots restored into dedicated
+clones — results are bit-identical to the serial loop
+(``config.campaign_pipeline = False``).
 """
 
 from __future__ import annotations
 
-import copy
-
 from repro.experiments.config import ExperimentConfig, get_config
 from repro.experiments.runner import ExperimentResult, build_pipeline, build_reconstructor, test_samples
 from repro.metrics import snr
+from repro.perf.campaign import CampaignScheduler
+from repro.perf.weights import restore_weights, snapshot_weights
 
 __all__ = ["run"]
 
@@ -39,6 +48,7 @@ def run(config: ExperimentConfig | None = None) -> ExperimentResult:
             "fraction": config.timestep_fraction,
             "pretrain_timesteps": (t_a, t_b),
             "finetune_epochs": config.finetune_epochs,
+            "pipeline": config.campaign_pipeline,
         },
     )
 
@@ -54,28 +64,48 @@ def run(config: ExperimentConfig | None = None) -> ExperimentResult:
         pipeline.train_fcnn(fcnn, timestep=t, epochs=config.epochs)
         pretrained[tag] = fcnn
 
-    # Rolling fine-tuned copies (model state carries forward in time).
-    finetuned = {tag: copy.deepcopy(model) for tag, model in pretrained.items()}
+    # Rolling fine-tuned copies (model state carries forward in time) and
+    # emit-side twins the published per-timestep weights are restored into.
+    # clone() copies only the learned state — not deepcopy's arenas/caches.
+    finetuned = {tag: model.clone() for tag, model in pretrained.items()}
+    emitters = {tag: model.clone() for tag, model in pretrained.items()}
 
-    for t in timesteps:
+    def materialize(t: int):
         field = pipeline.field(t)
         sample = test_samples(pipeline, field, (config.timestep_fraction,), config)[
             config.timestep_fraction
         ]
+        return field, sample
 
+    def process(t: int, item):
+        field, sample = item
+        # Both rolling models fine-tune on the same (deterministic) draws.
+        train = [pipeline.sample(field, f) for f in config.train_fractions]
+        flats = {}
+        for tag, model in finetuned.items():
+            model.fine_tune(field, train, epochs=config.finetune_epochs, strategy="full")
+            flats[tag] = snapshot_weights(model.model).data
+        return field, sample, flats
+
+    def emit(t: int, payload):
+        field, sample, flats = payload
         record = {"timestep": t}
         record["linear"] = snr(field.values, linear.reconstruct(sample))
         for tag, model in pretrained.items():
             record[f"fcnn-pre@{tag}"] = snr(field.values, model.reconstruct(sample))
-        for tag, model in finetuned.items():
-            train = [pipeline.sample(field, f) for f in config.train_fractions]
-            model.fine_tune(field, train, epochs=config.finetune_epochs, strategy="full")
+        for tag, model in emitters.items():
+            restore_weights(model.model, flats[tag])
             record[f"fcnn-ft@{tag}"] = snr(field.values, model.reconstruct(sample))
+        return record
 
+    scheduler = CampaignScheduler(
+        materialize, process, emit, pipeline=config.campaign_pipeline
+    )
+    for record in scheduler.run(timesteps):
         result.rows.append(record)
         for key, value in record.items():
             if key != "timestep":
-                result.series.setdefault(key, []).append((t, value))
+                result.series.setdefault(key, []).append((record["timestep"], value))
     return result
 
 

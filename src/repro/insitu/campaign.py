@@ -24,6 +24,8 @@ import numpy as np
 from repro.core.reconstructor import FCNNReconstructor
 from repro.datasets.base import AnalyticDataset
 from repro.grid import UniformGrid
+from repro.perf.campaign import CampaignScheduler
+from repro.perf.weights import restore_weights, snapshot_weights
 from repro.sampling.base import SampledField, Sampler
 
 __all__ = ["CampaignManifest", "InSituWriter", "CampaignReader"]
@@ -124,8 +126,18 @@ class InSituWriter:
         self.finetune_epochs = int(finetune_epochs)
         self.model_kwargs = dict(model_kwargs or {})
 
-    def run(self, directory: str | Path, timesteps) -> CampaignManifest:
-        """Execute the campaign; returns the written manifest."""
+    def run(self, directory: str | Path, timesteps, pipeline: bool = True) -> CampaignManifest:
+        """Execute the campaign; returns the written manifest.
+
+        With ``pipeline=True`` (default) the time loop runs on the
+        streaming :class:`~repro.perf.CampaignScheduler`: timestep ``t+1``
+        is simulated and sampled on the prefetch thread while ``t`` trains
+        on the calling thread and ``t-1``'s cloud/checkpoint files are
+        written by the emit thread.  Training stays strictly sequential
+        and checkpoints are written from published weight snapshots, so
+        the on-disk campaign is byte-identical to ``pipeline=False``
+        (files and manifest entries land in timestep order either way).
+        """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         timesteps = [int(t) for t in timesteps]
@@ -142,29 +154,57 @@ class InSituWriter:
             fraction=self.fraction,
         )
 
+        # Training state lives on the calling thread (process stage); the
+        # emit thread writes checkpoints from its own clone restored per
+        # published weight snapshot, never from the live training model.
         model: FCNNReconstructor | None = None
-        for step_no, t in enumerate(timesteps):
+        emit_model: FCNNReconstructor | None = None
+
+        def materialize(t: int):
             field = self.dataset.field(t=t)
             sample = self.sampler.sample(field, self.fraction)
+            train = (
+                [self.sampler.sample(field, f) for f in self.train_fractions]
+                if self.train_model
+                else None
+            )
+            return field, sample, train
 
+        def process(t: int, item):
+            nonlocal model, emit_model
+            field, sample, train = item
+            if not self.train_model:
+                return sample, None, False
+            first = model is None
+            if first:
+                model = FCNNReconstructor(**self.model_kwargs)
+                model.train(field, train, epochs=self.epochs)
+                emit_model = model.clone()
+            else:
+                model.fine_tune(field, train, epochs=self.finetune_epochs, strategy="last")
+            return sample, snapshot_weights(model.model).data, first
+
+        def emit(t: int, payload):
+            sample, flat, first = payload
             cloud_name = f"t{t:04d}.vtp"
             sample.to_vtp(directory / cloud_name)
             manifest.timesteps.append(t)
             manifest.cloud_files[str(t)] = cloud_name
-
-            if self.train_model:
-                train = [self.sampler.sample(field, f) for f in self.train_fractions]
-                if model is None:
-                    model = FCNNReconstructor(**self.model_kwargs)
-                    model.train(field, train, epochs=self.epochs)
+            if flat is not None:
+                restore_weights(emit_model.model, flat)
+                if first:
                     manifest.base_model_file = "model_base.npz"
-                    model.save(directory / manifest.base_model_file)
-                else:
-                    model.fine_tune(field, train, epochs=self.finetune_epochs, strategy="last")
+                    emit_model.save(directory / manifest.base_model_file)
                 # Case-2 storage: only the last two layers per timestep.
                 model_name = f"model_t{t:04d}.npz"
-                model.save_partial(directory / model_name, num_layers=2)
+                emit_model.save_partial(directory / model_name, num_layers=2)
                 manifest.model_files[str(t)] = model_name
+            return t
+
+        scheduler = CampaignScheduler(
+            materialize, process, emit, pipeline=pipeline, name="insitu"
+        )
+        scheduler.run(timesteps)
 
         (directory / _MANIFEST_NAME).write_text(manifest.to_json())
         # ParaView animation index over the stored point clouds.

@@ -12,6 +12,10 @@ as the raster resolution grows.
 The scatter is vectorized by quantizing the radii and applying precomputed
 index-offset balls per radius class; nodes that receive no contribution
 (isolated exact-sample hits) fall back to nearest-neighbor.
+
+The offset balls depend only on the grid spacing and the radius class, so
+they are memoized module-wide: repeated same-grid reconstructions (every
+timestep of a campaign) skip the ``meshgrid`` offset generation entirely.
 """
 
 from __future__ import annotations
@@ -21,8 +25,17 @@ from scipy.spatial import cKDTree
 
 from repro.grid import UniformGrid
 from repro.interpolation.base import GridInterpolator
+from repro.obs import counter as obs_counter
 
 __all__ = ["NaturalNeighborInterpolator"]
+
+#: (radius_voxels, spacing, h) -> read-only offset array.  Offsets are tiny
+#: (a few KB per radius class) but regenerating them cost a meshgrid + mask
+#: per class per call; campaigns reconstruct the same grid hundreds of times.
+_OFFSET_CACHE: dict[tuple, np.ndarray] = {}
+#: distinct grid geometries to remember before dropping the cache; a single
+#: campaign touches one or two, so this never evicts in practice.
+_OFFSET_CACHE_MAX_KEYS = 512
 
 
 class NaturalNeighborInterpolator(GridInterpolator):
@@ -95,7 +108,26 @@ class NaturalNeighborInterpolator(GridInterpolator):
 
     @staticmethod
     def _ball_offsets(radius_voxels: int, spacing: np.ndarray, h: float) -> np.ndarray:
-        """Integer index offsets within a physical ball of ``radius_voxels * h``."""
+        """Integer index offsets within a physical ball of ``radius_voxels * h``.
+
+        Memoized per ``(radius class, grid spacing)`` — treat the returned
+        array as read-only.
+        """
+        key = (int(radius_voxels), tuple(float(s) for s in spacing), float(h))
+        cached = _OFFSET_CACHE.get(key)
+        if cached is not None:
+            obs_counter("interp.natural.offsets.hit").inc()
+            return cached
+        obs_counter("interp.natural.offsets.miss").inc()
+        offsets = NaturalNeighborInterpolator._compute_ball_offsets(radius_voxels, spacing, h)
+        if len(_OFFSET_CACHE) >= _OFFSET_CACHE_MAX_KEYS:
+            _OFFSET_CACHE.clear()
+        offsets.setflags(write=False)
+        _OFFSET_CACHE[key] = offsets
+        return offsets
+
+    @staticmethod
+    def _compute_ball_offsets(radius_voxels: int, spacing: np.ndarray, h: float) -> np.ndarray:
         if radius_voxels <= 0:
             return np.zeros((1, 3), dtype=np.int64)
         r_phys = radius_voxels * h

@@ -149,6 +149,42 @@ class Sequential:
         for i, layer in enumerate(dense):
             layer.set_trainable(i >= cut)
 
+    # ------------------------------------------------------------ snapshots
+    def snapshot(self) -> list[tuple[np.ndarray, bool]]:
+        """Copy the learned state: per-parameter ``(value, trainable)`` pairs.
+
+        This is the cheap alternative to ``copy.deepcopy(network)`` for
+        save/rollback points: it copies only the weight tensors (and the
+        freeze flags Case-2 fine-tuning flips), skipping attached
+        :class:`repro.perf.Workspace` arenas, cached activations and
+        gradient buffers — none of which are part of the learned state, and
+        all of which deep copies drag along.
+        """
+        return [(p.value.copy(), bool(p.trainable)) for p in self.parameters()]
+
+    def restore(self, snapshot: list[tuple[np.ndarray, bool]]) -> None:
+        """Write a :meth:`snapshot` back into this network, in place.
+
+        Values are copied into the existing parameter tensors (optimizers
+        built against them stay valid, though their moment estimates are
+        *not* rolled back — rebuild the optimizer for a fresh run, as
+        :class:`repro.core.FCNNReconstructor.fine_tune` does).  The
+        snapshot must come from an architecturally identical network.
+        """
+        params = self.parameters()
+        if len(params) != len(snapshot):
+            raise ValueError(
+                f"snapshot has {len(snapshot)} parameters, network has {len(params)}"
+            )
+        for p, (value, trainable) in zip(params, snapshot):
+            if p.value.shape != value.shape:
+                raise ValueError(
+                    f"snapshot shape {value.shape} != parameter {p.name} shape {p.value.shape}"
+                )
+            p.value[...] = value
+            p.trainable = bool(trainable)
+            p.zero_grad()
+
     # ---------------------------------------------------------- descriptors
     def spec(self) -> list[dict]:
         """Architecture description for checkpointing."""

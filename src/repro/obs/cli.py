@@ -5,6 +5,13 @@
     repro obs report RUN_DIR                 # span tree + metrics of one run
     repro obs report RUN_DIR --diff OTHER    # A-vs-B regression comparison
     repro obs report RUN_DIR --no-metrics    # spans only
+    repro obs report RUN_DIR --diff OTHER --only 'train.*'   # gate a subset
+
+``--only GLOB`` (repeatable) restricts a diff to matching span/counter
+names.  Use it when the two runs only overlap on part of their spans —
+e.g. comparing a pipelined campaign against its serial twin, where the
+overlapped stage spans legitimately dilate in wall time and only the
+strictly-sequential ``train.*`` spans are required not to regress.
 
 Exit codes: ``0`` report rendered (even when the diff finds regressions —
 pass ``--fail-on-regression`` to turn those into exit ``1``), ``2`` usage
@@ -14,6 +21,7 @@ or unreadable run directory.
 from __future__ import annotations
 
 import argparse
+import fnmatch
 import sys
 
 from repro.obs.report import diff_runs, format_diff, format_report, load_run
@@ -35,6 +43,9 @@ def main(argv: list[str] | None = None) -> int:
                    help="relative span-time regression threshold for --diff (default 0.2)")
     p.add_argument("--no-metrics", action="store_true",
                    help="omit the counter/gauge/histogram tables")
+    p.add_argument("--only", action="append", default=None, metavar="GLOB",
+                   help="restrict --diff to span/counter names matching any "
+                        "glob (repeatable)")
     p.add_argument("--fail-on-regression", action="store_true",
                    help="exit 1 when --diff finds a span regression")
 
@@ -55,6 +66,11 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     entries = diff_runs(record, other, threshold=args.threshold)
+    if args.only:
+        entries = [
+            e for e in entries
+            if any(fnmatch.fnmatchcase(e.name, pattern) for pattern in args.only)
+        ]
     print(f"A: {record.run_dir}  [{record.status}]")
     print(f"B: {other.run_dir}  [{other.status}]")
     print()

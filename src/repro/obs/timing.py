@@ -22,6 +22,7 @@ may call :func:`activate` / :func:`deactivate` directly.
 from __future__ import annotations
 
 import functools
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -62,57 +63,79 @@ class SpanTracker:
         :class:`~repro.obs.recorder.RunRecorder` uses them to stream
         ``span_open`` / ``span_close`` JSONL events as they happen, so a
         crashed run still leaves a readable prefix.
+
+    Thread safety: the open-span stack is **per thread** — a span opened on
+    a worker thread (the campaign scheduler's prefetch/emit threads run
+    instrumented code) nests under that thread's spans only and becomes a
+    new root when the thread has none, never corrupting another thread's
+    LIFO discipline.  Id allocation, the shared ``roots`` list and the
+    streaming callbacks are serialized by a lock, so concurrent spans from
+    several threads interleave safely in one recorder.
     """
 
     def __init__(self, on_open=None, on_close=None) -> None:
         self.roots: list[Span] = []
         self.on_open = on_open
         self.on_close = on_close
-        self._stack: list[Span] = []
+        self._local = threading.local()
+        self._lock = threading.Lock()
         self._next_id = 0
+
+    def _stack(self) -> list[Span]:
+        """The calling thread's open-span stack."""
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
 
     # ------------------------------------------------------------ lifecycle
     def open(self, name: str, attrs: dict | None = None) -> Span:
-        """Open a child of the current span (or a new root)."""
-        parent = self._stack[-1] if self._stack else None
+        """Open a child of the calling thread's current span (or a new root)."""
+        stack = self._stack()
+        parent = stack[-1] if stack else None
         node = Span(
-            id=self._next_id,
+            id=-1,
             name=str(name),
             parent_id=None if parent is None else parent.id,
             attrs=dict(attrs) if attrs else {},
         )
-        self._next_id += 1
-        if parent is None:
-            self.roots.append(node)
-        else:
-            parent.children.append(node)
-        self._stack.append(node)
+        with self._lock:
+            node.id = self._next_id
+            self._next_id += 1
+            if parent is None:
+                self.roots.append(node)
+            else:
+                parent.children.append(node)
+        stack.append(node)
         node._wall0 = time.perf_counter()
         node._cpu0 = time.process_time()
         if self.on_open is not None:
-            self.on_open(node)
+            with self._lock:
+                self.on_open(node)
         return node
 
     def close(self, node: Span) -> None:
-        """Close ``node``; spans must close in LIFO order."""
+        """Close ``node``; spans must close in LIFO order per thread."""
         wall1 = time.perf_counter()
         cpu1 = time.process_time()
-        if not self._stack or self._stack[-1] is not node:
+        stack = self._stack()
+        if not stack or stack[-1] is not node:
             raise RuntimeError(
                 f"span {node.name!r} closed out of order; spans must nest "
                 "(use the context manager form)"
             )
-        self._stack.pop()
+        stack.pop()
         node.wall = wall1 - node._wall0
         node.cpu = cpu1 - node._cpu0
         node.closed = True
         if self.on_close is not None:
-            self.on_close(node)
+            with self._lock:
+                self.on_close(node)
 
     @property
     def depth(self) -> int:
-        """Current nesting depth (0 outside any span)."""
-        return len(self._stack)
+        """Current nesting depth on the calling thread (0 outside any span)."""
+        return len(self._stack())
 
     def span(self, name: str, attrs: dict | None = None) -> "_SpanContext":
         """Context manager opening/closing one span on this tracker."""

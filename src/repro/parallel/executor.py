@@ -77,6 +77,23 @@ class ParallelExecutor:
     backoff:
         Base delay of the exponential backoff between attempts; attempt
         ``k`` (2-based) waits ``backoff * 2**(k-2)`` seconds.
+    persistent:
+        Keep the process pool alive across :meth:`map_outcomes` calls
+        instead of creating and tearing one down per call.  Campaign-style
+        workloads (many reconstructions against the same warm workers —
+        see :mod:`repro.perf.campaign`) pay pool startup once per run
+        rather than once per timestep, and worker-side module caches stay
+        hot.
+
+        Lifecycle: the pool is created lazily on first use at the full
+        ``max_workers`` width, survives healthy calls, and is recycled
+        (shut down and lazily recreated) after a ``BrokenProcessPool`` or
+        a task timeout — a crashed or hung worker never poisons the next
+        call, and the in-flight call still gets the PR 2 recovery
+        semantics (collected results kept, unresolved payloads re-run
+        serially, ``recovered="serial-fallback"``).  The owner must call
+        :meth:`close` (or use the executor as a context manager) when the
+        campaign ends; a non-persistent executor needs no cleanup.
     """
 
     def __init__(
@@ -85,6 +102,7 @@ class ParallelExecutor:
         timeout: float | None = None,
         retries: int = 0,
         backoff: float = 0.5,
+        persistent: bool = False,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -98,6 +116,41 @@ class ParallelExecutor:
         self.timeout = timeout
         self.retries = int(retries)
         self.backoff = float(backoff)
+        self.persistent = bool(persistent)
+        self._pool: ProcessPoolExecutor | None = None
+
+    # ------------------------------------------------------- pool lifecycle
+    def _acquire_pool(self, workers: int) -> tuple[ProcessPoolExecutor, bool]:
+        """``(pool, pooled)`` — ``pooled`` marks a kept-alive persistent pool."""
+        if not self.persistent:
+            return ProcessPoolExecutor(max_workers=workers), False
+        if self._pool is None:
+            # Full width regardless of this call's payload count, so later
+            # (possibly larger) batches reuse the same warm pool.
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+        return self._pool, True
+
+    def _release_pool(self, pool: ProcessPoolExecutor, pooled: bool, unhealthy: bool) -> None:
+        """Tear down per-call pools; keep a healthy persistent pool warm."""
+        if pooled:
+            if not unhealthy:
+                return  # stays warm for the next map_outcomes call
+            self._pool = None  # recycle: recreate lazily on next use
+        # wait=False so a hung (timed-out) worker cannot block shutdown.
+        pool.shutdown(wait=not unhealthy and self.timeout is None, cancel_futures=True)
+
+    def close(self) -> None:
+        """Shut down the persistent pool (idempotent; no-op when not persistent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     # ------------------------------------------------------------------ API
     def map(self, fn, payloads: list) -> list:
@@ -154,11 +207,12 @@ class ParallelExecutor:
         are final and marked ``"failed"`` here.
         """
         try:
-            pool = ProcessPoolExecutor(max_workers=workers)
+            pool, pooled = self._acquire_pool(workers)
         except (OSError, RuntimeError, PermissionError):
             # Sandboxed/restricted environments: degrade to serial.
             return False, pending
         broken = False
+        had_timeout = False
         try:
             for attempt in range(1, self.retries + 2):
                 if not pending or broken:
@@ -178,6 +232,7 @@ class ParallelExecutor:
                         result = future.result(timeout=None if broken else self.timeout)
                     except FuturesTimeoutError:
                         future.cancel()
+                        had_timeout = True
                         outcome.attempts += 1
                         outcome.duration += time.perf_counter() - t0
                         exc = TimeoutError(
@@ -202,8 +257,7 @@ class ParallelExecutor:
                         outcome._succeed(result, "retry" if outcome.attempts > 1 else None)
                 pending = failed
         finally:
-            # wait=False so a hung (timed-out) worker cannot block shutdown.
-            pool.shutdown(wait=not broken and self.timeout is None, cancel_futures=True)
+            self._release_pool(pool, pooled, unhealthy=broken or had_timeout)
         if broken:
             return True, pending
         for i in pending:

@@ -95,7 +95,18 @@ def parallel_reconstruct(
     num_chunks:
         Number of query slabs; defaults to the executor's worker count.
     executor:
-        Defaults to one worker per CPU.
+        Defaults to a fresh one-call :class:`ParallelExecutor` (one worker
+        per CPU) whose pool is created and torn down inside this call.
+        Callers reconstructing repeatedly (per-timestep campaign loops)
+        should pass their own ``ParallelExecutor(persistent=True)`` so the
+        pool — and the workers' warm module state — survives across
+        calls; the **caller** then owns the lifecycle and must ``close()``
+        it (or use it as a context manager) when done.  Either way the
+        PR 2 fault-tolerance semantics apply per call: crashed pools
+        recover collected results and re-run unresolved chunks serially,
+        timeouts/retries follow the executor's settings, and a persistent
+        executor recycles its pool after a crash or timeout so the next
+        call starts healthy.
     fallback:
         Degradation method for failed or non-finite chunks: ``"nearest"``
         (default), any interpolator instance, or ``None`` for strict mode.

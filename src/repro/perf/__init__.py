@@ -1,7 +1,7 @@
 """repro.perf — the performance subsystem: fast paths that change nothing else.
 
-Three independent pieces, all opt-in and all preserving the engine's
-numerics (see ``docs/PERFORMANCE.md`` for design and measurements):
+Independent pieces, all opt-in and all preserving the engine's numerics
+(see ``docs/PERFORMANCE.md`` for design and measurements):
 
 * :class:`Workspace` — a preallocated buffer arena that makes the
   ``Dense``/``ReLU`` forward-backward loop, the optimizer step and chunked
@@ -17,14 +17,31 @@ numerics (see ``docs/PERFORMANCE.md`` for design and measurements):
   shared-memory transport that ships sampled points, queries and results
   to ``parallel_reconstruct`` workers as segment names instead of pickled
   arrays.
+* :mod:`repro.perf.weights` — flat weight snapshots and bit-exact XOR
+  weight deltas (:func:`snapshot_weights`, :func:`weight_delta`, ...).
+* :mod:`repro.perf.campaign` — the streaming campaign scheduler:
+  :class:`CampaignScheduler` pipelines sample -> fine-tune -> reconstruct
+  across timesteps, :class:`WarmReconstructionPool` keeps reconstruction
+  workers warm behind one shared-memory slot ring, and
+  :class:`GeometryCache` shares void geometry across timesteps.
+  (Imported lazily: :mod:`repro.core` imports this package, and the
+  campaign module imports :mod:`repro.core` back.)
 
-``BENCH_perf.json`` (written by ``benchmarks/test_bench_perf_fastpath.py``)
-records the measured speedups; the CI ``perf`` job keeps them from
-regressing via ``repro obs report --diff --fail-on-regression``.
+``BENCH_perf.json`` / ``BENCH_campaign.json`` (written by the benchmark
+suite) record the measured speedups; the CI ``perf`` and ``campaign``
+jobs keep them from regressing via ``repro obs report --diff
+--fail-on-regression``.
 """
 
 from repro.perf.policy import DtypePolicy
 from repro.perf.shm import SharedArrayBundle, SharedArraySpec, attached_arrays
+from repro.perf.weights import (
+    WeightSnapshot,
+    apply_weight_delta,
+    restore_weights,
+    snapshot_weights,
+    weight_delta,
+)
 from repro.perf.workspace import Workspace
 
 __all__ = [
@@ -33,4 +50,38 @@ __all__ = [
     "SharedArrayBundle",
     "SharedArraySpec",
     "attached_arrays",
+    "WeightSnapshot",
+    "snapshot_weights",
+    "restore_weights",
+    "weight_delta",
+    "apply_weight_delta",
+    "CampaignGeometry",
+    "GeometryCache",
+    "CampaignScheduler",
+    "CampaignStats",
+    "WarmReconstructionPool",
+    "LocalReconstructionSink",
+    "make_reconstruction_sink",
 ]
+
+_CAMPAIGN_EXPORTS = frozenset(
+    {
+        "CampaignGeometry",
+        "GeometryCache",
+        "CampaignScheduler",
+        "CampaignStats",
+        "WarmReconstructionPool",
+        "LocalReconstructionSink",
+        "make_reconstruction_sink",
+        "geometry_key",
+    }
+)
+
+
+def __getattr__(name: str):
+    # Lazy re-export breaking the repro.core <-> repro.perf import cycle.
+    if name in _CAMPAIGN_EXPORTS:
+        from repro.perf import campaign
+
+        return getattr(campaign, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,1049 @@
+# hot-path
+"""Streaming campaign scheduler: pipelined sample -> fine-tune -> reconstruct.
+
+The paper's Fig 11 campaign processes a stream of timesteps; the seed
+implementation ran every stage sequentially and rebuilt all per-timestep
+machinery (process pools, kd-trees, model copies) from scratch each step.
+This module overlaps the stages and keeps everything warm:
+
+* :class:`CampaignScheduler` — a 3-stage software pipeline.  Timestep
+  ``t+1`` is *materialized* (simulated/loaded + sampled) on a prefetch
+  thread while the caller's thread *processes* (fine-tunes on) timestep
+  ``t`` and a single FIFO emit thread *reconstructs* timestep ``t-1``.
+  Fine-tuning stays strictly sequential — model state flows from timestep
+  to timestep — so results are **bit-identical** to the serial schedule;
+  only side-effect-free work (I/O, sampling, reconstruction of already
+  published weights) overlaps.
+* :class:`WarmReconstructionPool` — persistent reconstruction workers fed
+  through one shared-memory slot ring.  Grid geometry and base model
+  weights ship **once per campaign** (counter
+  ``campaign.shm_bundles_created``); each fine-tuned timestep afterwards
+  publishes only a bitwise XOR weight delta (:mod:`repro.perf.weights`)
+  and the refreshed sample values.  Workers cache the kd-tree, neighbor
+  indices and rebuilt models across timesteps.
+* :class:`LocalReconstructionSink` — the same publish/reconstruct
+  protocol executed in-process; the degradation target when shared memory
+  is unavailable and the reference implementation the pool is tested
+  bit-identical against.
+* :class:`CampaignGeometry` / :class:`GeometryCache` — sampled-location
+  geometry (void indices/points, sample positions, content hash) computed
+  once and shared by every stage and worker via lightweight
+  :class:`~repro.sampling.base.SampledField` shells.
+
+Bit-identity contract: worker chunk boundaries are aligned to the FCNN
+predict block (``max(batch_size, 16384)``), so the matmul block shapes —
+and therefore every float — match the serial
+:meth:`~repro.core.reconstructor.FCNNReconstructor.reconstruct` exactly;
+weight deltas are XOR (exact); the non-finite nearest-neighbor fallback is
+replicated with the serial path's tree and counters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from queue import Empty, Full, Queue
+
+import numpy as np
+
+from repro.obs import counter as obs_counter
+from repro.obs import gauge as obs_gauge
+from repro.obs import record_event, span
+from repro.parallel.executor import ParallelExecutor
+from repro.perf.shm import SharedArrayBundle, _attach
+from repro.perf.weights import apply_weight_delta, restore_weights, snapshot_weights, weight_delta
+from repro.resilience.report import ReconstructionReport
+from repro.sampling.base import SampledField
+
+__all__ = [
+    "CampaignGeometry",
+    "GeometryCache",
+    "CampaignScheduler",
+    "CampaignStats",
+    "WarmReconstructionPool",
+    "LocalReconstructionSink",
+    "make_reconstruction_sink",
+    "geometry_key",
+]
+
+#: Poll period for stop-aware blocking queue/semaphore operations.
+_POLL_SECONDS = 0.05
+
+#: Per-process cap on cached worker states (bundle attachments + models).
+_WORKER_STATE_MAX = 4
+
+
+# --------------------------------------------------------------------------
+# geometry
+
+
+def geometry_key(grid, indices: np.ndarray) -> str:
+    """Content hash of a sampled-location set on a grid.
+
+    Two samples with the same grid and the same kept indices share all
+    derived geometry (void set, positions, kd-tree) regardless of their
+    values or which objects hold them — this key identifies that
+    equivalence class for :class:`GeometryCache`.
+    """
+    h = hashlib.blake2b(digest_size=16)
+    h.update(repr((grid.dims, grid.spacing, grid.origin)).encode())
+    h.update(np.ascontiguousarray(np.asarray(indices, dtype=np.int64)).tobytes())
+    return h.hexdigest()
+
+
+class CampaignGeometry:
+    """Frozen sampled-location geometry shared across a campaign's timesteps.
+
+    Holds everything derivable from *where* the samples are (not what
+    values they carry): sorted flat indices, sample positions, the void
+    index/position arrays.  :meth:`shell` stamps out cheap
+    :class:`SampledField` views that share the cached void arrays by
+    object identity — which keeps the
+    :class:`~repro.core.FeatureExtractor` neighbor-index memo hot across
+    timesteps — and :meth:`refresh` overwrites a shell's values in place
+    from a new timestep's field.
+    """
+
+    def __init__(self, grid, indices: np.ndarray, fraction: float) -> None:
+        self.grid = grid
+        indices = np.asarray(indices, dtype=np.int64)
+        self.indices = np.sort(indices)
+        self.fraction = float(fraction)
+        self.key = geometry_key(grid, self.indices)
+        # A template shell computes (and caches) the void geometry once.
+        template = SampledField(
+            grid=grid,
+            indices=self.indices,
+            values=np.zeros(self.indices.size, dtype=np.float64),
+            fraction=self.fraction,
+        )
+        self._void_indices = template.void_indices()
+        self._void_points = template.void_points()
+        self._points: np.ndarray | None = None
+
+    @classmethod
+    def from_sample(cls, sample: SampledField) -> "CampaignGeometry":
+        return cls(sample.grid, sample.indices, sample.fraction)
+
+    # ----------------------------------------------------------------- sizes
+    @property
+    def num_samples(self) -> int:
+        return int(self.indices.size)
+
+    @property
+    def num_voids(self) -> int:
+        return int(self._void_indices.size)
+
+    @property
+    def void_indices(self) -> np.ndarray:
+        return self._void_indices
+
+    @property
+    def void_points(self) -> np.ndarray:
+        return self._void_points
+
+    @property
+    def points(self) -> np.ndarray:
+        """Sample positions ``(M, 3)`` (cached; read-only by convention)."""
+        if self._points is None:
+            self._points = self.grid.index_to_position(
+                self.grid.flat_to_multi(self.indices)
+            )
+        return self._points
+
+    # ---------------------------------------------------------------- shells
+    def shell(self, values: np.ndarray | None = None, timestep: int = 0) -> SampledField:
+        """A :class:`SampledField` over this geometry sharing the cached voids.
+
+        The returned shell's ``values`` array is freshly owned (safe to
+        :meth:`refresh` in place); its void index/point arrays are the
+        geometry's cached objects, so feature-extractor geometry memos keyed
+        on array identity survive value updates.  Each pipeline stage that
+        mutates values must use its **own** shell — in-place refreshes on a
+        shared shell would race between overlapped stages.
+        """
+        if values is None:
+            values = np.zeros(self.num_samples, dtype=np.float64)
+        shell = SampledField(
+            grid=self.grid,
+            indices=self.indices,
+            values=np.asarray(values, dtype=np.float64),
+            fraction=self.fraction,
+            timestep=int(timestep),
+        )
+        object.__setattr__(shell, "_void_indices", self._void_indices)
+        object.__setattr__(shell, "_void_points", self._void_points)
+        return shell
+
+    def refresh(self, shell: SampledField, field) -> SampledField:
+        """Overwrite ``shell``'s values in place from ``field`` at the frozen locations."""
+        np.take(field.flat, shell.indices, out=shell.values)
+        return shell
+
+
+class GeometryCache:
+    """Content-addressed cache of :class:`CampaignGeometry` objects.
+
+    Re-running a campaign (or reconstructing several models against the
+    same sample locations) reuses the void enumeration, positions and the
+    kd-trees hanging off the cached arrays instead of recomputing them per
+    timestep.  Counters: ``campaign.geometry.hits`` / ``.misses``.
+    """
+
+    def __init__(self, max_entries: int = 8) -> None:
+        self.max_entries = int(max_entries)
+        self._entries: dict[str, CampaignGeometry] = {}
+
+    def get(self, sample: SampledField) -> CampaignGeometry:
+        """The cached geometry for ``sample``'s locations (building it on miss)."""
+        key = geometry_key(sample.grid, sample.indices)
+        cached = self._entries.get(key)
+        if cached is not None:
+            obs_counter("campaign.geometry.hits").inc()
+            return cached
+        obs_counter("campaign.geometry.misses").inc()
+        geometry = CampaignGeometry.from_sample(sample)
+        if len(self._entries) >= self.max_entries:
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = geometry
+        return geometry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+# --------------------------------------------------------------------------
+# scheduler
+
+
+@dataclass
+class CampaignStats:
+    """Wall-clock accounting of one :meth:`CampaignScheduler.run`."""
+
+    timesteps: int
+    pipeline: bool
+    wall_seconds: float
+    prefetch_seconds: float
+    process_seconds: float
+    emit_seconds: float
+
+    def occupancy(self, stage: str) -> float:
+        """Fraction of the run's wall time ``stage`` spent busy (0..1+)."""
+        busy = {
+            "prefetch": self.prefetch_seconds,
+            "process": self.process_seconds,
+            "emit": self.emit_seconds,
+        }[stage]
+        return busy / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+
+class _Stop(Exception):
+    """Internal: a stage was asked to stop mid-wait."""
+
+
+_DONE = object()
+
+
+class CampaignScheduler:
+    """Three-stage streaming pipeline over a sequence of timesteps.
+
+    Parameters
+    ----------
+    materialize:
+        ``fn(timestep) -> item`` — produce/load + sample the timestep.
+        Runs on the prefetch thread (one timestep ahead); must be free of
+        order-dependent side effects (the analytic datasets and the
+        samplers' stateless per-(seed, timestep) RNG qualify).
+    process:
+        ``fn(timestep, item) -> payload`` — fine-tune / mutate shared
+        model state.  Runs on the **calling** thread, strictly in timestep
+        order, exactly as in the serial schedule.
+    emit:
+        Optional ``fn(timestep, payload) -> result`` — reconstruct/score/
+        write output.  Runs on a single FIFO emit thread; payloads must be
+        self-contained snapshots (published weights + values), never live
+        references into state ``process`` keeps mutating.
+    pipeline:
+        ``False`` runs the three stages inline in one loop — the serial
+        reference schedule.  Results are bit-identical either way.
+    depth:
+        Emit backpressure: at most ``depth`` payloads may be completed-by-
+        process-but-not-yet-emitted at once.  Sinks with a slot ring need
+        ``slots >= depth + 1`` (one slot may still be publishing while
+        ``depth`` wait/emit).
+
+    Error handling: an exception in any stage stops the pipeline, waits
+    for in-flight stage calls to finish, and re-raises the original
+    exception — a failed campaign never silently drops a timestep, and
+    every result it *does* return was produced in order.
+
+    Observability: spans ``campaign.prefetch`` / ``campaign.finetune`` /
+    ``campaign.reconstruct`` per timestep (each thread's spans form their
+    own tree roots — see :class:`repro.obs.SpanTracker`), occupancy
+    gauges ``campaign.occupancy.{prefetch,finetune,reconstruct}`` and the
+    ``campaign.timesteps`` counter; :attr:`stats` keeps the same numbers.
+    """
+
+    def __init__(
+        self,
+        materialize,
+        process,
+        emit=None,
+        *,
+        pipeline: bool = True,
+        depth: int = 1,
+        name: str = "campaign",
+    ) -> None:
+        if depth < 1:
+            raise ValueError(f"depth must be >= 1, got {depth}")
+        self.materialize = materialize
+        self.process = process
+        self.emit = emit
+        self.pipeline = bool(pipeline)
+        self.depth = int(depth)
+        self.name = str(name)
+        self.stats: CampaignStats | None = None
+
+    # ------------------------------------------------------------------ run
+    def run(self, timesteps) -> list:
+        """Process every timestep; returns per-timestep emit results in order."""
+        steps = [int(t) for t in timesteps]
+        wall0 = time.perf_counter()
+        busy = {"prefetch": 0.0, "process": 0.0, "emit": 0.0}
+        if not steps:
+            results: list = []
+        elif self.pipeline:
+            results = self._run_pipelined(steps, busy)
+        else:
+            results = self._run_serial(steps, busy)
+        wall = time.perf_counter() - wall0
+        self.stats = CampaignStats(
+            timesteps=len(steps),
+            pipeline=self.pipeline,
+            wall_seconds=wall,
+            prefetch_seconds=busy["prefetch"],
+            process_seconds=busy["process"],
+            emit_seconds=busy["emit"],
+        )
+        obs_counter("campaign.timesteps").inc(len(steps))
+        obs_gauge("campaign.occupancy.prefetch").set(self.stats.occupancy("prefetch"))
+        obs_gauge("campaign.occupancy.finetune").set(self.stats.occupancy("process"))
+        obs_gauge("campaign.occupancy.reconstruct").set(self.stats.occupancy("emit"))
+        return results
+
+    def _run_serial(self, steps: list[int], busy: dict) -> list:
+        results = []
+        for t in steps:
+            t0 = time.perf_counter()
+            with span("campaign.prefetch", timestep=t):
+                item = self.materialize(t)
+            t1 = time.perf_counter()
+            busy["prefetch"] += t1 - t0
+            with span("campaign.finetune", timestep=t):
+                payload = self.process(t, item)
+            t2 = time.perf_counter()
+            busy["process"] += t2 - t1
+            with span("campaign.reconstruct", timestep=t):
+                results.append(self.emit(t, payload) if self.emit is not None else payload)
+            busy["emit"] += time.perf_counter() - t2
+        return results
+
+    # -------------------------------------------------------- pipelined mode
+    def _run_pipelined(self, steps: list[int], busy: dict) -> list:
+        n = len(steps)
+        results: list = [None] * n
+        fetch_q: Queue = Queue(maxsize=1)
+        emit_q: Queue = Queue()
+        slots = threading.Semaphore(self.depth)
+        stop = threading.Event()
+        errors: list[tuple[str, int, BaseException]] = []
+        err_lock = threading.Lock()
+
+        def fail(stage: str, t: int, exc: BaseException) -> None:
+            with err_lock:
+                errors.append((stage, t, exc))
+            stop.set()
+
+        def prefetch_loop() -> None:
+            t = steps[0]
+            try:
+                for i, t in enumerate(steps):
+                    if stop.is_set():
+                        return
+                    t0 = time.perf_counter()
+                    with span("campaign.prefetch", timestep=t):
+                        item = self.materialize(t)
+                    busy["prefetch"] += time.perf_counter() - t0
+                    _stoppable_put(fetch_q, (i, t, item), stop)
+            except _Stop:
+                return
+            except BaseException as exc:  # noqa: BLE001 - re-raised by run()
+                fail("materialize", t, exc)
+
+        def emit_loop() -> None:
+            while True:
+                msg = emit_q.get()
+                if msg is _DONE:
+                    return
+                i, t, payload = msg
+                try:
+                    t0 = time.perf_counter()
+                    with span("campaign.reconstruct", timestep=t):
+                        results[i] = (
+                            self.emit(t, payload) if self.emit is not None else payload
+                        )
+                    busy["emit"] += time.perf_counter() - t0
+                except BaseException as exc:  # noqa: BLE001 - re-raised by run()
+                    fail("emit", t, exc)
+                    return
+                finally:
+                    # Release *after* the work: backpressure counts in-flight
+                    # emits, not merely dequeued ones.
+                    slots.release()
+
+        prefetcher = threading.Thread(
+            target=prefetch_loop, name=f"{self.name}-prefetch", daemon=True
+        )
+        emitter = threading.Thread(target=emit_loop, name=f"{self.name}-emit", daemon=True)
+        prefetcher.start()
+        emitter.start()
+        try:
+            for _ in range(n):
+                i, t, item = _stoppable_get(fetch_q, stop)
+                t0 = time.perf_counter()
+                with span("campaign.finetune", timestep=t):
+                    payload = self.process(t, item)
+                busy["process"] += time.perf_counter() - t0
+                _stoppable_acquire(slots, stop)
+                emit_q.put((i, t, payload))
+        except _Stop:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - re-raised below
+            fail("process", t, exc)
+        finally:
+            emit_q.put(_DONE)
+            emitter.join()
+            stop.set()  # release a prefetcher blocked on a full fetch queue
+            _drain(fetch_q)
+            prefetcher.join()
+        if errors:
+            stage, t, exc = errors[0]
+            exc.args = exc.args if exc.args else (f"campaign {stage} stage failed",)
+            record_event("campaign.failed", stage=stage, timestep=t, error=type(exc).__name__)
+            raise exc
+        return results
+
+
+def _stoppable_put(q: Queue, item, stop: threading.Event) -> None:
+    while True:
+        try:
+            q.put(item, timeout=_POLL_SECONDS)
+            return
+        except Full:
+            if stop.is_set():
+                raise _Stop from None
+
+
+def _stoppable_get(q: Queue, stop: threading.Event):
+    while True:
+        try:
+            return q.get(timeout=_POLL_SECONDS)
+        except Empty:
+            if stop.is_set():
+                raise _Stop from None
+
+
+def _stoppable_acquire(sem: threading.Semaphore, stop: threading.Event) -> None:
+    while not sem.acquire(timeout=_POLL_SECONDS):
+        if stop.is_set():
+            raise _Stop
+
+
+def _drain(q: Queue) -> None:
+    while True:
+        try:
+            q.get_nowait()
+        except Empty:
+            return
+
+
+# --------------------------------------------------------------------------
+# reconstruction sinks
+
+
+def _predict_block(reconstructor) -> int:
+    """The FCNN predict block size — chunk boundaries must align to it."""
+    return max(reconstructor.batch_size, 16384)
+
+
+def _aligned_chunks(total: int, num_chunks: int, align: int) -> list[tuple[int, int]]:
+    """Split ``[0, total)`` into chunks whose boundaries are multiples of ``align``.
+
+    Serial prediction blocks start at absolute multiples of ``align``;
+    aligned chunk boundaries keep the union of per-chunk blocks identical
+    to the serial block sequence, which keeps the matmul shapes — and the
+    floats — bit-identical.
+    """
+    if total <= 0:
+        return []
+    max_chunks = max(1, math.ceil(total / align))
+    num_chunks = max(1, min(int(num_chunks), max_chunks))
+    per = math.ceil(total / num_chunks / align) * align
+    return [(start, min(start + per, total)) for start in range(0, total, per)]
+
+
+def _nonfinite_fallback(
+    pred: np.ndarray,
+    sample_points: np.ndarray,
+    sample_values: np.ndarray,
+    query_points: np.ndarray,
+    report: ReconstructionReport,
+) -> np.ndarray:
+    """Replicate the serial nearest-neighbor degradation for non-finite predictions.
+
+    Same tree (built over the same sample positions), same counters
+    (``reconstruct.fcnn.fallback``) and the same ``degraded`` event as
+    :meth:`FCNNReconstructor._healthy_predictions`, so a pipelined campaign
+    degrades bit-identically to — and is as observable as — a serial one.
+    """
+    bad = ~np.isfinite(pred)
+    count = int(bad.sum())
+    if count == 0:
+        return pred
+    from scipy.spatial import cKDTree
+
+    pred = pred.copy()
+    _, nearest = cKDTree(sample_points).query(query_points[bad], k=1)
+    pred[bad] = sample_values[nearest]
+    report.flag(
+        len(report.degraded),
+        count,
+        f"{count}/{pred.size} non-finite FCNN prediction(s)",
+        "nearest",
+    )
+    obs_counter("reconstruct.fcnn.fallback").inc(count)
+    record_event("degraded", where="fcnn.predict", count=count, fallback="nearest")
+    return pred
+
+
+class LocalReconstructionSink:
+    """In-process publish/reconstruct sink — the pool's serial twin.
+
+    Implements the same protocol as :class:`WarmReconstructionPool`
+    (:meth:`bind` once, then :meth:`publish` a timestep's values + weight
+    vectors and :meth:`reconstruct` it later) without processes or shared
+    memory: published state is copied into a local slot ring and
+    reconstruction runs on per-tag model clones through the ordinary
+    :meth:`FCNNReconstructor.reconstruct` path.  It is the reference the
+    pool is verified bit-identical against, and the automatic fallback
+    when shared memory is unavailable.
+    """
+
+    def __init__(self, slots: int = 2) -> None:
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        self.slots = int(slots)
+        self.geometry: CampaignGeometry | None = None
+        self._models: dict = {}
+        self._values: np.ndarray | None = None
+        self._flats: list[dict[str, np.ndarray]] = []
+        self._timesteps: list[int | None] = []
+        self._shells: dict = {}
+        self._seq = 0
+
+    @property
+    def tags(self) -> tuple[str, ...]:
+        return tuple(self._models)
+
+    def bind(self, geometry: CampaignGeometry, models: dict) -> None:
+        """Install the campaign geometry and clone each tagged model once."""
+        self.geometry = geometry
+        self._models = {tag: model.clone() for tag, model in models.items()}
+        self._values = np.zeros((self.slots, geometry.num_samples), dtype=np.float64)
+        self._flats = [{} for _ in range(self.slots)]
+        self._timesteps = [None] * self.slots
+        self._shells = {tag: geometry.shell() for tag in self._models}
+        self._seq = 0
+
+    def publish(self, timestep: int, values: np.ndarray, weights: dict) -> int:
+        """Copy one timestep's sample values + per-tag flat weights into a slot."""
+        if self.geometry is None:
+            raise RuntimeError("sink is not bound; call bind() first")
+        if set(weights) != set(self._models):
+            raise ValueError(
+                f"publish needs weights for every bound tag {sorted(self._models)}, "
+                f"got {sorted(weights)}"
+            )
+        slot = self._seq % self.slots
+        self._seq += 1
+        self._values[slot][...] = values
+        self._flats[slot] = {
+            tag: np.array(flat, dtype=np.float64, copy=True) for tag, flat in weights.items()
+        }
+        self._timesteps[slot] = int(timestep)
+        return slot
+
+    def reconstruct(
+        self, slot: int, tag: str, on_nonfinite: str = "fallback"
+    ) -> tuple[np.ndarray, ReconstructionReport]:
+        """Reconstruct the full field for one published slot and model tag."""
+        model = self._models[tag]
+        restore_weights(model.model, self._flats[slot][tag])
+        shell = self._shells[tag]
+        shell.values[...] = self._values[slot]
+        return model.reconstruct(shell, on_nonfinite=on_nonfinite, return_report=True)
+
+    def close(self) -> None:
+        self._models = {}
+        self._shells = {}
+        self.geometry = None
+
+    def __enter__(self) -> "LocalReconstructionSink":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+class WarmReconstructionPool:
+    """Persistent worker pool reconstructing campaign timesteps via shared memory.
+
+    One :class:`~repro.perf.shm.SharedArrayBundle` per campaign carries
+
+    ========================  =====================================================
+    ``indices``               ``(M,)`` sampled flat indices — shipped once
+    ``values``                ``(slots, M)`` per-slot sample values
+    ``weights_base``          ``(T, W)`` base flat weights per tag — shipped once
+    ``weights_delta``         ``(slots, T, W)`` XOR deltas against the base
+    ``out``                   ``(slots, T, K)`` per-slot void predictions
+    ========================  =====================================================
+
+    so after :meth:`bind` no task payload ever contains an array — workers
+    receive ``(campaign id, epoch, slot, tag, chunk bounds)`` plus a small
+    static init block, attach the segments once, and keep the rebuilt
+    models, kd-tree and per-chunk neighbor indices warm in module state
+    across every timestep (counter ``campaign.shm_bundles_created`` proves
+    geometry + weights ship at most once per campaign).
+
+    The executor is a ``persistent=True``
+    :class:`~repro.parallel.ParallelExecutor`: crashed workers get the
+    PR 2 recovery semantics (BrokenProcessPool -> serial in-process
+    re-run of the unresolved chunks, then pool recycle), so a killed
+    worker degrades a timestep gracefully instead of dropping it.
+
+    Slot discipline: :meth:`publish` assigns slots round-robin; a slot's
+    contents stay valid until ``slots`` further publishes.  Drive the pool
+    from a :class:`CampaignScheduler` with ``depth <= slots - 1``.
+    """
+
+    def __init__(
+        self,
+        executor: ParallelExecutor | None = None,
+        max_workers: int | None = None,
+        num_chunks: int | None = None,
+        slots: int = 2,
+        worker_fn=None,
+    ) -> None:
+        if slots < 1:
+            raise ValueError(f"slots must be >= 1, got {slots}")
+        self.slots = int(slots)
+        self._owns_executor = executor is None
+        self.executor = executor if executor is not None else ParallelExecutor(
+            max_workers=max_workers, retries=1, persistent=True
+        )
+        self.num_chunks = num_chunks
+        #: Task function run in workers; overridable for fault injection.
+        self.worker_fn = worker_fn if worker_fn is not None else _campaign_worker
+        self.campaign_id = uuid.uuid4().hex
+        self.epoch = -1
+        self.geometry: CampaignGeometry | None = None
+        self._bundle: SharedArrayBundle | None = None
+        self._tags: tuple[str, ...] = ()
+        self._base: dict[str, np.ndarray] = {}
+        self._chunks: dict[str, list[tuple[int, int]]] = {}
+        self._init: dict = {}
+        self._timesteps: list[int | None] = []
+        self._seq = 0
+
+    @property
+    def tags(self) -> tuple[str, ...]:
+        return self._tags
+
+    # ----------------------------------------------------------------- bind
+    def bind(self, geometry: CampaignGeometry, models: dict) -> None:
+        """Ship geometry + base weights to shared memory (once per campaign).
+
+        ``models`` maps tag -> trained :class:`FCNNReconstructor`.  Raises
+        ``OSError`` when shared memory is unavailable — callers degrade to
+        :class:`LocalReconstructionSink` (see
+        :func:`make_reconstruction_sink`).
+        """
+        self.unbind()
+        tags = tuple(models)
+        if not tags:
+            raise ValueError("bind needs at least one tagged model")
+        metas = {}
+        base = {}
+        for tag, model in models.items():
+            network, normalizer = model._require_trained()
+            flat = snapshot_weights(network).data
+            base[tag] = np.array(flat, dtype=np.float64, copy=True)
+            metas[tag] = {
+                "ctor": {
+                    "hidden_layers": model.hidden_layers,
+                    "num_neighbors": model.extractor.num_neighbors,
+                    "include_gradients": model.extractor.include_gradients,
+                    "learning_rate": model.learning_rate,
+                    "batch_size": model.batch_size,
+                    "gradient_loss_weight": model.gradient_loss_weight,
+                    "seed": model.seed,
+                    "fast_path": model.fast_path,
+                    "dtype_policy": model.dtype_policy.compute,
+                },
+                "spec": network.spec(),
+                "normalizer": normalizer.as_dict(),
+                "num_weights": int(flat.size),
+            }
+            self._chunks[tag] = _aligned_chunks(
+                geometry.num_voids, self._target_chunks(), _predict_block(model)
+            )
+        width = max(meta["num_weights"] for meta in metas.values())
+        base_matrix = np.zeros((len(tags), width), dtype=np.float64)
+        for ti, tag in enumerate(tags):
+            base_matrix[ti, : base[tag].size] = base[tag]
+        self._bundle = SharedArrayBundle.create(
+            {
+                "indices": geometry.indices,
+                "values": np.zeros((self.slots, geometry.num_samples), dtype=np.float64),
+                "weights_base": base_matrix,
+                "weights_delta": np.zeros((self.slots, len(tags), width), dtype=np.uint64),
+                "out": np.zeros((self.slots, len(tags), geometry.num_voids), dtype=np.float64),
+            }
+        )
+        obs_counter("campaign.shm_bundles_created").inc()
+        self.epoch += 1
+        self.geometry = geometry
+        self._tags = tags
+        self._base = base
+        self._timesteps = [None] * self.slots
+        self._seq = 0
+        self._init = {
+            "specs": self._bundle.specs,
+            "grid": geometry.grid,
+            "fraction": geometry.fraction,
+            "tags": tags,
+            "models": metas,
+        }
+
+    def _target_chunks(self) -> int:
+        if self.num_chunks is not None:
+            return int(self.num_chunks)
+        return max(1, self.executor.max_workers)
+
+    # -------------------------------------------------------------- publish
+    def publish(self, timestep: int, values: np.ndarray, weights: dict) -> int:
+        """Write one timestep's sample values + per-tag weight deltas to a slot.
+
+        ``weights`` maps every bound tag to its current flat weight vector
+        (:func:`repro.perf.weights.snapshot_weights` ``.data``); only the
+        XOR delta against the base crosses into shared memory.
+        """
+        if self._bundle is None:
+            raise RuntimeError("pool is not bound; call bind() first")
+        if set(weights) != set(self._tags):
+            raise ValueError(
+                f"publish needs weights for every bound tag {sorted(self._tags)}, "
+                f"got {sorted(weights)}"
+            )
+        slot = self._seq % self.slots
+        self._seq += 1
+        self._bundle.view("values")[slot][...] = values
+        delta_view = self._bundle.view("weights_delta")
+        for ti, tag in enumerate(self._tags):
+            flat = np.asarray(weights[tag], dtype=np.float64)
+            delta_view[slot, ti, : flat.size] = weight_delta(self._base[tag], flat)
+        self._timesteps[slot] = int(timestep)
+        return slot
+
+    # ---------------------------------------------------------- reconstruct
+    def reconstruct(
+        self, slot: int, tag: str, on_nonfinite: str = "fallback"
+    ) -> tuple[np.ndarray, ReconstructionReport]:
+        """Reconstruct the full field for one published slot and model tag.
+
+        Chunks fan out to the warm workers; predictions land in the shared
+        ``out`` slot and are assembled (sample overlay + void fill + the
+        serial path's non-finite fallback) in the parent.  Raises the first
+        chunk failure only after the executor's retry + serial-fallback
+        recovery is exhausted.
+        """
+        if self._bundle is None or self.geometry is None:
+            raise RuntimeError("pool is not bound; call bind() first")
+        if on_nonfinite not in ("fallback", "raise"):
+            raise ValueError(
+                f"on_nonfinite must be 'fallback' or 'raise', got {on_nonfinite!r}"
+            )
+        geometry = self.geometry
+        ti = self._tags.index(tag)
+        chunks = self._chunks[tag]
+        payloads = [
+            {
+                "campaign": self.campaign_id,
+                "epoch": self.epoch,
+                "init": self._init,
+                "slot": int(slot),
+                "tag": tag,
+                "tag_index": ti,
+                "start": start,
+                "stop": stop,
+            }
+            for start, stop in chunks
+        ]
+        report = ReconstructionReport(
+            total_points=int(geometry.grid.num_points), fallback_method="nearest"
+        )
+        with span(
+            "campaign.pool.reconstruct",
+            tag=tag,
+            chunks=len(payloads),
+            timestep=self._timesteps[slot],
+        ):
+            outcomes = self.executor.map_outcomes(self.worker_fn, payloads)
+            obs_counter("campaign.pool.chunks").inc(len(payloads))
+            for outcome in outcomes:
+                if outcome.recovered is not None:
+                    obs_counter("campaign.pool.recovered").inc()
+                    record_event(
+                        "campaign.chunk_recovered",
+                        tag=tag,
+                        chunk=outcome.index,
+                        how=outcome.recovered,
+                    )
+                if not outcome.ok:
+                    if outcome.exception is not None:
+                        raise outcome.exception
+                    raise RuntimeError(
+                        f"campaign chunk {outcome.index} ({tag}) failed: {outcome.error}"
+                    )
+            values = self._bundle.view("values")[slot]
+            pred = np.array(self._bundle.view("out")[slot, ti], copy=True)
+            if not np.isfinite(pred).all():
+                if on_nonfinite == "raise":
+                    from repro.resilience.health import NumericalHealthError
+
+                    count = int((~np.isfinite(pred)).sum())
+                    raise NumericalHealthError(
+                        f"FCNN produced {count}/{pred.size} non-finite predictions; "
+                        "the model state is numerically poisoned"
+                    )
+                pred = _nonfinite_fallback(
+                    pred, geometry.points, values, geometry.void_points, report
+                )
+            out = geometry.grid.empty_field().ravel()
+            out[geometry.indices] = values
+            out[geometry.void_indices] = pred
+            return out.reshape(geometry.grid.dims), report
+
+    # -------------------------------------------------------------- teardown
+    def unbind(self) -> None:
+        """Release the current campaign's shared segments (keeps the executor)."""
+        bundle, self._bundle = self._bundle, None
+        if bundle is not None:
+            bundle.close()
+        # Parent-side worker state (from serial in-process fallbacks) for the
+        # released epoch is now stale — drop it.
+        _evict_worker_state(self.campaign_id)
+        self.geometry = None
+        self._tags = ()
+        self._base = {}
+        self._chunks = {}
+        self._init = {}
+
+    def close(self) -> None:
+        """Unbind and shut down the owned executor (idempotent)."""
+        self.unbind()
+        if self._owns_executor:
+            self.executor.close()
+
+    def __enter__(self) -> "WarmReconstructionPool":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+def make_reconstruction_sink(
+    geometry: CampaignGeometry,
+    models: dict,
+    *,
+    executor: ParallelExecutor | None = None,
+    max_workers: int | None = None,
+    num_chunks: int | None = None,
+    slots: int = 2,
+    warm_pool: bool = True,
+):
+    """Bind the best available reconstruction sink for this environment.
+
+    Tries a :class:`WarmReconstructionPool` (shared memory + persistent
+    workers); environments without usable shared memory — or callers
+    passing ``warm_pool=False`` — get a :class:`LocalReconstructionSink`.
+    Both speak the same publish/reconstruct protocol and produce
+    bit-identical fields.
+    """
+    if warm_pool:
+        pool = WarmReconstructionPool(
+            executor=executor, max_workers=max_workers, num_chunks=num_chunks, slots=slots
+        )
+        try:
+            pool.bind(geometry, models)
+            return pool
+        except OSError:
+            pool.close()
+            record_event("campaign.pool_unavailable", fallback="local")
+    sink = LocalReconstructionSink(slots=slots)
+    sink.bind(geometry, models)
+    return sink
+
+
+# --------------------------------------------------------------------------
+# worker side
+
+
+class _WorkerState:
+    """Per-process warm state for one (campaign, epoch): attachments + models."""
+
+    def __init__(self, payload: dict) -> None:
+        from scipy.spatial import cKDTree
+
+        from repro.core.normalization import Normalizer
+        from repro.core.reconstructor import FCNNReconstructor
+        from repro.nn.network import from_spec
+
+        init = payload["init"]
+        self.handles: list = []
+        self.arrays: dict[str, np.ndarray] = {}
+        for name, spec in init["specs"].items():
+            shm = _attach(spec.shm_name)
+            self.handles.append(shm)
+            self.arrays[name] = np.ndarray(
+                spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf
+            )
+        indices = np.array(self.arrays["indices"], dtype=np.int64, copy=True)
+        self.geometry = CampaignGeometry(init["grid"], indices, init["fraction"])
+        self.sample = self.geometry.shell()
+        self.tree = cKDTree(self.geometry.points)
+        self.models: dict[str, FCNNReconstructor] = {}
+        self.num_weights: dict[str, int] = {}
+        self.scratch: dict[str, np.ndarray] = {}
+        for tag in init["tags"]:
+            meta = init["models"][tag]
+            recon = FCNNReconstructor(**meta["ctor"])
+            recon.model = from_spec(meta["spec"])
+            recon.dtype_policy.cast_model(recon.model)
+            recon.normalizer = Normalizer.from_dict(meta["normalizer"])
+            self.models[tag] = recon
+            self.num_weights[tag] = int(meta["num_weights"])
+            self.scratch[tag] = np.empty(  # repro: noqa[PRF001] — the reuse buffer itself, built once per worker
+                meta["num_weights"], dtype=np.float64
+            )
+        self._slabs: dict[tuple[int, int, int], tuple[np.ndarray, np.ndarray]] = {}
+
+    def slab(self, start: int, stop: int, num_neighbors: int, workers: int):
+        """Cached ``(query positions, neighbor indices)`` for one chunk.
+
+        Neighbor indices replicate :meth:`FeatureExtractor._neighbor_indices`
+        exactly (same tree data, same query, same padding) so priming the
+        extractor memo with them is bit-identical to letting it query.
+        """
+        key = (start, stop, num_neighbors)
+        cached = self._slabs.get(key)
+        if cached is not None:
+            return cached
+        points = self.geometry.void_points[start:stop]
+        k = min(num_neighbors, self.geometry.num_samples)
+        _, idx = self.tree.query(points, k=k, workers=workers)
+        if k == 1:
+            idx = idx[:, None]
+        if k < num_neighbors:
+            pad = np.repeat(idx[:, -1:], num_neighbors - k, axis=1)
+            idx = np.concatenate([idx, pad], axis=1)
+        self._slabs[key] = (points, idx)
+        return points, idx
+
+    def close(self) -> None:
+        self.arrays.clear()
+        self._slabs.clear()
+        for shm in self.handles:
+            try:
+                shm.close()
+            except BufferError:  # pragma: no cover - view still referenced
+                pass
+        self.handles = []
+
+
+#: (campaign id, epoch) -> warm state.  Module-level so pooled workers (and
+#: the in-process serial fallback) keep attachments/models across tasks.
+_WORKER_STATE: dict[tuple[str, int], _WorkerState] = {}
+
+
+def _evict_worker_state(campaign: str, keep_epoch: int | None = None) -> None:
+    for key in [k for k in _WORKER_STATE if k[0] == campaign and k[1] != keep_epoch]:
+        _WORKER_STATE.pop(key).close()
+
+
+def _worker_state(payload: dict) -> _WorkerState:
+    key = (payload["campaign"], payload["epoch"])
+    state = _WORKER_STATE.get(key)
+    if state is not None:
+        return state
+    # A new epoch of a campaign invalidates its older attachments.
+    _evict_worker_state(payload["campaign"], keep_epoch=payload["epoch"])
+    while len(_WORKER_STATE) >= _WORKER_STATE_MAX:
+        _WORKER_STATE.pop(next(iter(_WORKER_STATE))).close()
+    state = _WorkerState(payload)
+    _WORKER_STATE[key] = state
+    return state
+
+
+def _campaign_worker(payload: dict) -> int:
+    """Reconstruct one (slot, tag, chunk) into the shared ``out`` segment.
+
+    Runs in pool workers (or in-process on the executor's serial fallback).
+    Decodes the slot's XOR weight delta into the warm model, refreshes the
+    warm sample shell's values in place, primes the feature extractor's
+    neighbor memo from the per-chunk cache and predicts the chunk — every
+    step bit-identical to the serial predict path.
+    """
+    state = _worker_state(payload)
+    slot = int(payload["slot"])
+    tag = payload["tag"]
+    ti = int(payload["tag_index"])
+    start, stop = int(payload["start"]), int(payload["stop"])
+    recon = state.models[tag]
+    w = state.num_weights[tag]
+
+    flat = apply_weight_delta(
+        state.arrays["weights_base"][ti, :w],
+        state.arrays["weights_delta"][slot, ti, :w],
+        out=state.scratch[tag],
+    )
+    restore_weights(recon.model, flat)
+    state.sample.values[...] = state.arrays["values"][slot]
+
+    extractor = recon.extractor
+    points, idx = state.slab(start, stop, extractor.num_neighbors, extractor.workers)
+    if extractor.cache_geometry:
+        extractor._cached_sample = state.sample
+        extractor._cached_tree = state.tree
+        extractor._cached_query = points
+        extractor._cached_idx = idx
+    state.arrays["out"][slot, ti, start:stop] = recon.predict_values(
+        state.sample, points, state.geometry.grid
+    )
+    return stop - start

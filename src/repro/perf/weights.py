@@ -1,0 +1,124 @@
+"""Flat-packed weight snapshots and bit-exact weight deltas.
+
+The campaign scheduler (:mod:`repro.perf.campaign`) ships model weights to
+its persistent workers through shared memory: the full weight vector goes
+out **once** per campaign, and each fine-tuned timestep afterwards is
+published as a *delta* against that base.  Floating-point arithmetic deltas
+(``base + (new - base)``) are not bit-exact, so deltas here are bitwise:
+the XOR of the two weight vectors' IEEE-754 bit patterns.  Applying a delta
+reproduces the new weights **exactly** — every reconstruction stays
+bit-identical to the serial path — and unchanged weights XOR to zero, so
+deltas stay sparse/compressible for mostly-frozen (Case-2) fine-tuning.
+
+:class:`WeightSnapshot` is also the in-process rollback primitive behind
+:meth:`repro.nn.Sequential.snapshot` when a single flat vector is more
+convenient than per-parameter copies (hashing, shipping, diffing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "WeightSnapshot",
+    "snapshot_weights",
+    "restore_weights",
+    "weight_delta",
+    "apply_weight_delta",
+]
+
+
+@dataclass(frozen=True)
+class WeightSnapshot:
+    """One network's learned state as a single flat float64 vector.
+
+    ``data`` concatenates every parameter in :meth:`Sequential.parameters`
+    order; ``shapes`` and ``names`` let :func:`restore_weights` unflatten it
+    back, and ``trainable`` preserves Case-2 freeze flags.
+    """
+
+    data: np.ndarray                  # (W,) float64, read-only by convention
+    shapes: tuple[tuple[int, ...], ...]
+    names: tuple[str, ...]
+    trainable: tuple[bool, ...]
+
+    @property
+    def num_weights(self) -> int:
+        return int(self.data.size)
+
+
+def snapshot_weights(network) -> WeightSnapshot:
+    """Flatten a :class:`repro.nn.Sequential`'s parameters into one vector."""
+    params = network.parameters()
+    if not params:
+        raise ValueError("network has no parameters to snapshot")
+    data = np.concatenate([np.asarray(p.value, dtype=np.float64).ravel() for p in params])
+    return WeightSnapshot(
+        data=data,
+        shapes=tuple(tuple(p.value.shape) for p in params),
+        names=tuple(p.name for p in params),
+        trainable=tuple(bool(p.trainable) for p in params),
+    )
+
+
+def restore_weights(network, snapshot: WeightSnapshot | np.ndarray) -> None:
+    """Write a snapshot (or a bare flat vector) back into ``network`` in place.
+
+    A bare ``np.ndarray`` restores values only (freeze flags untouched) —
+    the shape bookkeeping comes from the network itself.  Parameter count
+    and total size must match exactly.
+    """
+    params = network.parameters()
+    flat = snapshot.data if isinstance(snapshot, WeightSnapshot) else np.asarray(snapshot)
+    total = sum(p.size for p in params)
+    if flat.size != total:
+        raise ValueError(f"flat vector has {flat.size} weights, network has {total}")
+    if isinstance(snapshot, WeightSnapshot) and len(snapshot.shapes) != len(params):
+        raise ValueError(
+            f"snapshot has {len(snapshot.shapes)} parameters, network has {len(params)}"
+        )
+    offset = 0
+    for i, p in enumerate(params):
+        n = p.size
+        p.value[...] = flat[offset : offset + n].reshape(p.value.shape)
+        if isinstance(snapshot, WeightSnapshot):
+            p.trainable = bool(snapshot.trainable[i])
+        p.zero_grad()
+        offset += n
+
+
+def weight_delta(base: WeightSnapshot | np.ndarray, new: WeightSnapshot | np.ndarray) -> np.ndarray:
+    """Bitwise (XOR) delta between two flat weight vectors.
+
+    Returns a ``uint64`` array the size of the weight vector;
+    ``apply_weight_delta(base, delta)`` reproduces ``new`` bit-for-bit
+    (including signed zeros and NaN payloads, which an arithmetic delta
+    would corrupt).  Identical weights delta to zero.
+    """
+    b = base.data if isinstance(base, WeightSnapshot) else np.asarray(base, dtype=np.float64)
+    n = new.data if isinstance(new, WeightSnapshot) else np.asarray(new, dtype=np.float64)
+    if b.shape != n.shape:
+        raise ValueError(f"weight vectors differ in size: {b.shape} vs {n.shape}")
+    return np.bitwise_xor(b.view(np.uint64), n.view(np.uint64))
+
+
+def apply_weight_delta(
+    base: WeightSnapshot | np.ndarray,
+    delta: np.ndarray,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Reconstruct the new flat weight vector from ``base`` and a XOR delta.
+
+    ``out`` (float64, same size) receives the result in place when given —
+    the campaign workers decode into a reused scratch buffer.
+    """
+    b = base.data if isinstance(base, WeightSnapshot) else np.asarray(base, dtype=np.float64)
+    delta = np.asarray(delta, dtype=np.uint64)
+    if b.shape != delta.shape:
+        raise ValueError(f"delta has {delta.size} entries, base has {b.size}")
+    if out is None:
+        out = np.empty_like(b)
+    np.bitwise_xor(b.view(np.uint64), delta, out=out.view(np.uint64))
+    return out

@@ -8,7 +8,9 @@ files, making the library usable as a standalone tool on real data:
 * ``train``       — train an FCNN from a ``.vti`` + its ``.vtp`` samples;
 * ``reconstruct`` — rebuild a full ``.vti`` from a ``.vtp`` with any method;
 * ``evaluate``    — score a reconstruction against the original;
-* ``render``      — project a ``.vti`` to a PGM image for quick inspection.
+* ``render``      — project a ``.vti`` to a PGM image for quick inspection;
+* ``campaign``    — run a multi-timestep in situ campaign to a directory
+  (optionally pipelined; see :mod:`repro.perf.campaign`).
 """
 
 from __future__ import annotations
@@ -41,6 +43,7 @@ __all__ = [
     "cmd_reconstruct",
     "cmd_evaluate",
     "cmd_render",
+    "cmd_campaign",
     "SAMPLERS",
 ]
 
@@ -219,3 +222,50 @@ def cmd_render(
         raise ValueError(f"unknown render mode {mode!r} (mip, mean, slice)")
     write_pgm(output_pgm, image)
     return f"wrote {output_pgm}: {mode} of {name} along axis {axis} ({image.shape[0]}x{image.shape[1]})"
+
+
+def cmd_campaign(
+    output_dir: str,
+    dataset: str = "combustion",
+    dims=None,
+    timesteps=(0, 4, 8, 12),
+    fraction: float = 0.03,
+    sampler: str = "multicriteria",
+    train: bool = False,
+    fractions=(0.01, 0.05),
+    epochs: int = 100,
+    finetune_epochs: int = 10,
+    seed: int = 0,
+    pipeline: bool = True,
+) -> str:
+    """Run a multi-timestep in situ campaign into ``output_dir``.
+
+    Writes one sampled ``.vtp`` per timestep (plus FCNN checkpoints when
+    ``train``) under a ``manifest.json`` + ``campaign.pvd`` index.  With
+    ``pipeline`` the simulate/sample, train and write stages overlap on
+    the :class:`repro.perf.CampaignScheduler`; the on-disk campaign is
+    identical either way.
+    """
+    if sampler not in SAMPLERS:
+        raise ValueError(f"unknown sampler {sampler!r}; available: {sorted(SAMPLERS)}")
+    from repro.insitu import InSituWriter
+
+    data = make_dataset(dataset, dims=tuple(dims) if dims else None, seed=seed)
+    writer = InSituWriter(
+        data,
+        SAMPLERS[sampler](seed=seed),
+        fraction,
+        train_model=train,
+        train_fractions=tuple(fractions),
+        epochs=epochs,
+        finetune_epochs=finetune_epochs,
+    )
+    t0 = time.perf_counter()
+    manifest = writer.run(output_dir, timesteps, pipeline=pipeline)
+    seconds = time.perf_counter() - t0
+    trained = f", {len(manifest.model_files)} model checkpoint(s)" if train else ""
+    return (
+        f"wrote campaign {output_dir}: {len(manifest.timesteps)} timestep(s) "
+        f"at {fraction:.2%}{trained} in {seconds:.2f}s "
+        f"(pipeline {'on' if pipeline else 'off'})"
+    )

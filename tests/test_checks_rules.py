@@ -331,6 +331,29 @@ def test_registry_rule_flags_all_dupes_and_unbound(tmp_path):
     assert "twice" in messages and "never binds" in messages
 
 
+def test_registry_rule_allows_pep562_lazy_exports(tmp_path):
+    # A module-level __getattr__ (PEP 562) can bind any exported name on
+    # demand, so "never binds" must not fire (repro.perf re-exports the
+    # campaign layer this way to break the core <-> perf import cycle).
+    fixture = RuleFixture(
+        "plugins/__init__.py",
+        (
+            '__all__ = ["Alpha", "Lazy"]\n'
+            "from plugins.impl import Alpha\n"
+            "def __getattr__(name):\n"
+            '    if name == "Lazy":\n'
+            "        from plugins.impl import Alpha as Lazy\n"
+            "        return Lazy\n"
+            "    raise AttributeError(name)\n"
+        ),
+        "",
+        "",
+        extra_files={"plugins/impl.py": "class Alpha: pass\n"},
+    )
+    result = _run_fixture(tmp_path, fixture, fixture.trigger, "REG001")
+    assert not any("never binds" in f.message for f in result.findings)
+
+
 def test_import_cycle_reports_full_chain(tmp_path):
     fixture = FIXTURES["IMP001"]
     result = _run_fixture(tmp_path, fixture, fixture.trigger, "IMP001")

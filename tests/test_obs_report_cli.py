@@ -145,6 +145,23 @@ class TestCli:
         assert obs_main(["report", str(a), "--diff", str(b),
                          "--threshold", "10", "--fail-on-regression"]) == 0
 
+    def test_only_filters_gated_names(self, tmp_path, capsys):
+        # campaign.reconstruct regresses (overlap dilates it); train.fit does
+        # not — gating --only 'train.*' must ignore the dilated span
+        a = write_run(tmp_path / "a", [("train.fit", 1.0), ("campaign.reconstruct", 0.1)],
+                      counters={"train.epochs": 5, "campaign.timesteps": 3})
+        b = write_run(tmp_path / "b", [("train.fit", 1.05), ("campaign.reconstruct", 0.5)],
+                      counters={"train.epochs": 5, "campaign.timesteps": 3})
+        assert obs_main(["report", str(a), "--diff", str(b),
+                         "--fail-on-regression"]) == 1
+        assert obs_main(["report", str(a), "--diff", str(b), "--only", "train.*",
+                         "--fail-on-regression"]) == 0
+        out = capsys.readouterr().out
+        assert "campaign.reconstruct" not in out.rsplit("A: ", 1)[-1]
+        # repeatable: two globs widen the selection back to a failure
+        assert obs_main(["report", str(a), "--diff", str(b), "--only", "train.*",
+                         "--only", "campaign.*", "--fail-on-regression"]) == 1
+
     def test_missing_run_dir_exit_two(self, tmp_path, capsys):
         assert obs_main(["report", str(tmp_path / "nope")]) == 2
         assert "error:" in capsys.readouterr().err

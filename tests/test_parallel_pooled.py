@@ -1,0 +1,97 @@
+"""Persistent (pooled) executor lifecycle and its PR 2 recovery semantics.
+
+A ``ParallelExecutor(persistent=True)`` keeps one warm process pool alive
+across ``map_outcomes`` calls (the campaign scheduler's reconstruct stage
+depends on this); these tests pin down the lifecycle contract: lazy
+creation, reuse while healthy, recycling after crashes/timeouts, and
+idempotent teardown — with the broken-pool serial-fallback recovery intact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.interpolation import DelaunayLinearInterpolator
+from repro.parallel import ParallelExecutor, parallel_reconstruct
+from repro.resilience.faults import SlowTask, TransientFaultTask
+
+
+def _square(payload):
+    return payload * payload
+
+
+class TestLifecycle:
+    def test_pool_is_lazy_and_reused_while_healthy(self):
+        with ParallelExecutor(max_workers=2, persistent=True) as ex:
+            assert ex._pool is None  # nothing spawned until first use
+            assert ex.map(_square, [1, 2, 3]) == [1, 4, 9]
+            pool = ex._pool
+            assert pool is not None
+            assert ex.map(_square, [4, 5]) == [16, 25]
+            assert ex._pool is pool  # same warm pool, not a new one
+        assert ex._pool is None  # context exit closed it
+
+    def test_non_persistent_keeps_no_pool(self):
+        ex = ParallelExecutor(max_workers=2)
+        assert ex.map(_square, [1, 2]) == [1, 4]
+        assert ex._pool is None
+
+    def test_close_is_idempotent_and_reuse_after_close_works(self):
+        ex = ParallelExecutor(max_workers=2, persistent=True)
+        ex.map(_square, [1])
+        ex.close()
+        ex.close()  # second close is a no-op
+        assert ex._pool is None
+        # a closed executor lazily builds a fresh pool on next use
+        assert ex.map(_square, [3]) == [9]
+        ex.close()
+
+    def test_serial_executor_ignores_persistence(self):
+        with ParallelExecutor(max_workers=1, persistent=True) as ex:
+            assert ex.map(_square, [2, 3]) == [4, 9]
+            assert ex._pool is None
+
+
+class TestRecovery:
+    def test_broken_persistent_pool_recovers_and_recycles(self, tmp_path):
+        # payload 2 kills its worker; the PR 2 semantics must survive
+        # persistence: completed results kept, unresolved chunks re-run
+        # serially, and the poisoned pool recycled for the next call.
+        task = TransientFaultTask(_square, tmp_path, crash_on={2}, mode="exit")
+        with ParallelExecutor(max_workers=2, persistent=True) as ex:
+            outcomes = ex.map_outcomes(task, [0, 1, 2, 3, 4])
+            assert [o.result for o in outcomes] == [0, 1, 4, 9, 16]
+            assert any(o.recovered == "serial-fallback" for o in outcomes)
+            assert ex._pool is None  # broken pool was not kept warm
+            # next call starts healthy on a fresh pool
+            assert ex.map(_square, [5, 6]) == [25, 36]
+            assert ex._pool is not None
+
+    def test_persistent_retry_recovers_transient_raise(self, tmp_path):
+        task = TransientFaultTask(_square, tmp_path, crash_on={3}, mode="raise")
+        with ParallelExecutor(max_workers=2, persistent=True, retries=1, backoff=0.0) as ex:
+            outcomes = ex.map_outcomes(task, [1, 2, 3])
+            assert all(o.ok for o in outcomes)
+            assert outcomes[2].recovered == "retry"
+
+    def test_timeout_recycles_persistent_pool(self):
+        task = SlowTask(_square, slow_on={1}, delay=10.0)
+        with ParallelExecutor(max_workers=2, persistent=True, timeout=0.75) as ex:
+            outcomes = ex.map_outcomes(task, [0, 1])
+            assert outcomes[0].ok and not outcomes[1].ok
+            # a pool with a stuck worker must not be reused
+            assert ex._pool is None
+            assert ex.map(_square, [7]) == [49]
+
+
+class TestCallerSuppliedExecutor:
+    def test_parallel_reconstruct_reuses_one_warm_pool(self, sample):
+        interp = DelaunayLinearInterpolator()
+        serial = interp.reconstruct(sample)
+        with ParallelExecutor(max_workers=2, persistent=True) as ex:
+            first = parallel_reconstruct(interp, sample, executor=ex, num_chunks=4)
+            pool = ex._pool
+            second = parallel_reconstruct(interp, sample, executor=ex, num_chunks=4)
+            assert ex._pool is pool or pool is None  # serial hosts keep no pool
+        np.testing.assert_allclose(first, serial)
+        assert first.tobytes() == second.tobytes()

@@ -1,0 +1,541 @@
+"""Streaming campaign scheduler: bit-identity, caches, and fault tolerance.
+
+The contract under test is the PR 5 tentpole: every combination of
+``pipeline`` x ``warm_pool`` — and every injected worker failure — must
+produce reconstructions **bit-identical** to the plain serial loop, ship
+campaign geometry + base weights at most once, and never silently drop a
+timestep.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import FCNNReconstructor, ReconstructionPipeline
+from repro.datasets import make_dataset
+from repro.obs.metrics import MetricsRegistry, activate, deactivate
+from repro.perf.campaign import (
+    CampaignGeometry,
+    CampaignScheduler,
+    GeometryCache,
+    LocalReconstructionSink,
+    WarmReconstructionPool,
+    _aligned_chunks,
+    geometry_key,
+)
+from repro.perf.weights import (
+    apply_weight_delta,
+    restore_weights,
+    snapshot_weights,
+    weight_delta,
+)
+
+DIMS = (12, 12, 6)
+TIMESTEPS = (0, 8, 16)
+
+
+@pytest.fixture
+def metrics():
+    previous = activate(MetricsRegistry())
+    try:
+        yield
+    finally:
+        deactivate(previous)
+
+
+@pytest.fixture(scope="module")
+def campaign_pipeline():
+    data = make_dataset("combustion", dims=DIMS, seed=0)
+    return ReconstructionPipeline(
+        data, train_fractions=(0.02, 0.05), keep_reconstructions=True
+    )
+
+
+@pytest.fixture(scope="module")
+def base_model(campaign_pipeline):
+    """A small pretrained FCNN; tests must clone() it, never mutate it."""
+    model = FCNNReconstructor(hidden_layers=(16, 8), batch_size=1024, seed=7)
+    campaign_pipeline.train_fcnn(model, timestep=TIMESTEPS[0], epochs=3)
+    return model
+
+
+# ---------------------------------------------------------------------------
+# weight snapshots and bit-exact deltas
+
+
+class TestWeights:
+    def test_snapshot_restore_roundtrip_bitwise(self, base_model):
+        model = base_model.clone()
+        snap = snapshot_weights(model.model)
+        for p in model.model.parameters():
+            p.value += 0.125  # perturb every weight
+        restore_weights(model.model, snap)
+        assert snapshot_weights(model.model).data.tobytes() == snap.data.tobytes()
+
+    def test_bare_vector_restore(self, base_model):
+        model = base_model.clone()
+        flat = snapshot_weights(model.model).data.copy()
+        for p in model.model.parameters():
+            p.value *= -1.0
+        restore_weights(model.model, flat)
+        assert snapshot_weights(model.model).data.tobytes() == flat.tobytes()
+
+    def test_restore_rejects_size_mismatch(self, base_model):
+        model = base_model.clone()
+        with pytest.raises(ValueError, match="weights"):
+            restore_weights(model.model, np.zeros(3))
+
+    def test_delta_roundtrip_special_values(self):
+        # signed zeros and NaN payloads survive only a bitwise delta
+        base = np.array([0.0, -0.0, np.nan, np.inf, 1.5, -2.25])
+        new = np.array([-0.0, 0.0, 2.0, np.nan, 1.5, 3.75])
+        delta = weight_delta(base, new)
+        assert delta[4] == 0  # unchanged weights XOR to zero
+        out = apply_weight_delta(base, delta)
+        assert out.tobytes() == new.tobytes()
+
+    def test_delta_decodes_into_scratch(self):
+        base = np.linspace(-1.0, 1.0, 7)
+        new = base * 3.0
+        scratch = np.empty_like(base)
+        out = apply_weight_delta(base, weight_delta(base, new), out=scratch)
+        assert out is scratch
+        assert scratch.tobytes() == new.tobytes()
+
+    def test_delta_rejects_size_mismatch(self):
+        with pytest.raises(ValueError, match="size"):
+            weight_delta(np.zeros(4), np.zeros(5))
+
+    def test_clone_is_bitwise_equal_and_independent(self, campaign_pipeline, base_model):
+        clone = base_model.clone()
+        sample = campaign_pipeline.sample(campaign_pipeline.field(TIMESTEPS[0]), 0.05)
+        ref = base_model.reconstruct(sample)
+        assert clone.reconstruct(sample).tobytes() == ref.tobytes()
+        # fine-tuning the clone must not leak into the base model
+        field = campaign_pipeline.field(TIMESTEPS[1])
+        train = [campaign_pipeline.sample(field, f) for f in (0.02, 0.05)]
+        clone.fine_tune(field, train, epochs=1)
+        assert base_model.reconstruct(sample).tobytes() == ref.tobytes()
+
+    def test_reconstructor_snapshot_restore_across_finetune(
+        self, campaign_pipeline, base_model
+    ):
+        model = base_model.clone()
+        snap = model.snapshot()
+        sample = campaign_pipeline.sample(campaign_pipeline.field(TIMESTEPS[0]), 0.05)
+        ref = model.reconstruct(sample)
+        field = campaign_pipeline.field(TIMESTEPS[1])
+        train = [campaign_pipeline.sample(field, f) for f in (0.02, 0.05)]
+        model.fine_tune(field, train, epochs=2, strategy="last")
+        model.restore(snap)
+        assert model.reconstruct(sample).tobytes() == ref.tobytes()
+
+
+# ---------------------------------------------------------------------------
+# chunk alignment (bit-identity depends on block-aligned boundaries)
+
+
+class TestAlignedChunks:
+    def test_covers_range_contiguously(self):
+        chunks = _aligned_chunks(100_000, 4, 16384)
+        assert chunks[0][0] == 0 and chunks[-1][1] == 100_000
+        for (_, stop), (start, _) in zip(chunks, chunks[1:]):
+            assert stop == start
+
+    def test_boundaries_are_block_multiples(self):
+        for total, n, align in ((100_000, 4, 16384), (50_000, 3, 4096), (16385, 2, 16384)):
+            for start, stop in _aligned_chunks(total, n, align)[:-1]:
+                assert start % align == 0
+                assert stop % align == 0
+
+    def test_small_totals_collapse_to_one_chunk(self):
+        assert _aligned_chunks(820, 4, 16384) == [(0, 820)]
+
+    def test_empty_total(self):
+        assert _aligned_chunks(0, 4, 16384) == []
+
+
+# ---------------------------------------------------------------------------
+# geometry + cross-timestep caches
+
+
+class TestGeometry:
+    def test_shell_shares_void_caches(self, campaign_pipeline):
+        sample = campaign_pipeline.sample(campaign_pipeline.field(0), 0.05)
+        geometry = CampaignGeometry.from_sample(sample)
+        shell = geometry.shell()
+        assert shell.void_indices() is geometry.void_indices
+        np.testing.assert_array_equal(shell.indices, np.sort(sample.indices))
+
+    def test_refresh_rewrites_values_in_place(self, campaign_pipeline):
+        geometry = CampaignGeometry.from_sample(
+            campaign_pipeline.sample(campaign_pipeline.field(0), 0.05)
+        )
+        shell = geometry.shell()
+        buf = shell.values
+        field = campaign_pipeline.field(8)
+        geometry.refresh(shell, field)
+        assert shell.values is buf
+        np.testing.assert_array_equal(shell.values, field.values.ravel()[shell.indices])
+
+    def test_geometry_key_discriminates(self, campaign_pipeline):
+        field = campaign_pipeline.field(0)
+        a = campaign_pipeline.sample(field, 0.05)
+        b = campaign_pipeline.sample(field, 0.10)
+        assert geometry_key(a.grid, a.indices) == geometry_key(a.grid, a.indices)
+        assert geometry_key(a.grid, a.indices) != geometry_key(b.grid, b.indices)
+
+    def test_cache_hits_same_sample_sites(self, campaign_pipeline, metrics):
+        from repro.obs import counter
+
+        cache = GeometryCache()
+        field = campaign_pipeline.field(0)
+        sample = campaign_pipeline.sample(field, 0.05)
+        first = cache.get(sample)
+        # a later timestep sampled at the same sites reuses the geometry
+        again = cache.get(campaign_pipeline.sample(field, 0.05))
+        assert again is first
+        assert counter("campaign.geometry.hits").value == 1
+        assert counter("campaign.geometry.misses").value == 1
+
+    def test_cache_evicts_fifo(self, campaign_pipeline):
+        cache = GeometryCache(max_entries=2)
+        field = campaign_pipeline.field(0)
+        for fraction in (0.04, 0.06, 0.08):
+            cache.get(campaign_pipeline.sample(field, fraction))
+        assert len(cache) == 2
+
+
+# ---------------------------------------------------------------------------
+# scheduler semantics (toy stages — no models involved)
+
+
+class TestScheduler:
+    @staticmethod
+    def _stages(calls):
+        def materialize(t):
+            calls.append(("materialize", t))
+            return t * 10
+
+        def process(t, item):
+            calls.append(("process", t))
+            return item + 1
+
+        def emit(t, item):
+            calls.append(("emit", t))
+            return item * 2
+
+        return materialize, process, emit
+
+    @pytest.mark.parametrize("pipeline", [False, True])
+    def test_results_in_timestep_order(self, pipeline):
+        calls = []
+        scheduler = CampaignScheduler(*self._stages(calls), pipeline=pipeline)
+        results = scheduler.run([0, 3, 7, 9])
+        assert results == [2, 62, 142, 182]
+        # every timestep reaches every stage exactly once, emits in order
+        emits = [t for stage, t in calls if stage == "emit"]
+        assert emits == [0, 3, 7, 9]
+        assert scheduler.stats.pipeline is pipeline
+        assert scheduler.stats.timesteps == 4
+
+    def test_process_runs_in_timestep_order_on_caller_thread(self):
+        import threading
+
+        seen = []
+        main = threading.get_ident()
+
+        def process(t, item):
+            seen.append((t, threading.get_ident()))
+            return item
+
+        scheduler = CampaignScheduler(lambda t: t, process, pipeline=True)
+        scheduler.run([1, 2, 3])
+        assert [t for t, _ in seen] == [1, 2, 3]
+        assert all(tid == main for _, tid in seen)  # fine-tune never leaves the caller
+
+    @pytest.mark.parametrize("pipeline", [False, True])
+    def test_process_error_propagates_original(self, pipeline):
+        def process(t, item):
+            if t == 2:
+                raise ValueError("injected process failure")
+            return item
+
+        scheduler = CampaignScheduler(lambda t: t, process, pipeline=pipeline)
+        with pytest.raises(ValueError, match="injected process failure"):
+            scheduler.run([1, 2, 3])
+
+    def test_materialize_error_propagates(self):
+        def materialize(t):
+            if t == 5:
+                raise RuntimeError("injected materialize failure")
+            return t
+
+        scheduler = CampaignScheduler(materialize, lambda t, i: i, pipeline=True)
+        with pytest.raises(RuntimeError, match="injected materialize failure"):
+            scheduler.run([4, 5, 6])
+
+    def test_emit_error_propagates(self):
+        def emit(t, item):
+            raise KeyError("injected emit failure")
+
+        scheduler = CampaignScheduler(lambda t: t, lambda t, i: i, emit, pipeline=True)
+        with pytest.raises(KeyError, match="injected emit failure"):
+            scheduler.run([1, 2])
+
+    def test_stats_and_occupancy_gauges(self, metrics):
+        from repro.obs import counter, gauge
+
+        scheduler = CampaignScheduler(lambda t: t, lambda t, i: i, pipeline=True)
+        scheduler.run([1, 2, 3])
+        stats = scheduler.stats
+        assert stats.wall_seconds >= 0.0
+        for stage in ("prefetch", "process", "emit"):
+            assert 0.0 <= stats.occupancy(stage) <= 1.0
+        assert counter("campaign.timesteps").value == 3
+        assert gauge("campaign.occupancy.finetune").value is not None
+
+    def test_empty_run(self):
+        scheduler = CampaignScheduler(lambda t: t, lambda t, i: i)
+        assert scheduler.run([]) == []
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: run_campaign bit-identity across every pipeline x pool combo
+
+
+@pytest.fixture(scope="module")
+def campaign_results(campaign_pipeline, base_model):
+    results = {}
+    for pipeline in (False, True):
+        for warm_pool in (False, True):
+            results[(pipeline, warm_pool)] = campaign_pipeline.run_campaign(
+                base_model.clone(),
+                TIMESTEPS,
+                0.05,
+                finetune_epochs=2,
+                pipeline=pipeline,
+                warm_pool=warm_pool,
+                max_workers=2,
+            )
+    return results
+
+
+class TestRunCampaign:
+    def test_serial_reference_is_complete(self, campaign_results):
+        ref = campaign_results[(False, False)]
+        assert [row["timestep"] for row in ref.rows] == list(TIMESTEPS)
+        assert len(ref.reconstructions) == len(TIMESTEPS)
+        assert all(np.isfinite(v).all() for v in ref.reconstructions)
+        assert all(row["snr"] > 0 for row in ref.rows)
+        assert ref.finetune_seconds > 0.0
+
+    @pytest.mark.parametrize("combo", [(False, True), (True, False), (True, True)])
+    def test_bit_identical_to_serial(self, campaign_results, combo):
+        def scores(result):  # drop the only wall-clock (non-deterministic) column
+            return [{k: v for k, v in row.items() if k != "finetune_seconds"} for row in result.rows]
+
+        ref = campaign_results[(False, False)]
+        got = campaign_results[combo]
+        assert scores(got) == scores(ref)  # scores are floats: equality means bit-equal
+        for mine, theirs in zip(got.reconstructions, ref.reconstructions):
+            assert mine.tobytes() == theirs.tobytes()
+
+    def test_stats_reflect_mode(self, campaign_results):
+        assert campaign_results[(True, True)].stats.pipeline is True
+        assert campaign_results[(False, False)].stats.pipeline is False
+
+    def test_requires_trained_model(self, campaign_pipeline):
+        with pytest.raises(RuntimeError, match="train"):
+            campaign_pipeline.run_campaign(
+                FCNNReconstructor(hidden_layers=(8,)), TIMESTEPS, 0.05
+            )
+
+    def test_empty_timesteps(self, campaign_pipeline, base_model):
+        result = campaign_pipeline.run_campaign(base_model.clone(), [], 0.05)
+        assert result.rows == [] and result.stats.timesteps == 0
+
+    def test_warm_pool_ships_geometry_and_weights_once(
+        self, campaign_pipeline, base_model, metrics
+    ):
+        from repro.obs import counter
+
+        campaign_pipeline.run_campaign(
+            base_model.clone(),
+            TIMESTEPS,
+            0.05,
+            finetune_epochs=1,
+            pipeline=True,
+            warm_pool=True,
+            max_workers=2,
+        )
+        created = counter("campaign.shm_bundles_created").value
+        if created == 0:  # host without usable shared memory: local fallback
+            pytest.skip("shared memory unavailable; warm pool degraded to local sink")
+        assert created == 1
+
+
+# ---------------------------------------------------------------------------
+# warm pool vs local sink, including worker-kill fault injection
+
+
+class _KillOnceWorker:
+    """Picklable campaign worker that kills its process exactly once.
+
+    The marker file makes the "already crashed?" decision deterministic
+    across processes, so the executor's serial re-run (and any retry)
+    succeeds — modelling a transient worker loss mid-campaign.
+    """
+
+    def __init__(self, state_dir) -> None:
+        self.state_dir = str(state_dir)
+        self.parent_pid = os.getpid()
+
+    def __call__(self, payload):
+        from repro.perf.campaign import _campaign_worker
+
+        marker = os.path.join(self.state_dir, "campaign-worker-kill.tripped")
+        # only ever kill a *worker* process — on hosts where the executor
+        # degraded to in-process serial execution there is nothing to kill
+        if os.getpid() != self.parent_pid and not os.path.exists(marker):
+            with open(marker, "w", encoding="ascii") as fh:
+                fh.write("tripped\n")
+            os._exit(23)
+        return _campaign_worker(payload)
+
+
+def _drive_sink(sink, geometry, campaign_pipeline, model, timesteps):
+    """Publish + reconstruct each timestep; returns the emitted volumes."""
+    shell = geometry.shell()
+    volumes = []
+    for t in timesteps:
+        field = campaign_pipeline.field(t)
+        geometry.refresh(shell, field)
+        train = [campaign_pipeline.sample(field, f) for f in (0.02, 0.05)]
+        model.fine_tune(field, train, epochs=1)
+        flat = snapshot_weights(model.model).data
+        slot = sink.publish(t, shell.values, {"fcnn": flat})
+        volume, report = sink.reconstruct(slot, "fcnn")
+        volumes.append(volume)
+    return volumes
+
+
+class TestWarmPool:
+    @pytest.fixture
+    def geometry(self, campaign_pipeline):
+        return CampaignGeometry.from_sample(
+            campaign_pipeline.sample(campaign_pipeline.field(TIMESTEPS[0]), 0.05)
+        )
+
+    def _local_reference(self, geometry, campaign_pipeline, base_model):
+        with LocalReconstructionSink(slots=2) as sink:
+            sink.bind(geometry, {"fcnn": base_model.clone()})
+            return _drive_sink(
+                sink, geometry, campaign_pipeline, base_model.clone(), TIMESTEPS
+            )
+
+    def _bound_pool(self, geometry, base_model, **kwargs):
+        pool = WarmReconstructionPool(max_workers=2, **kwargs)
+        try:
+            pool.bind(geometry, {"fcnn": base_model.clone()})
+        except OSError:
+            pool.close()
+            pytest.skip("shared memory unavailable on this host")
+        return pool
+
+    def test_pool_matches_local_sink_bitwise(
+        self, geometry, campaign_pipeline, base_model
+    ):
+        ref = self._local_reference(geometry, campaign_pipeline, base_model)
+        with self._bound_pool(geometry, base_model) as pool:
+            got = _drive_sink(
+                pool, geometry, campaign_pipeline, base_model.clone(), TIMESTEPS
+            )
+        assert [v.tobytes() for v in got] == [v.tobytes() for v in ref]
+
+    def test_worker_kill_degrades_gracefully(
+        self, geometry, campaign_pipeline, base_model, tmp_path, metrics
+    ):
+        from repro.obs import counter
+
+        ref = self._local_reference(geometry, campaign_pipeline, base_model)
+        pool = self._bound_pool(
+            geometry, base_model, worker_fn=_KillOnceWorker(tmp_path)
+        )
+        with pool:
+            got = _drive_sink(
+                pool, geometry, campaign_pipeline, base_model.clone(), TIMESTEPS
+            )
+        # no timestep dropped, every volume still bit-identical to serial
+        assert len(got) == len(TIMESTEPS)
+        assert [v.tobytes() for v in got] == [v.tobytes() for v in ref]
+        if (tmp_path / "campaign-worker-kill.tripped").exists():
+            assert counter("campaign.pool.recovered").value >= 1
+
+    def test_publish_rejects_unknown_tag(self, geometry, base_model):
+        with self._bound_pool(geometry, base_model) as pool:
+            flat = snapshot_weights(base_model.model).data
+            with pytest.raises((KeyError, ValueError)):
+                pool.publish(0, np.zeros(geometry.num_samples), {"nope": flat})
+
+
+# ---------------------------------------------------------------------------
+# natural-neighbor offset-ball memoization (satellite 3)
+
+
+class TestOffsetMemo:
+    def test_memo_hits_and_results_unchanged(self, dense_sample, metrics):
+        from repro.interpolation.natural_neighbor import (
+            _OFFSET_CACHE,
+            NaturalNeighborInterpolator,
+        )
+        from repro.obs import counter
+
+        _OFFSET_CACHE.clear()
+        interp = NaturalNeighborInterpolator()
+        cold = interp.reconstruct(dense_sample)
+        misses = counter("interp.natural.offsets.miss").value
+        assert misses >= 1
+        warm = interp.reconstruct(dense_sample)
+        assert counter("interp.natural.offsets.miss").value == misses  # no new misses
+        assert counter("interp.natural.offsets.hit").value >= 1
+        assert warm.tobytes() == cold.tobytes()
+
+
+# ---------------------------------------------------------------------------
+# in situ campaign writer stays byte-identical when pipelined
+
+
+class TestInSituPipelined:
+    def test_campaign_directories_byte_identical(self, tmp_path):
+        import filecmp
+
+        from repro.insitu import InSituWriter
+        from repro.sampling import MultiCriteriaSampler
+
+        data = make_dataset("combustion", dims=DIMS, seed=0)
+        dirs = {}
+        for mode in ("serial", "pipelined"):
+            writer = InSituWriter(
+                data,
+                MultiCriteriaSampler(seed=0),
+                0.05,
+                train_model=True,
+                train_fractions=(0.02,),
+                epochs=2,
+                finetune_epochs=1,
+                model_kwargs={"hidden_layers": (8,), "batch_size": 1024, "seed": 7},
+            )
+            out = tmp_path / mode
+            writer.run(out, TIMESTEPS, pipeline=mode == "pipelined")
+            dirs[mode] = out
+        names = sorted(p.name for p in dirs["serial"].iterdir())
+        assert names == sorted(p.name for p in dirs["pipelined"].iterdir())
+        match, mismatch, errors = filecmp.cmpfiles(
+            dirs["serial"], dirs["pipelined"], names, shallow=False
+        )
+        assert mismatch == [] and errors == []
+        assert sorted(match) == names
