@@ -1,10 +1,13 @@
-"""Static analysis enforcing the repo's numerical-correctness invariants.
+"""Static analysis enforcing the repo's correctness invariants.
 
 The reproduction's headline numbers (SNR vs sampling fraction, near-constant
 reconstruction time, cross-timestep transfer) depend on discipline a normal
-test suite cannot see: deterministic RNG threading, float64 end to end, and
-guarded metric denominators.  This package machine-checks those conventions
-with a small AST rule engine:
+test suite cannot see: deterministic RNG threading, float64 end to end,
+guarded metric denominators — and, since the campaign scheduler went
+multi-threaded, lock discipline and buffer-aliasing rules.  This package
+machine-checks those conventions with an AST rule engine backed by a
+project-wide semantic model (cross-file symbol table + call graph, see
+:mod:`repro.checks.analysis`):
 
 =======  ==========================================================
 RNG001   no legacy global-state ``np.random`` API
@@ -16,37 +19,71 @@ REG001   registries and package ``__all__`` exports agree
 IMP001   no module-level import cycles
 DEF001   no mutable default arguments
 ATM001   numpy archive writes are atomic (temp + ``os.replace``)
+PRF001   no allocations inside marked hot loops
+THR001   thread targets must not write shared state without a lock
+THR002   SharedMemory close()/unlink() provable on all paths
+THR003   bare acquire() balanced by release() in a finally
+THR004   non-daemon threads must be joined
+ALS001   ``out=`` must not alias a read operand of matmul-like ops
+ALS002   Workspace arena buffers must not be persisted on ``self``
 =======  ==========================================================
 
-Run ``python -m repro.checks src/repro`` (or ``repro check``); suppress a
-single finding with ``# repro: noqa[RULE-ID]`` and a comment justifying the
-invariant; grandfather legacy findings in a ``--baseline`` file.  See
-``docs/API.md`` ("Static analysis") for how to add a rule.
+Findings carry severity tiers (``error``/``warning``/``note``); the exit
+code stays severity-blind (0 clean / 1 findings / 2 usage-or-crash).
+Run ``python -m repro.checks src/repro`` (or ``repro check``); emit SARIF
+2.1.0 for code scanning with ``--format sarif``; apply mechanical fixes
+with ``--fix``; suppress a single finding with ``# repro: noqa[RULE-ID]``
+and a comment justifying the invariant; grandfather legacy findings in a
+``--baseline`` file (v2 format; ``--migrate-baseline`` upgrades v1).
+
+The sibling :mod:`repro.checks.sanitizers` package provides *runtime*
+counterparts — lock-order, shm-leak and aliasing sanitizers enabled under
+``pytest --sanitize``.  See ``docs/CHECKS.md`` for the full rule catalog.
 """
 
-from repro.checks.baseline import Baseline, load_baseline, write_baseline
+from repro.checks.baseline import (
+    Baseline,
+    load_baseline,
+    migrate_baseline,
+    write_baseline,
+)
 from repro.checks.config import CheckConfig
 from repro.checks.engine import CheckResult, discover_files, module_name_for, run_checks
-from repro.checks.findings import Finding, format_json, format_text
+from repro.checks.findings import (
+    SEVERITIES,
+    Finding,
+    format_json,
+    format_text,
+    rule_family,
+)
+from repro.checks.fixes import FIXABLE_RULES, fix_source
 from repro.checks.noqa import NoqaDirectives, parse_noqa
 from repro.checks.rules import ALL_RULES, ModuleContext, ProjectContext, Rule
+from repro.checks.sarif import format_sarif, sarif_report
 
 __all__ = [
     "ALL_RULES",
     "Baseline",
     "CheckConfig",
     "CheckResult",
+    "FIXABLE_RULES",
     "Finding",
     "ModuleContext",
     "NoqaDirectives",
     "ProjectContext",
     "Rule",
+    "SEVERITIES",
     "discover_files",
+    "fix_source",
     "format_json",
+    "format_sarif",
     "format_text",
     "load_baseline",
+    "migrate_baseline",
     "module_name_for",
     "parse_noqa",
+    "rule_family",
     "run_checks",
+    "sarif_report",
     "write_baseline",
 ]

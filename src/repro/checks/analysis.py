@@ -1,0 +1,835 @@
+"""Project-wide semantic model: symbol table, call graph, function summaries.
+
+The original ``repro.checks`` rules were single-module AST lints.  The
+concurrency (``THR0xx``) and aliasing (``ALS0xx``) families need to reason
+*across* modules — "which function does this ``threading.Thread(target=...)``
+actually run", "does the ``out=`` parameter of this fused kernel alias its
+input at any call site" — so this module builds one shared semantic model
+per checker run:
+
+* :class:`ProjectModel` — built lazily from a
+  :class:`~repro.checks.rules.base.ProjectContext` (and cached on it, so
+  every rule shares one model):
+
+  - an **import table** per module mapping local aliases to dotted targets
+    (``from repro.perf.shm import SharedArrayBundle`` ⇒
+    ``SharedArrayBundle -> repro.perf.shm.SharedArrayBundle``), with
+    relative imports resolved and package re-exports followed;
+  - a **symbol table** of every function, method and class, keyed by
+    qualified name (``repro.perf.campaign.CampaignScheduler.run``),
+    including functions nested inside other functions
+    (``...outer.<locals>.inner`` — thread targets are usually closures);
+  - a per-function :class:`FunctionSummary` of the facts the rule
+    families consume: captured-state writes and whether a lock is held,
+    lock acquire/release balance, thread spawns and joins, shared-memory
+    creations and their cleanup, ``out=`` aliasing flows through
+    parameters, and resolved callees;
+  - a **call graph** over the summaries (:meth:`ProjectModel.callees`,
+    :meth:`ProjectModel.reachable_from`).
+
+Everything here is a sound-ish, deliberately shallow approximation: names
+are resolved syntactically, attribute chains only through ``self`` and
+imported modules, and reachability is bounded.  Rules built on the model
+therefore phrase findings as "cannot be proven" rather than "is wrong",
+and every finding can be suppressed with ``# repro: noqa[RULE-ID]`` plus a
+justification (see ``docs/CHECKS.md``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+
+from repro.checks.rules.base import ModuleContext, ProjectContext
+
+__all__ = [
+    "CapturedWrite",
+    "FunctionInfo",
+    "FunctionSummary",
+    "LockOp",
+    "OutFlow",
+    "ProjectModel",
+    "ShmCreation",
+    "ThreadSpawn",
+    "build_model",
+]
+
+#: Receiver-method calls that are safe to issue from any thread without an
+#: explicit lock (thread-safe primitives: queues, events, semaphores, …).
+THREAD_SAFE_METHODS = frozenset(
+    {
+        "put",
+        "put_nowait",
+        "get",
+        "get_nowait",
+        "task_done",
+        "join",
+        "set",
+        "is_set",
+        "clear",
+        "wait",
+        "release",
+        "acquire",
+        "inc",
+        "dec",
+        "observe",
+    }
+)
+
+#: Heuristic: a ``with`` context expression whose terminal name matches this
+#: counts as holding a lock for the duration of the block.
+_LOCKLIKE_NAME = re.compile(r"(lock|mutex|guard|sem|semaphore)", re.IGNORECASE)
+
+#: numpy operations whose ``out=`` must not alias any input operand
+#: (reduction/contraction kernels read inputs while writing the output).
+ALIAS_UNSAFE_OPS = frozenset({"matmul", "dot", "inner", "outer", "einsum", "tensordot"})
+
+
+# --------------------------------------------------------------------------
+# summary facts
+
+
+@dataclass
+class CapturedWrite:
+    """A write to state shared with an enclosing scope (or to ``self``)."""
+
+    node: ast.AST
+    name: str              # root name written through ("results", "self.busy")
+    kind: str              # "assign" | "augassign" | "mutating-call"
+    detail: str            # e.g. "results[i] = ..." rendering for messages
+    locked: bool           # lexically under a lock-holding ``with``
+
+
+@dataclass
+class LockOp:
+    """One direct ``<recv>.acquire()`` / ``<recv>.release()`` call."""
+
+    node: ast.AST
+    receiver: str
+    op: str                # "acquire" | "release"
+    in_with: bool          # the call is a ``with`` context expression
+    in_finally: bool       # the call sits inside a ``finally`` block
+
+
+@dataclass
+class ThreadSpawn:
+    """A ``threading.Thread(...)`` construction or ``executor.submit(fn)``."""
+
+    node: ast.AST
+    target: str | None     # syntactic target expression ("worker", "self.run")
+    daemon: bool
+    assigned_to: str | None
+    kind: str              # "thread" | "submit"
+
+
+@dataclass
+class ShmCreation:
+    """A ``SharedMemory(create=True)`` / ``SharedArrayBundle.create()`` call."""
+
+    node: ast.AST
+    assigned_to: str | None
+    in_with: bool          # created as a ``with`` context manager
+    escapes: bool          # returned / stored / passed on — ownership moves
+    closed_in_finally: bool
+
+
+@dataclass
+class OutFlow:
+    """Within one function: parameter ``out_param`` is written by an
+    alias-unsafe op that reads parameter ``in_param``."""
+
+    node: ast.AST
+    in_param: str
+    out_param: str
+    op: str                # the np op name ("matmul", ...)
+
+
+@dataclass
+class FunctionSummary:
+    """Per-function facts consumed by the THR/ALS rule families."""
+
+    qualname: str
+    node: ast.AST
+    params: list[str] = field(default_factory=list)
+    locals: set[str] = field(default_factory=set)
+    captured_writes: list[CapturedWrite] = field(default_factory=list)
+    lock_ops: list[LockOp] = field(default_factory=list)
+    thread_spawns: list[ThreadSpawn] = field(default_factory=list)
+    shm_creations: list[ShmCreation] = field(default_factory=list)
+    out_flows: list[OutFlow] = field(default_factory=list)
+    calls: list[tuple[ast.Call, str]] = field(default_factory=list)  # (node, dotted expr)
+    joined: set[str] = field(default_factory=set)      # names .join()ed
+    buffer_vars: set[str] = field(default_factory=set)  # names bound from *.buffer(...)
+
+
+@dataclass
+class FunctionInfo:
+    """One function/method (possibly nested) in the scanned project."""
+
+    qualname: str          # "repro.perf.campaign.CampaignScheduler.run"
+    module: str
+    ctx: ModuleContext
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    class_name: str | None = None   # enclosing class qualname, for methods
+    parent: str | None = None       # enclosing function qualname, for closures
+
+
+# --------------------------------------------------------------------------
+# expression helpers
+
+
+def dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def root_name(node: ast.AST) -> str | None:
+    """The base Name an expression reads/writes through (``a`` of ``a.b[c].d``)."""
+    while isinstance(node, (ast.Attribute, ast.Subscript, ast.Starred)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _is_locklike(expr: ast.AST, known_locks: set[str]) -> bool:
+    name = dotted(expr)
+    if name is None and isinstance(expr, ast.Call):
+        name = dotted(expr.func)
+    if name is None:
+        return False
+    if name in known_locks:
+        return True
+    terminal = name.rsplit(".", 1)[-1]
+    return bool(_LOCKLIKE_NAME.search(terminal))
+
+
+def _render(node: ast.AST) -> str:
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse covers all real nodes
+        return "<expr>"
+    return text if len(text) <= 60 else text[:57] + "..."
+
+
+_SHM_CTORS = ("SharedMemory",)
+_SHM_FACTORIES = ("SharedArrayBundle.create", "ShareableList")
+
+
+def _is_shm_creation(call: ast.Call) -> bool:
+    """True for ``SharedMemory(create=True, ...)`` and bundle factories."""
+    name = dotted(call.func)
+    if name is None:
+        return False
+    terminal = name.rsplit(".", 1)[-1]
+    if terminal in _SHM_CTORS:
+        for kw in call.keywords:
+            if kw.arg == "create":
+                return not (
+                    isinstance(kw.value, ast.Constant) and kw.value.value is False
+                )
+        if len(call.args) >= 2:  # SharedMemory(name, create, ...)
+            arg = call.args[1]
+            return not (isinstance(arg, ast.Constant) and arg.value is False)
+        return False
+    return any(name.endswith(factory) for factory in _SHM_FACTORIES)
+
+
+def _thread_spawn(call: ast.Call) -> tuple[str | None, bool, str] | None:
+    """``(target expr, daemon, kind)`` when ``call`` spawns concurrent work."""
+    name = dotted(call.func)
+    if name is None:
+        return None
+    terminal = name.rsplit(".", 1)[-1]
+    if terminal == "Thread":
+        target = None
+        daemon = False
+        for kw in call.keywords:
+            if kw.arg == "target":
+                target = dotted(kw.value)
+            elif kw.arg == "daemon":
+                daemon = bool(
+                    isinstance(kw.value, ast.Constant) and kw.value.value is True
+                )
+        return target, daemon, "thread"
+    if terminal in ("submit", "apply_async"):
+        if call.args:
+            return dotted(call.args[0]), True, "submit"
+        return None, True, "submit"
+    return None
+
+
+# --------------------------------------------------------------------------
+# the summarizing visitor
+
+
+class _Summarizer:
+    """Walks one function body computing its :class:`FunctionSummary`."""
+
+    def __init__(self, info: FunctionInfo, module_locks: set[str]) -> None:
+        self.info = info
+        self.summary = FunctionSummary(qualname=info.qualname, node=info.node)
+        node = info.node
+        args = node.args
+        self.summary.params = [
+            a.arg
+            for a in (
+                list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            )
+        ] + [a.arg for a in (args.vararg, args.kwarg) if a is not None]
+        self._locals: set[str] = set(self.summary.params)
+        self._globals: set[str] = set()
+        self._known_locks = set(module_locks)
+        self._collect_locals(node)
+        self.summary.locals = self._locals
+
+    # -------------------------------------------------------- local binding
+    def _collect_locals(self, fn: ast.AST) -> None:
+        """Names bound in this function's own scope (not nested functions)."""
+        for stmt in _walk_scoped(fn):
+            if isinstance(stmt, (ast.Global, ast.Nonlocal)):
+                self._globals.update(stmt.names)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    self._bind_target(target)
+                self._note_lock_binding(stmt.targets, stmt.value)
+            elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+                if isinstance(stmt.target, ast.Name):
+                    self._locals.add(stmt.target.id)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self._bind_target(stmt.target)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    if item.optional_vars is not None:
+                        self._bind_target(item.optional_vars)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                self._locals.add(stmt.name)
+            elif isinstance(stmt, ast.ExceptHandler) and stmt.name:
+                self._locals.add(stmt.name)
+            elif isinstance(stmt, (ast.comprehension,)):
+                self._bind_target(stmt.target)
+        self._locals -= self._globals
+
+    def _bind_target(self, target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            self._locals.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind_target(elt)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value)
+
+    def _note_lock_binding(self, targets: list[ast.AST], value: ast.AST) -> None:
+        if not isinstance(value, ast.Call):
+            return
+        name = dotted(value.func) or ""
+        if name.rsplit(".", 1)[-1] in ("Lock", "RLock", "Semaphore", "BoundedSemaphore"):
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    self._known_locks.add(target.id)
+
+    # ------------------------------------------------------------ main walk
+    def run(self) -> FunctionSummary:
+        self._visit_body(self.info.node.body, locked=False, in_finally=False)
+        return self.summary
+
+    def _is_shared(self, name: str | None) -> bool:
+        """A write through ``name`` touches state visible outside this call."""
+        if name is None:
+            return False
+        if name == "self" or name in self._globals:
+            return True
+        return name not in self._locals
+
+    def _visit_body(self, body: list[ast.stmt], locked: bool, in_finally: bool) -> None:
+        for stmt in body:
+            self._visit_stmt(stmt, locked, in_finally)
+
+    def _visit_stmt(self, stmt: ast.stmt, locked: bool, in_finally: bool) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return  # nested scopes get their own summaries
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            holds = locked or any(
+                _is_locklike(item.context_expr, self._known_locks)
+                for item in stmt.items
+            )
+            for item in stmt.items:
+                self._scan_expr(item.context_expr, locked, in_with=True)
+            self._visit_body(stmt.body, holds, in_finally)
+            return
+        if isinstance(stmt, ast.Try):
+            self._visit_body(stmt.body, locked, in_finally)
+            for handler in stmt.handlers:
+                self._visit_body(handler.body, locked, in_finally)
+            self._visit_body(stmt.orelse, locked, in_finally)
+            self._visit_body(stmt.finalbody, locked, in_finally=True)
+            return
+        if isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+            if isinstance(stmt, ast.While):
+                self._scan_expr(stmt.test, locked)
+            else:
+                self._scan_expr(stmt.iter, locked)
+                self._record_store(stmt.target, stmt, locked, kind="assign")
+            self._visit_body(stmt.body, locked, in_finally)
+            self._visit_body(stmt.orelse, locked, in_finally)
+            return
+        if isinstance(stmt, ast.If):
+            self._scan_expr(stmt.test, locked)
+            self._visit_body(stmt.body, locked, in_finally)
+            self._visit_body(stmt.orelse, locked, in_finally)
+            return
+        if isinstance(stmt, ast.Assign):
+            self._scan_expr(stmt.value, locked)
+            for target in stmt.targets:
+                self._record_store(target, stmt, locked, kind="assign")
+            self._note_buffer_binding(stmt.targets, stmt.value)
+            self._note_creation_assignment(stmt)
+            return
+        if isinstance(stmt, ast.AugAssign):
+            self._scan_expr(stmt.value, locked)
+            self._record_store(stmt.target, stmt, locked, kind="augassign")
+            return
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._scan_expr(stmt.value, locked)
+                self._record_store(stmt.target, stmt, locked, kind="assign")
+            return
+        if isinstance(stmt, (ast.Expr, ast.Return)):
+            value = stmt.value
+            if value is not None:
+                self._scan_expr(value, locked, in_finally=in_finally)
+            return
+        if isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._scan_expr(stmt.exc, locked)
+            return
+        if isinstance(stmt, ast.Delete):
+            return
+        if isinstance(stmt, ast.Assert):
+            self._scan_expr(stmt.test, locked)
+            return
+        # pass/break/continue/import/global/nonlocal: nothing to record
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.expr):
+                self._scan_expr(child, locked)
+
+    # ------------------------------------------------------- store tracking
+    def _record_store(
+        self, target: ast.AST, stmt: ast.stmt, locked: bool, kind: str
+    ) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._record_store(elt, stmt, locked, kind)
+            return
+        if isinstance(target, ast.Name):
+            # Rebinding a local (or even a global name, absent a ``global``
+            # declaration it would be a local) is not a shared-state write.
+            if target.id in self._globals:
+                self.summary.captured_writes.append(
+                    CapturedWrite(stmt, target.id, kind, _render(stmt), locked)
+                )
+            return
+        root = root_name(target)
+        if self._is_shared(root):
+            label = root if root != "self" else (dotted(target) or "self.<attr>")
+            self.summary.captured_writes.append(
+                CapturedWrite(stmt, label, kind, _render(stmt), locked)
+            )
+
+    def _note_buffer_binding(self, targets: list[ast.AST], value: ast.AST) -> None:
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "buffer"
+        ):
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    self.summary.buffer_vars.add(target.id)
+
+    def _note_creation_assignment(self, stmt: ast.Assign) -> None:
+        if not (isinstance(stmt.value, ast.Call) and _is_shm_creation(stmt.value)):
+            return
+        assigned = None
+        escapes = False
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                assigned = target.id
+            else:
+                escapes = True  # stored straight into an attribute/container
+        # The generic expression scan may have recorded this same call with
+        # no binding info; the assignment-aware record replaces it.
+        self.summary.shm_creations = [
+            c for c in self.summary.shm_creations if c.node is not stmt.value
+        ]
+        self.summary.shm_creations.append(
+            ShmCreation(stmt.value, assigned, in_with=False, escapes=escapes,
+                        closed_in_finally=False)
+        )
+
+    # ---------------------------------------------------------- expressions
+    def _scan_expr(
+        self, expr: ast.AST, locked: bool, in_with: bool = False, in_finally: bool = False
+    ) -> None:
+        for node in ast.walk(expr):
+            if not isinstance(node, ast.Call):
+                continue
+            self._scan_call(node, locked, in_with=in_with and node is expr,
+                            in_finally=in_finally)
+
+    def _scan_call(
+        self, call: ast.Call, locked: bool, in_with: bool, in_finally: bool
+    ) -> None:
+        name = dotted(call.func)
+        self.summary.calls.append((call, name or ""))
+
+        # lock acquire/release
+        if isinstance(call.func, ast.Attribute) and call.func.attr in (
+            "acquire",
+            "release",
+        ):
+            recv = dotted(call.func.value)
+            if recv is not None:
+                self.summary.lock_ops.append(
+                    LockOp(call, recv, call.func.attr, in_with, in_finally)
+                )
+
+        # thread spawns
+        spawned = _thread_spawn(call)
+        if spawned is not None:
+            target, daemon, kind = spawned
+            self.summary.thread_spawns.append(
+                ThreadSpawn(call, target, daemon, None, kind)
+            )
+
+        # joins: thread.join()
+        if isinstance(call.func, ast.Attribute) and call.func.attr == "join":
+            recv = root_name(call.func.value)
+            if recv is not None:
+                self.summary.joined.add(recv)
+
+        # shm creations in expression position (with-statements, returns)
+        if _is_shm_creation(call):
+            already = any(c.node is call for c in self.summary.shm_creations)
+            if not already:
+                self.summary.shm_creations.append(
+                    ShmCreation(call, None, in_with=in_with, escapes=not in_with,
+                                closed_in_finally=False)
+                )
+
+        # mutating calls on shared receivers (append/extend/update/...)
+        if isinstance(call.func, ast.Attribute) and call.func.attr in (
+            "append",
+            "extend",
+            "insert",
+            "update",
+            "add",
+            "pop",
+            "popitem",
+            "remove",
+            "discard",
+            "setdefault",
+            "clear",
+            "fill",
+        ):
+            root = root_name(call.func.value)
+            if self._is_shared(root) and call.func.attr not in THREAD_SAFE_METHODS:
+                label = root if root != "self" else (dotted(call.func.value) or "self")
+                self.summary.captured_writes.append(
+                    CapturedWrite(
+                        call, label, "mutating-call", _render(call), locked
+                    )
+                )
+
+        # out= aliasing flows through parameters
+        self._scan_out_flow(call)
+
+    def _scan_out_flow(self, call: ast.Call) -> None:
+        name = dotted(call.func) or ""
+        terminal = name.rsplit(".", 1)[-1]
+        if terminal not in ALIAS_UNSAFE_OPS:
+            return
+        out = next((kw.value for kw in call.keywords if kw.arg == "out"), None)
+        if out is None:
+            return
+        out_root = root_name(out)
+        if out_root not in self.summary.params:
+            return
+        for arg in call.args:
+            in_root = root_name(arg)
+            if (
+                in_root in self.summary.params
+                and in_root != out_root
+                and not isinstance(arg, ast.Constant)
+            ):
+                self.summary.out_flows.append(
+                    OutFlow(call, in_root, out_root, terminal)
+                )
+
+
+def _walk_scoped(fn: ast.AST):
+    """Walk a function's own scope: skip nested function/class bodies."""
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+# --------------------------------------------------------------------------
+# the project model
+
+
+class ProjectModel:
+    """Import-resolved symbols, summaries and the call graph of one run."""
+
+    #: bound on interprocedural reachability walks (spawn target + callees)
+    MAX_DEPTH = 3
+
+    def __init__(self, project: ProjectContext) -> None:
+        self.modules: dict[str, ModuleContext] = project.by_module()
+        self.imports: dict[str, dict[str, str]] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, set[str]] = {}  # class qualname -> method names
+        self._module_locks: dict[str, set[str]] = {}
+        self._summaries: dict[str, FunctionSummary] = {}
+        for name, ctx in self.modules.items():
+            self.imports[name] = self._import_table(name, ctx)
+            self._module_locks[name] = self._locks_of(ctx)
+            self._index_module(name, ctx)
+
+    # --------------------------------------------------------------- builds
+    def _import_table(self, module: str, ctx: ModuleContext) -> dict[str, str]:
+        table: dict[str, str] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        table[alias.asname] = alias.name
+                    else:
+                        top = alias.name.split(".", 1)[0]
+                        table[top] = top
+            elif isinstance(node, ast.ImportFrom):
+                base = self._resolve_from(node, module, ctx)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    table[local] = f"{base}.{alias.name}" if base else alias.name
+        return table
+
+    def _resolve_from(
+        self, stmt: ast.ImportFrom, module: str, ctx: ModuleContext
+    ) -> str | None:
+        if stmt.level == 0:
+            return stmt.module
+        parts = module.split(".")
+        if ctx.path.name != "__init__.py":
+            parts = parts[:-1]
+        drop = stmt.level - 1
+        if drop > len(parts):
+            return None
+        parts = parts[: len(parts) - drop] if drop else parts
+        base = ".".join(parts)
+        if stmt.module:
+            base = f"{base}.{stmt.module}" if base else stmt.module
+        return base
+
+    def _locks_of(self, ctx: ModuleContext) -> set[str]:
+        """Module-level names bound to lock constructors."""
+        locks: set[str] = set()
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
+                name = dotted(stmt.value.func) or ""
+                if name.rsplit(".", 1)[-1] in ("Lock", "RLock"):
+                    locks.update(
+                        t.id for t in stmt.targets if isinstance(t, ast.Name)
+                    )
+        return locks
+
+    def _index_module(self, module: str, ctx: ModuleContext) -> None:
+        def index_function(
+            node: ast.FunctionDef | ast.AsyncFunctionDef,
+            qual: str,
+            class_name: str | None,
+            parent: str | None,
+        ) -> None:
+            info = FunctionInfo(qual, module, ctx, node, class_name, parent)
+            self.functions[qual] = info
+            for child in node.body:
+                self._index_nested(child, f"{qual}.<locals>", qual, module, ctx)
+
+        def index_class(node: ast.ClassDef, qual: str) -> None:
+            methods: set[str] = set()
+            for child in node.body:
+                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    methods.add(child.name)
+                    index_function(child, f"{qual}.{child.name}", qual, None)
+                elif isinstance(child, ast.ClassDef):
+                    index_class(child, f"{qual}.{child.name}")
+            self.classes[qual] = methods
+
+        for stmt in ctx.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                index_function(stmt, f"{module}.{stmt.name}", None, None)
+            elif isinstance(stmt, ast.ClassDef):
+                index_class(stmt, f"{module}.{stmt.name}")
+
+    def _index_nested(
+        self,
+        stmt: ast.stmt,
+        prefix: str,
+        parent: str,
+        module: str,
+        ctx: ModuleContext,
+    ) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qual = f"{prefix}.{stmt.name}"
+            info = FunctionInfo(qual, module, ctx, stmt, None, parent)
+            self.functions[qual] = info
+            for child in stmt.body:
+                self._index_nested(child, f"{qual}.<locals>", qual, module, ctx)
+            return
+        for child in ast.iter_child_nodes(stmt):
+            if isinstance(child, ast.stmt):
+                self._index_nested(child, prefix, parent, module, ctx)
+
+    # ------------------------------------------------------------ summaries
+    def summary(self, qualname: str) -> FunctionSummary | None:
+        info = self.functions.get(qualname)
+        if info is None:
+            return None
+        cached = self._summaries.get(qualname)
+        if cached is None:
+            locks = set(self._module_locks.get(info.module, ()))
+            cached = _Summarizer(info, locks).run()
+            self._summaries[qualname] = cached
+        return cached
+
+    # ------------------------------------------------------------ resolution
+    def resolve(self, expr: str | None, scope: FunctionInfo) -> str | None:
+        """Resolve a dotted source expression to a project qualname.
+
+        Handles locals-nested siblings (``fail`` inside the same enclosing
+        function), ``self.method``, module-level names, imported names and
+        package re-exports (followed through ``__init__`` import tables).
+        """
+        if not expr:
+            return None
+        parts = expr.split(".")
+        head, rest = parts[0], parts[1:]
+
+        # self.method -> enclosing class method (walking out of closures)
+        if head == "self" and rest:
+            walk: FunctionInfo | None = scope
+            while walk is not None and walk.class_name is None:
+                walk = self.functions.get(walk.parent) if walk.parent else None
+            if walk is not None and walk.class_name:
+                candidate = f"{walk.class_name}.{rest[0]}"
+                if candidate in self.functions:
+                    return candidate
+
+        # sibling nested function in any enclosing function
+        parent = scope.parent
+        probe = scope.qualname
+        while True:
+            candidate = f"{probe}.<locals>.{head}"
+            if candidate in self.functions and not rest:
+                return candidate
+            if parent is None:
+                break
+            probe, parent = parent, self.functions.get(parent) and self.functions[parent].parent
+
+        # module-level name in the same module
+        candidate = self._follow(f"{scope.module}.{expr}")
+        if candidate is not None:
+            return candidate
+
+        # imported alias
+        table = self.imports.get(scope.module, {})
+        if head in table:
+            target = table[head]
+            full = ".".join([target] + rest) if rest else target
+            return self._follow(full)
+        return None
+
+    def _follow(self, full: str, depth: int = 0) -> str | None:
+        """Chase a dotted name through re-export tables to a known function."""
+        if depth > 4:
+            return None
+        if full in self.functions:
+            return full
+        if full in self.classes:  # constructor call resolves to __init__
+            init = f"{full}.__init__"
+            return init if init in self.functions else None
+        # Class constructor or Class.method
+        parts = full.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            prefix = ".".join(parts[:cut])
+            if prefix in self.classes:
+                remainder = parts[cut:]
+                if not remainder:
+                    return None
+                candidate = f"{prefix}.{remainder[0]}"
+                if candidate in self.functions:
+                    return candidate
+                return None
+            if prefix in self.imports:
+                table = self.imports[prefix]
+                head = parts[cut]
+                if head in table:
+                    rebased = ".".join([table[head]] + parts[cut + 1 :])
+                    return self._follow(rebased, depth + 1)
+        return None
+
+    # ------------------------------------------------------------ call graph
+    def callees(self, qualname: str) -> set[str]:
+        summary = self.summary(qualname)
+        if summary is None:
+            return set()
+        info = self.functions[qualname]
+        out: set[str] = set()
+        for _node, expr in summary.calls:
+            resolved = self.resolve(expr, info)
+            if resolved is not None and resolved != qualname:
+                out.add(resolved)
+        return out
+
+    def reachable_from(self, qualname: str, depth: int | None = None) -> list[str]:
+        """Qualnames reachable from ``qualname`` (inclusive), BFS-bounded."""
+        limit = self.MAX_DEPTH if depth is None else depth
+        seen = {qualname}
+        frontier = [qualname]
+        order = [qualname]
+        for _ in range(limit):
+            nxt: list[str] = []
+            for name in frontier:
+                for callee in sorted(self.callees(name)):
+                    if callee not in seen:
+                        seen.add(callee)
+                        order.append(callee)
+                        nxt.append(callee)
+            frontier = nxt
+            if not frontier:
+                break
+        return order
+
+
+def build_model(project: ProjectContext) -> ProjectModel:
+    """The shared :class:`ProjectModel` for one run (cached on the context)."""
+    model = getattr(project, "_model", None)
+    if model is None:
+        model = ProjectModel(project)
+        project._model = model
+    return model

@@ -6,6 +6,17 @@ not line numbers) matches an entry are reported separately and do not
 affect the exit code.  Each entry is consumed at most as many times as it
 appears, so *new* instances of a baselined pattern still fail.
 
+Two on-disk formats exist:
+
+* **v2** (current) — each entry carries ``family`` and ``severity``
+  alongside the fingerprint fields, so dashboards can report baseline
+  debt by rule family and tier without re-running the checker.
+* **v1** (deprecated) — fingerprint fields only.  Still readable (the
+  extra fields never participate in matching) but loading one emits a
+  ``DeprecationWarning``; run :func:`migrate_baseline` — or
+  ``repro check --baseline FILE --migrate-baseline`` — to upgrade in
+  place.
+
 This repo's committed baseline (``.repro-checks-baseline.json``) is empty —
 keep it that way; fix or explicitly suppress instead of baselining.
 """
@@ -13,12 +24,24 @@ keep it that way; fix or explicitly suppress instead of baselining.
 from __future__ import annotations
 
 import json
+import warnings
 from collections import Counter
 from pathlib import Path
 
-from repro.checks.findings import Finding
+from repro.checks.findings import Finding, rule_family
 
-__all__ = ["Baseline", "load_baseline", "write_baseline"]
+__all__ = [
+    "BASELINE_VERSION",
+    "Baseline",
+    "load_baseline",
+    "write_baseline",
+    "migrate_baseline",
+]
+
+BASELINE_VERSION = 2
+
+#: Severity recorded for v1 entries, which predate tiers.
+_V1_SEVERITY = "warning"
 
 
 class Baseline:
@@ -45,12 +68,31 @@ class Baseline:
         return sum(self._fingerprints.values())
 
 
+def _read(path: Path) -> dict:
+    data = json.loads(path.read_text())
+    version = data.get("version", 1)
+    if version > BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} has version {version}; this checker understands "
+            f"up to v{BASELINE_VERSION} — upgrade the repro package"
+        )
+    if version < BASELINE_VERSION:
+        warnings.warn(
+            f"baseline {path} uses the deprecated v{version} format; "
+            "re-write it with 'repro check --baseline FILE --migrate-baseline' "
+            "(fingerprints are unchanged, entries gain family/severity)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+    return data
+
+
 def load_baseline(path: str | Path) -> Baseline:
     """Load a baseline file; a missing file is an empty baseline."""
     p = Path(path)
     if not p.exists():
         return Baseline()
-    data = json.loads(p.read_text())
+    data = _read(p)
     fingerprints = Counter(
         (entry["path"], entry["rule"], entry["message"])
         for entry in data.get("findings", [])
@@ -59,10 +101,50 @@ def load_baseline(path: str | Path) -> Baseline:
 
 
 def write_baseline(path: str | Path, findings: list[Finding]) -> None:
-    """Write the given findings as the new baseline."""
+    """Write the given findings as a new v2 baseline."""
     entries = [
-        {"path": f.path, "rule": f.rule, "message": f.message}
+        {
+            "path": f.path,
+            "rule": f.rule,
+            "family": f.family,
+            "severity": f.severity,
+            "message": f.message,
+        }
         for f in sorted(findings)
     ]
-    payload = {"version": 1, "findings": entries}
+    _write_entries(path, entries)
+
+
+def migrate_baseline(path: str | Path) -> bool:
+    """Upgrade a baseline file to v2 in place.
+
+    Fingerprints are preserved verbatim; entries gain ``family`` (derived
+    from the rule id) and ``severity`` (v1 entries predate tiers and are
+    recorded as ``warning``).  Returns True when the file was rewritten,
+    False when it was already v2 (or does not exist).
+    """
+    p = Path(path)
+    if not p.exists():
+        return False
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        data = _read(p)
+    if data.get("version", 1) == BASELINE_VERSION:
+        return False
+    entries = [
+        {
+            "path": entry["path"],
+            "rule": entry["rule"],
+            "family": entry.get("family", rule_family(entry["rule"])),
+            "severity": entry.get("severity", _V1_SEVERITY),
+            "message": entry["message"],
+        }
+        for entry in data.get("findings", [])
+    ]
+    _write_entries(p, entries)
+    return True
+
+
+def _write_entries(path: str | Path, entries: list[dict]) -> None:
+    payload = {"version": BASELINE_VERSION, "findings": entries}
     Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

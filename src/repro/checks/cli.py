@@ -1,8 +1,17 @@
 """``python -m repro.checks`` — the static-analysis front-end.
 
-Exit codes: ``0`` clean (against the baseline, if any), ``1`` findings,
-``2`` usage or internal error — so CI can distinguish "violations" from
-"the checker itself broke".
+Exit-code contract (stable, severity-blind, relied on by CI):
+
+* ``0`` — clean: no unsuppressed, un-baselined findings (also returned
+  by the non-checking modes ``--list-rules``, ``--write-baseline`` and
+  ``--migrate-baseline``);
+* ``1`` — findings: at least one actionable finding, of any severity;
+* ``2`` — usage or internal error: bad flags, unknown rule ids, no
+  files to check, or the checker itself crashed.
+
+``main()`` is a pure function of ``argv`` — argparse's ``SystemExit``
+is caught and normalized to the same contract, so tests and embedders
+never have to guard against a raising CLI.
 """
 
 from __future__ import annotations
@@ -10,13 +19,19 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.checks.baseline import load_baseline, write_baseline
+from repro.checks.baseline import load_baseline, migrate_baseline, write_baseline
 from repro.checks.config import CheckConfig
 from repro.checks.engine import run_checks
 from repro.checks.findings import format_json, format_text
+from repro.checks.fixes import FIXABLE_RULES, fix_files
 from repro.checks.rules import ALL_RULES
+from repro.checks.sarif import format_sarif
 
 __all__ = ["main"]
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -32,9 +47,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
-        help="report format (default: text)",
+        help="report format (default: text; sarif for code-scanning upload)",
     )
     parser.add_argument(
         "--baseline",
@@ -46,6 +61,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--write-baseline",
         action="store_true",
         help="write current findings to --baseline and exit 0",
+    )
+    parser.add_argument(
+        "--migrate-baseline",
+        action="store_true",
+        help="upgrade --baseline to the v2 format in place and exit 0",
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help=f"apply mechanical autofixes ({', '.join(sorted(FIXABLE_RULES))}) "
+        "and re-check",
     )
     parser.add_argument(
         "--select", default=None, metavar="RULES", help="comma-separated rule ids to run"
@@ -60,16 +86,32 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = _build_parser().parse_args(argv)
+    try:
+        args = _build_parser().parse_args(argv)
+    except SystemExit as exc:
+        # argparse exits 2 on usage errors and 0 on --help; normalize to
+        # the documented contract instead of letting the exception escape.
+        return int(exc.code or 0)
 
     if args.list_rules:
         for cls in ALL_RULES:
-            print(f"{cls.id}  {cls.name:28s} {cls.description}")
-        return 0
+            fixable = "  [--fix]" if cls.id in FIXABLE_RULES else ""
+            print(
+                f"{cls.id}  {cls.severity:7s}  {cls.name:28s} "
+                f"{cls.description}{fixable}"
+            )
+        return EXIT_CLEAN
 
-    if args.write_baseline and not args.baseline:
-        print("error: --write-baseline requires --baseline FILE", file=sys.stderr)
-        return 2
+    if (args.write_baseline or args.migrate_baseline) and not args.baseline:
+        flag = "--write-baseline" if args.write_baseline else "--migrate-baseline"
+        print(f"error: {flag} requires --baseline FILE", file=sys.stderr)
+        return EXIT_USAGE
+
+    if args.migrate_baseline:
+        changed = migrate_baseline(args.baseline)
+        state = "migrated to v2" if changed else "already current"
+        print(f"{args.baseline}: {state}")
+        return EXIT_CLEAN
 
     config = CheckConfig.from_cli(select=args.select, ignore=args.ignore)
     known = {cls.id for cls in ALL_RULES}
@@ -80,31 +122,38 @@ def main(argv: list[str] | None = None) -> int:
             f"known: {sorted(known)}",
             file=sys.stderr,
         )
-        return 2
+        return EXIT_USAGE
     baseline = load_baseline(args.baseline) if args.baseline else None
     try:
         result = run_checks(args.paths, config=config, baseline=baseline)
+        if args.fix and result.findings:
+            applied = fix_files(result.findings)
+            if applied:
+                print(f"applied {applied} fix(es); re-checking", file=sys.stderr)
+                result = run_checks(args.paths, config=config, baseline=baseline)
     except Exception as exc:  # internal error, not a finding
         print(f"internal error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
     if result.files_checked == 0:
         print(f"error: no python files under {args.paths}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
     if args.write_baseline:
         all_findings = result.findings + result.baselined
         write_baseline(args.baseline, all_findings)
         print(f"wrote {len(all_findings)} finding(s) to {args.baseline}")
-        return 0
+        return EXIT_CLEAN
 
     if args.format == "json":
         print(format_json(result.findings, baselined=len(result.baselined)))
+    elif args.format == "sarif":
+        print(format_sarif(result.findings, ALL_RULES))
     else:
         print(format_text(result.findings))
         if result.baselined:
             print(f"({len(result.baselined)} baselined finding(s) not shown)")
-    return 1 if result.findings else 0
+    return EXIT_FINDINGS if result.findings else EXIT_CLEAN
 
 
 if __name__ == "__main__":

@@ -8,11 +8,13 @@ Pipeline per run:
    errors as ``PARSE001`` findings;
 3. run every enabled rule's per-module pass, then the cross-module
    ``finalize`` pass;
-4. drop findings suppressed by ``# repro: noqa[...]`` directives;
+4. drop findings suppressed by ``# repro: noqa[...]`` directives,
+   reporting any *unknown* rule code named in a directive as a
+   ``NOQA001`` note (a typo'd code suppresses nothing, silently);
 5. split the remainder against the baseline.
 
 The result's :attr:`CheckResult.findings` are the actionable ones — the
-exit-code contract is simply ``bool(findings)``.
+exit-code contract is simply ``bool(findings)``, severity-blind.
 """
 
 from __future__ import annotations
@@ -23,13 +25,14 @@ from pathlib import Path
 from repro.checks.baseline import Baseline
 from repro.checks.config import CheckConfig
 from repro.checks.findings import Finding
-from repro.checks.noqa import parse_noqa
+from repro.checks.noqa import NoqaDirectives, parse_noqa
 from repro.checks.rules import ALL_RULES
 from repro.checks.rules.base import ModuleContext, ProjectContext, Rule
 
 __all__ = ["CheckResult", "run_checks", "discover_files", "module_name_for"]
 
 PARSE_RULE_ID = "PARSE001"
+NOQA_RULE_ID = "NOQA001"
 
 
 @dataclass
@@ -84,7 +87,7 @@ def run_checks(
 
     project = ProjectContext()
     raw: list[Finding] = []
-    noqa_by_path: dict[str, object] = {}
+    noqa_by_path: dict[str, NoqaDirectives] = {}
 
     for file in discover_files(paths):
         display = file.as_posix()
@@ -121,6 +124,22 @@ def run_checks(
 
     for rule in active:
         raw.extend(rule.finalize(project))
+
+    known_codes = {cls.id for cls in rules} | {PARSE_RULE_ID, NOQA_RULE_ID}
+    for display, directives in sorted(noqa_by_path.items()):
+        for line, code in directives.listed_codes():
+            if code not in known_codes:
+                raw.append(
+                    Finding(
+                        display,
+                        line,
+                        0,
+                        NOQA_RULE_ID,
+                        f"noqa directive names unknown rule code '{code}' "
+                        "(it suppresses nothing); fix the code or drop it",
+                        severity="note",
+                    )
+                )
 
     kept: list[Finding] = []
     for finding in sorted(set(raw)):

@@ -3,6 +3,13 @@
 A :class:`Finding` pins a rule violation to a file and line.  Findings are
 value objects — hashable, ordered by location — so the engine can sort,
 deduplicate and diff them against a committed baseline.
+
+Each finding carries a **severity tier** (``error`` > ``warning`` >
+``note``, stamped from the reporting rule's class) and derives its **rule
+family** from the id's alphabetic prefix (``THR003`` -> ``THR``).  Both
+feed the SARIF renderer (:mod:`repro.checks.sarif`) and the v2 baseline
+format; the exit-code contract stays severity-blind (any unsuppressed
+finding fails the run).
 """
 
 from __future__ import annotations
@@ -10,7 +17,16 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 
-__all__ = ["Finding", "format_text", "format_json"]
+__all__ = ["Finding", "SEVERITIES", "format_text", "format_json", "rule_family"]
+
+#: Recognized severity tiers, most severe first.
+SEVERITIES = ("error", "warning", "note")
+
+
+def rule_family(rule_id: str) -> str:
+    """The alphabetic prefix of a rule id: ``THR003`` -> ``THR``."""
+    head = rule_id.rstrip("0123456789")
+    return head or rule_id
 
 
 @dataclass(frozen=True, order=True)
@@ -23,6 +39,18 @@ class Finding:
     rule: str          # rule identifier, e.g. "RNG001"
     message: str       # human-readable explanation
     symbol: str = field(default="", compare=False)  # enclosing def/class, if known
+    severity: str = field(default="warning", compare=False)  # error|warning|note
+
+    def __post_init__(self) -> None:
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    @property
+    def family(self) -> str:
+        """Rule family: the id's alphabetic prefix (``ALS002`` -> ``ALS``)."""
+        return rule_family(self.rule)
 
     def fingerprint(self) -> tuple[str, str, str]:
         """Identity used for baseline matching.
@@ -38,6 +66,8 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "rule": self.rule,
+            "family": self.family,
+            "severity": self.severity,
             "message": self.message,
             "symbol": self.symbol,
         }
@@ -47,7 +77,16 @@ def format_text(findings: list[Finding]) -> str:
     """One `path:line:col: RULE message` row per finding, plus a summary."""
     rows = [f"{f.path}:{f.line}:{f.col}: {f.rule} {f.message}" for f in findings]
     n = len(findings)
-    rows.append(f"{n} finding{'s' if n != 1 else ''}")
+    summary = f"{n} finding{'s' if n != 1 else ''}"
+    by_severity = {
+        sev: sum(1 for f in findings if f.severity == sev) for sev in SEVERITIES
+    }
+    detail = ", ".join(
+        f"{count} {sev}{'s' if count != 1 else ''}"
+        for sev, count in by_severity.items()
+        if count
+    )
+    rows.append(f"{summary} ({detail})" if detail else summary)
     return "\n".join(rows)
 
 
@@ -55,7 +94,7 @@ def format_json(findings: list[Finding], *, baselined: int = 0) -> str:
     """Machine-readable report (consumed by CI)."""
     return json.dumps(
         {
-            "version": 1,
+            "version": 2,
             "count": len(findings),
             "baselined": baselined,
             "findings": [f.as_dict() for f in findings],

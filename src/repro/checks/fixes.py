@@ -1,0 +1,218 @@
+"""Autofixes for mechanical rules (``repro check --fix``).
+
+Only rules whose fix is *provably behavior-preserving under the repo's
+conventions* get a fixer — the point is to remove typing toil, not to
+guess intent:
+
+* ``DT001`` — append ``dtype=np.float64`` to a dtype-less
+  ``np.asarray``/``np.array`` call (float64 end to end is the repo
+  convention the rule enforces; the insertion makes the implicit
+  contract explicit).
+* ``DEF001`` — rewrite an *empty* mutable default (``[]``, ``{}``,
+  ``set()``, ``list()``, ``dict()``) to ``None`` plus an
+  ``if <param> is None: <param> = <literal>`` guard at the top of the
+  body.  Non-empty defaults are left alone: pre-populated shared state
+  usually means the author relied on the sharing, and that needs a
+  human.
+
+Fixes are computed as text edits against the original source and applied
+bottom-up so earlier edits never invalidate later offsets.  ``--fix``
+re-runs the checker afterwards, so anything a fix resolves disappears
+from the report and anything it could not fix still fails the run.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.checks.findings import Finding
+
+__all__ = ["FIXABLE_RULES", "fix_source", "fix_files"]
+
+
+@dataclass(frozen=True)
+class _Edit:
+    """One text replacement; positions are (1-based line, 0-based col)."""
+
+    start: tuple[int, int]
+    end: tuple[int, int]
+    replacement: str
+
+
+def _node_at(tree: ast.Module, kind: type, line: int, col: int) -> ast.AST | None:
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, kind)
+            and getattr(node, "lineno", None) == line
+            and getattr(node, "col_offset", None) == col
+        ):
+            return node
+    return None
+
+
+# --------------------------------------------------------------------- DT001
+def _fix_dtype(tree: ast.Module, source: str, finding: Finding) -> _Edit | None:
+    call = _node_at(tree, ast.Call, finding.line, finding.col)
+    if call is None or call.end_lineno is None:
+        return None
+    if any(kw.arg == "dtype" for kw in call.keywords) or len(call.args) >= 2:
+        return None  # already fixed (stale finding)
+    insertion = ", dtype=np.float64" if (call.args or call.keywords) else "dtype=np.float64"
+    # Insert just before the closing paren of the call.
+    return _Edit(
+        start=(call.end_lineno, call.end_col_offset - 1),
+        end=(call.end_lineno, call.end_col_offset - 1),
+        replacement=insertion,
+    )
+
+
+# -------------------------------------------------------------------- DEF001
+_EMPTY_CALLS = frozenset({"list", "dict", "set"})
+
+
+def _empty_mutable_literal(node: ast.AST) -> str | None:
+    """Canonical source for an empty mutable default, or None if not one."""
+    if isinstance(node, ast.List) and not node.elts:
+        return "[]"
+    if isinstance(node, ast.Dict) and not node.keys:
+        return "{}"
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _EMPTY_CALLS
+        and not node.args
+        and not node.keywords
+    ):
+        return f"{node.func.id}()"
+    return None
+
+
+def _param_for_default(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef, default: ast.AST
+) -> str | None:
+    positional = fn.args.posonlyargs + fn.args.args
+    tail = positional[len(positional) - len(fn.args.defaults):]
+    for arg, d in zip(tail, fn.args.defaults):
+        if d is default:
+            return arg.arg
+    for arg, d in zip(fn.args.kwonlyargs, fn.args.kw_defaults):
+        if d is default:
+            return arg.arg
+    return None
+
+
+def _fix_mutable_default(
+    tree: ast.Module, source: str, finding: Finding
+) -> list[_Edit] | None:
+    lines = source.splitlines()
+    for fn in ast.walk(tree):
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for default in list(fn.args.defaults) + [
+            d for d in fn.args.kw_defaults if d is not None
+        ]:
+            if (default.lineno, default.col_offset) != (finding.line, finding.col):
+                continue
+            literal = _empty_mutable_literal(default)
+            param = _param_for_default(fn, default)
+            if literal is None or param is None:
+                return None  # non-mechanical: leave for a human
+            first = fn.body[0]
+            # Insert the guard after a docstring, before the first real stmt.
+            if (
+                isinstance(first, ast.Expr)
+                and isinstance(first.value, ast.Constant)
+                and isinstance(first.value.value, str)
+                and len(fn.body) > 1
+            ):
+                first = fn.body[1]
+            indent = lines[first.lineno - 1][: first.col_offset]
+            guard = (
+                f"if {param} is None:\n"
+                f"{indent}    {param} = {literal}\n"
+                f"{indent}"
+            )
+            return [
+                _Edit(
+                    start=(default.lineno, default.col_offset),
+                    end=(default.end_lineno, default.end_col_offset),
+                    replacement="None",
+                ),
+                _Edit(
+                    start=(first.lineno, first.col_offset),
+                    end=(first.lineno, first.col_offset),
+                    replacement=guard,
+                ),
+            ]
+    return None
+
+
+_FIXERS = {
+    "DT001": lambda tree, src, f: (lambda e: [e] if e else None)(
+        _fix_dtype(tree, src, f)
+    ),
+    "DEF001": _fix_mutable_default,
+}
+
+#: Rules ``--fix`` can resolve mechanically.
+FIXABLE_RULES = frozenset(_FIXERS)
+
+
+def _apply(source: str, edits: list[_Edit]) -> str:
+    lines = source.splitlines(keepends=True)
+    for edit in sorted(edits, key=lambda e: e.start, reverse=True):
+        (sl, sc), (el, ec) = edit.start, edit.end
+        before = lines[sl - 1][:sc]
+        after = lines[el - 1][ec:]
+        lines[sl - 1 : el] = [before + edit.replacement + after]
+    return "".join(lines)
+
+
+def fix_source(source: str, findings: list[Finding]) -> tuple[str, int]:
+    """Apply every available fix; returns (new_source, fixes_applied)."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError:
+        return source, 0
+    edits: list[_Edit] = []
+    applied = 0
+    spans: set[tuple[int, int]] = set()
+    for finding in findings:
+        fixer = _FIXERS.get(finding.rule)
+        if fixer is None:
+            continue
+        produced = fixer(tree, source, finding)
+        if not produced:
+            continue
+        # Refuse overlapping edits from distinct findings (first wins).
+        keys = {e.start for e in produced}
+        if keys & spans:
+            continue
+        spans |= keys
+        edits.extend(produced)
+        applied += 1
+    if not edits:
+        return source, 0
+    return _apply(source, edits), applied
+
+
+def fix_files(findings: list[Finding]) -> int:
+    """Group findings by file, rewrite each in place; returns fixes applied."""
+    by_path: dict[str, list[Finding]] = {}
+    for f in findings:
+        if f.rule in FIXABLE_RULES:
+            by_path.setdefault(f.path, []).append(f)
+    total = 0
+    for path, group in sorted(by_path.items()):
+        p = Path(path)
+        try:
+            source = p.read_text()
+        except OSError:
+            continue
+        new_source, applied = fix_source(source, group)
+        if applied:
+            p.write_text(new_source)
+            total += applied
+    return total

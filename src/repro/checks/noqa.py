@@ -18,6 +18,7 @@ from __future__ import annotations
 import io
 import re
 import tokenize
+from typing import Iterator
 
 __all__ = ["NoqaDirectives", "parse_noqa"]
 
@@ -40,6 +41,21 @@ class NoqaDirectives:
         if rules is None:
             return False
         return rules is _ALL or "*" in rules or rule in rules
+
+    def listed_codes(self) -> Iterator[tuple[int, str]]:
+        """Every explicitly named rule code, as ``(line, code)`` pairs.
+
+        Blanket ``# repro: noqa`` directives name no codes and are not
+        yielded.  The engine validates these against the known rule ids
+        and reports unknown codes as ``NOQA001`` notes — a typo'd code
+        suppresses nothing, silently, which is worse than a finding.
+        """
+        for line in sorted(self._by_line):
+            rules = self._by_line[line]
+            if rules is _ALL:
+                continue
+            for code in sorted(rules - {"*"}):
+                yield line, code
 
     def __len__(self) -> int:
         return len(self._by_line)

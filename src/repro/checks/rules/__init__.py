@@ -4,10 +4,21 @@ Adding a rule: subclass :class:`~repro.checks.rules.base.Rule` in a module
 here, give it a unique ``id``, and append the class to ``ALL_RULES``.
 Trigger/clean/suppression fixtures in ``tests/test_checks_rules.py`` are
 required for every rule (the test suite asserts the battery is covered).
+
+Rules needing cross-file facts (the ``THR``/``ALS`` families) consume the
+shared semantic model via ``project.model()`` in their ``finalize`` pass —
+see :mod:`repro.checks.analysis`.
 """
 
+from repro.checks.rules.aliasing import ArenaEscapeRule, OutAliasesInputRule
 from repro.checks.rules.atomic import NonAtomicCheckpointWriteRule
 from repro.checks.rules.base import ModuleContext, ProjectContext, Rule
+from repro.checks.rules.concurrency import (
+    ShmLifecycleRule,
+    UnbalancedLockRule,
+    UnjoinedThreadRule,
+    UnsynchronizedSharedWriteRule,
+)
 from repro.checks.rules.defaults import MutableDefaultArgumentRule
 from repro.checks.rules.division import GuardedDivisionRule
 from repro.checks.rules.dtype import ExplicitDtypeBoundaryRule, Float32DowncastRule
@@ -31,6 +42,12 @@ __all__ = [
     "MutableDefaultArgumentRule",
     "NonAtomicCheckpointWriteRule",
     "HotLoopAllocationRule",
+    "UnsynchronizedSharedWriteRule",
+    "ShmLifecycleRule",
+    "UnbalancedLockRule",
+    "UnjoinedThreadRule",
+    "OutAliasesInputRule",
+    "ArenaEscapeRule",
 ]
 
 ALL_RULES: tuple[type[Rule], ...] = (
@@ -44,4 +61,10 @@ ALL_RULES: tuple[type[Rule], ...] = (
     MutableDefaultArgumentRule,
     NonAtomicCheckpointWriteRule,
     HotLoopAllocationRule,
+    UnsynchronizedSharedWriteRule,
+    ShmLifecycleRule,
+    UnbalancedLockRule,
+    UnjoinedThreadRule,
+    OutAliasesInputRule,
+    ArenaEscapeRule,
 )

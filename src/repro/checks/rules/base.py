@@ -67,6 +67,16 @@ class ProjectContext:
     def by_module(self) -> dict[str, ModuleContext]:
         return {m.module: m for m in self.modules if m.module}
 
+    def model(self):
+        """The shared semantic model (symbol table + call graph + summaries).
+
+        Built lazily on first use and cached, so every rule's ``finalize``
+        pass shares one :class:`repro.checks.analysis.ProjectModel`.
+        """
+        from repro.checks.analysis import build_model
+
+        return build_model(self)
+
     def find_sibling(self, ctx: ModuleContext, filename: str) -> "ModuleContext | None":
         """The scanned module living next to ``ctx`` with ``filename``."""
         target = ctx.path.parent / filename
@@ -79,14 +89,16 @@ class ProjectContext:
 class Rule:
     """Base class for one static-analysis rule.
 
-    Subclasses set ``id``, ``name``, ``description`` and optionally
-    ``default_options``; overrides passed at construction are merged over
-    the defaults.
+    Subclasses set ``id``, ``name``, ``description``, a ``severity`` tier
+    (``error`` | ``warning`` | ``note``; the default is ``warning``) and
+    optionally ``default_options``; overrides passed at construction are
+    merged over the defaults.
     """
 
     id: str = ""
     name: str = ""
     description: str = ""
+    severity: str = "warning"
     default_options: dict = {}
 
     def __init__(self, options: dict | None = None) -> None:
@@ -114,6 +126,7 @@ class Rule:
             rule=self.id,
             message=message,
             symbol=symbol,
+            severity=self.severity,
         )
 
 

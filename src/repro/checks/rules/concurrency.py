@@ -1,0 +1,302 @@
+"""Concurrency discipline (``THR0xx``), built on the project model.
+
+The campaign scheduler, the shared-memory transport and the parallel
+executor carry invariants a per-module lint cannot see: which functions
+actually run on spawned threads, whether shared state they write is lock
+protected, and whether every shared-memory segment is provably released.
+These rules consume :class:`repro.checks.analysis.ProjectModel` —
+the cross-file symbol table and call graph — to check them statically:
+
+* ``THR001`` — state shared with the spawning scope (closure variables,
+  ``global``s, ``self`` attributes) is written from a thread-target
+  function — or anything it calls, bounded-depth — without a lexically
+  enclosing ``with <lock>:``.  Thread-safe primitives (queues, events,
+  semaphores) are exempt.
+* ``THR002`` — a ``SharedMemory(create=True)`` /
+  ``SharedArrayBundle.create`` result whose ``close()``/``unlink()``
+  cannot be proven on all paths: not a ``with`` statement, no
+  ``try/finally`` cleanup, and the segment never escapes the function
+  (escaping transfers ownership to the caller or container).
+* ``THR003`` — a bare ``x.acquire()`` (outside a ``with``) whose matching
+  ``x.release()`` is absent or not inside a ``finally`` block, in the same
+  function.  Functions named like acquire-wrappers transfer ownership by
+  contract and are exempt.
+* ``THR004`` — a non-daemon ``threading.Thread`` that is started but never
+  joined and never escapes the spawning function.  ``daemon=True`` is the
+  explicit fire-and-forget opt-in.
+
+All four phrase findings as "cannot be proven": suppress genuine
+by-construction safety with ``# repro: noqa[THR00x]`` plus a comment
+stating the invariant (see ``docs/CHECKS.md``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.checks.findings import Finding
+from repro.checks.rules.base import ModuleContext, ProjectContext, Rule
+
+__all__ = [
+    "UnsynchronizedSharedWriteRule",
+    "ShmLifecycleRule",
+    "UnbalancedLockRule",
+    "UnjoinedThreadRule",
+]
+
+
+def _module_of(project: ProjectContext, module: str) -> ModuleContext:
+    return project.by_module()[module]
+
+
+class UnsynchronizedSharedWriteRule(Rule):
+    id = "THR001"
+    name = "unsynchronized-shared-write"
+    description = "thread-target functions writing shared state without a lock"
+    severity = "error"
+    default_options = {"paths": [], "depth": 3}
+
+    def finalize(self, project: ProjectContext) -> Iterable[Finding]:
+        model = project.model()
+        reported: set[tuple[str, int]] = set()
+        for qualname, info in sorted(model.functions.items()):
+            if not info.ctx.in_scope(self.options["paths"]):
+                continue
+            summary = model.summary(qualname)
+            for spawn in summary.thread_spawns:
+                target = model.resolve(spawn.target, info)
+                if target is None:
+                    continue
+                for reached in model.reachable_from(
+                    target, depth=int(self.options["depth"])
+                ):
+                    rs = model.summary(reached)
+                    rinfo = model.functions[reached]
+                    ctor = reached.rsplit(".", 1)[-1] == "__init__"
+                    for write in rs.captured_writes:
+                        if write.locked:
+                            continue
+                        if ctor and write.name.startswith("self"):
+                            # constructors initialize their own fresh
+                            # instance; nothing else can see it yet
+                            continue
+                        key = (reached, write.node.lineno)
+                        if key in reported:
+                            continue
+                        reported.add(key)
+                        short = reached.rsplit(".", 1)[-1]
+                        yield self.finding(
+                            rinfo.ctx,
+                            write.node,
+                            f"'{write.detail}' writes shared state "
+                            f"'{write.name}' from thread target '{short}' "
+                            f"(spawned at {info.ctx.display_path}:"
+                            f"{spawn.node.lineno}) without holding a lock; "
+                            "guard the write or make the state thread-local",
+                            symbol=short,
+                        )
+
+
+def _name_escapes(fn: ast.AST, name: str, exempt_methods: frozenset[str]) -> bool:
+    """True when ``name`` is returned, stored, or passed onward in ``fn``."""
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Return) and _mentions(node.value, name):
+            return True
+        if isinstance(node, ast.Assign):
+            if any(
+                not isinstance(t, ast.Name) and _target_roots_differ(t, name)
+                for t in node.targets
+            ) and _mentions(node.value, name):
+                return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == name
+                and func.attr in exempt_methods
+            ):
+                continue
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if _mentions(arg, name):
+                    return True
+        if isinstance(node, (ast.Yield, ast.YieldFrom)) and _mentions(
+            getattr(node, "value", None), name
+        ):
+            return True
+    return False
+
+
+def _mentions(node: ast.AST | None, name: str) -> bool:
+    if node is None:
+        return False
+    return any(
+        isinstance(n, ast.Name) and n.id == name for n in ast.walk(node)
+    )
+
+
+def _target_roots_differ(target: ast.AST, name: str) -> bool:
+    """Assignment into a container/attribute other than ``name`` itself."""
+    while isinstance(target, (ast.Attribute, ast.Subscript, ast.Starred)):
+        target = target.value
+    return not (isinstance(target, ast.Name) and target.id == name)
+
+
+def _cleanup_in_finally(fn: ast.AST, name: str) -> bool:
+    """``name.close()`` or ``name.unlink()`` inside any ``finally`` block."""
+    for node in ast.walk(fn):
+        if not isinstance(node, ast.Try):
+            continue
+        for stmt in node.finalbody:
+            for call in ast.walk(stmt):
+                if (
+                    isinstance(call, ast.Call)
+                    and isinstance(call.func, ast.Attribute)
+                    and call.func.attr in ("close", "unlink", "shutdown")
+                    and isinstance(call.func.value, ast.Name)
+                    and call.func.value.id == name
+                ):
+                    return True
+    return False
+
+
+class ShmLifecycleRule(Rule):
+    id = "THR002"
+    name = "shm-lifecycle"
+    description = "SharedMemory segments whose close()/unlink() is not provable"
+    severity = "error"
+    default_options = {"paths": []}
+
+    _ESCAPE_EXEMPT = frozenset({"close", "unlink", "buf"})
+
+    def finalize(self, project: ProjectContext) -> Iterable[Finding]:
+        model = project.model()
+        for qualname, info in sorted(model.functions.items()):
+            if not info.ctx.in_scope(self.options["paths"]):
+                continue
+            summary = model.summary(qualname)
+            for creation in summary.shm_creations:
+                if creation.in_with or creation.escapes:
+                    continue
+                name = creation.assigned_to
+                if name is None:
+                    # created in expression position outside a with: leaks
+                    # unless it is immediately returned (escape handled above)
+                    yield self._leak(info, creation.node, qualname, "<unnamed>")
+                    continue
+                if _cleanup_in_finally(info.node, name):
+                    continue
+                if _name_escapes(info.node, name, self._ESCAPE_EXEMPT):
+                    continue
+                yield self._leak(info, creation.node, qualname, name)
+
+    def _leak(self, info, node: ast.AST, qualname: str, name: str) -> Finding:
+        short = qualname.rsplit(".", 1)[-1]
+        return self.finding(
+            info.ctx,
+            node,
+            f"shared-memory segment '{name}' created in '{short}' may leak: "
+            "close()/unlink() not provable on all paths — use a with block "
+            "or a try/finally, or hand ownership to a caller/container",
+            symbol=short,
+        )
+
+
+class UnbalancedLockRule(Rule):
+    id = "THR003"
+    name = "unbalanced-acquire-release"
+    description = "bare acquire() without a release() in a finally block"
+    severity = "error"
+    default_options = {"paths": []}
+
+    def finalize(self, project: ProjectContext) -> Iterable[Finding]:
+        model = project.model()
+        for qualname, info in sorted(model.functions.items()):
+            if not info.ctx.in_scope(self.options["paths"]):
+                continue
+            short = qualname.rsplit(".", 1)[-1]
+            if "acquire" in short or "lock" in short.lower():
+                continue  # acquire-wrappers transfer ownership by contract
+            if short in ("__enter__", "__exit__"):
+                continue  # the with-protocol splits the pair by design
+            summary = model.summary(qualname)
+            acquires = [
+                op for op in summary.lock_ops if op.op == "acquire" and not op.in_with
+            ]
+            if not acquires:
+                continue
+            released_in_finally = {
+                op.receiver
+                for op in summary.lock_ops
+                if op.op == "release" and op.in_finally
+            }
+            for op in acquires:
+                if op.receiver in released_in_finally:
+                    continue
+                has_release = any(
+                    o.op == "release" and o.receiver == op.receiver
+                    for o in summary.lock_ops
+                )
+                problem = (
+                    "release() is not inside a finally block"
+                    if has_release
+                    else "no matching release() in this function"
+                )
+                yield self.finding(
+                    info.ctx,
+                    op.node,
+                    f"'{op.receiver}.acquire()' in '{short}' is unbalanced: "
+                    f"{problem}; prefer 'with {op.receiver}:' or release in "
+                    "a finally",
+                    symbol=short,
+                )
+
+
+class UnjoinedThreadRule(Rule):
+    id = "THR004"
+    name = "unjoined-thread"
+    description = "non-daemon threads that are started but never joined"
+    severity = "warning"
+    default_options = {"paths": []}
+
+    def finalize(self, project: ProjectContext) -> Iterable[Finding]:
+        model = project.model()
+        for qualname, info in sorted(model.functions.items()):
+            if not info.ctx.in_scope(self.options["paths"]):
+                continue
+            summary = model.summary(qualname)
+            spawns = [s for s in summary.thread_spawns if s.kind == "thread"]
+            if not spawns:
+                continue
+            assigned = self._spawn_assignments(info.node)
+            short = qualname.rsplit(".", 1)[-1]
+            for spawn in spawns:
+                if spawn.daemon:
+                    continue
+                name = assigned.get(id(spawn.node))
+                if name is None:
+                    continue  # unassigned thread objects cannot be join-checked
+                started = any(expr == f"{name}.start" for _n, expr in summary.calls)
+                if not started or name in summary.joined:
+                    continue
+                if _name_escapes(info.node, name, frozenset({"start", "join"})):
+                    continue
+                yield self.finding(
+                    info.ctx,
+                    spawn.node,
+                    f"thread '{name}' started in '{short}' is never joined "
+                    "and never escapes; join it (or pass daemon=True for an "
+                    "explicit fire-and-forget)",
+                    symbol=short,
+                )
+
+    def _spawn_assignments(self, fn: ast.AST) -> dict[int, str]:
+        """Map each Thread(...) ctor node id to the name it is assigned to."""
+        out: dict[int, str] = {}
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and isinstance(node.value, ast.Call):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        out[id(node.value)] = target.id
+        return out

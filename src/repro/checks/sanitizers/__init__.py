@@ -1,0 +1,62 @@
+"""Runtime sanitizers: dynamic counterparts of the THR/ALS static rules.
+
+The static analyzer (:mod:`repro.checks`) proves what it can from source;
+these sanitizers catch what only execution reveals — actual lock
+acquisition *order*, actual segment lifecycles, actual buffer overlap:
+
+=====================  ===============================================
+:class:`LockOrderSanitizer`  cyclic lock-acquisition order (latent
+                             deadlocks) — raises
+                             :class:`LockOrderViolation` on exit
+:class:`ShmLeakTracker`      shared-memory segments created but never
+                             unlinked — raises :class:`ShmLeakError`,
+                             unlinking the leaks first by default
+:class:`AliasGuard`          ``np.matmul``/``np.dot`` called with an
+                             ``out=`` aliasing an input — raises
+                             :class:`AliasingViolation` at the call
+=====================  ===============================================
+
+Each is an independent context manager; :func:`sanitize` stacks them.
+The test suite wires them in via ``pytest --sanitize`` (see
+``tests/conftest.py``); individual tests that *deliberately* violate an
+invariant opt out with ``@pytest.mark.no_sanitize``.  All three work by
+monkeypatching process-global entry points, so nesting the same
+sanitizer twice is unsupported and activation is not thread-safe —
+activate on the main thread before spawning workers.
+"""
+
+from __future__ import annotations
+
+from contextlib import ExitStack, contextmanager
+
+from repro.checks.sanitizers.aliasguard import AliasGuard, AliasingViolation
+from repro.checks.sanitizers.lockorder import LockOrderSanitizer, LockOrderViolation
+from repro.checks.sanitizers.shmtrack import ShmLeakError, ShmLeakTracker
+
+__all__ = [
+    "AliasGuard",
+    "AliasingViolation",
+    "LockOrderSanitizer",
+    "LockOrderViolation",
+    "ShmLeakError",
+    "ShmLeakTracker",
+    "sanitize",
+]
+
+
+@contextmanager
+def sanitize(
+    lock_order: bool = True,
+    shm_leaks: bool = True,
+    aliasing: bool = True,
+    shm_cleanup: bool = True,
+):
+    """Activate the selected sanitizers for the duration of the block."""
+    with ExitStack() as stack:
+        if lock_order:
+            stack.enter_context(LockOrderSanitizer())
+        if shm_leaks:
+            stack.enter_context(ShmLeakTracker(cleanup=shm_cleanup))
+        if aliasing:
+            stack.enter_context(AliasGuard())
+        yield

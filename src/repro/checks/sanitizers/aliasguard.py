@@ -1,0 +1,69 @@
+"""Array-aliasing guard: runtime twin of the static ``ALS001`` rule.
+
+``np.matmul(a, b, out=x)`` with ``x`` overlapping ``a`` or ``b`` reads
+memory it is concurrently writing — numpy does not reject it, the result
+is silently wrong, and whether a test notices depends on shapes and
+BLAS kernel choice.  The guard patches the alias-unsafe entry points the
+repo's fused kernels use (``np.matmul``, ``np.dot``) to check, before
+every call, that the ``out=`` buffer shares no memory with any input
+operand (:func:`np.shares_memory`), raising :class:`AliasingViolation`
+at the exact offending call.
+
+Elementwise ufuncs are deliberately unguarded: in-place elementwise
+rewriting (``np.multiply(x, m, out=x)``) is well-defined and is the
+fast path's main trick.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["AliasGuard", "AliasingViolation"]
+
+_GUARDED = ("matmul", "dot")
+
+
+class AliasingViolation(RuntimeError):
+    """Raised when an ``out=`` buffer aliases a read operand."""
+
+
+class AliasGuard:
+    """Context manager wrapping numpy's contraction kernels with checks."""
+
+    def __init__(self) -> None:
+        self._originals: dict[str, object] = {}
+
+    def __enter__(self) -> "AliasGuard":
+        for name in _GUARDED:
+            original = getattr(np, name)
+            self._originals[name] = original
+            setattr(np, name, self._wrap(name, original))
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        for name, original in self._originals.items():
+            setattr(np, name, original)
+        self._originals.clear()
+        return False
+
+    def _wrap(self, name: str, original):
+        def guarded(*args, out=None, **kwargs):
+            if out is not None:
+                outs = out if isinstance(out, tuple) else (out,)
+                for buffer in outs:
+                    if not isinstance(buffer, np.ndarray):
+                        continue
+                    for i, operand in enumerate(args):
+                        if not isinstance(operand, np.ndarray):
+                            continue
+                        if np.shares_memory(buffer, operand):
+                            raise AliasingViolation(
+                                f"np.{name}: out= buffer shares memory with "
+                                f"input operand {i}; contraction kernels "
+                                "need disjoint buffers (static rule ALS001)"
+                            )
+                kwargs["out"] = out
+            return original(*args, **kwargs)
+
+        guarded.__name__ = name
+        return guarded

@@ -1,0 +1,91 @@
+"""Shared-memory leak tracker: fail tests that strand OS segments.
+
+A leaked ``SharedMemory`` segment outlives the process — ``/dev/shm``
+fills up across a test session and the resource tracker spews warnings
+long after the culprit test finished.  The static ``THR002`` rule proves
+lifecycles it can see; this tracker catches the rest at runtime:
+
+* ``SharedMemory.__init__`` is patched to register every segment this
+  process *creates* (``create=True``) with its creation site;
+* ``unlink`` deregisters — unlinking is the create-side release act
+  (``close`` only drops this process's mapping);
+* on context exit, surviving registrations raise :class:`ShmLeakError`
+  listing each leaked segment and where it was created.  With
+  ``cleanup=True`` (the default) the leaked segments are unlinked first,
+  so one failing test cannot starve the rest of the session.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from multiprocessing import shared_memory
+
+__all__ = ["ShmLeakTracker", "ShmLeakError"]
+
+
+class ShmLeakError(RuntimeError):
+    """Raised when created shared-memory segments were never unlinked."""
+
+
+class ShmLeakTracker:
+    """Context manager registering segment creations against unlinks."""
+
+    def __init__(self, cleanup: bool = True) -> None:
+        self.cleanup = cleanup
+        self._live: dict[str, str] = {}   # segment name -> creation site
+        self._mutex = threading.Lock()
+        self._orig_init = None
+        self._orig_unlink = None
+
+    def __enter__(self) -> "ShmLeakTracker":
+        tracker = self
+        self._orig_init = shared_memory.SharedMemory.__init__
+        self._orig_unlink = shared_memory.SharedMemory.unlink
+        orig_init = self._orig_init
+        orig_unlink = self._orig_unlink
+
+        def init(shm_self, *args, **kwargs):
+            orig_init(shm_self, *args, **kwargs)
+            created = kwargs.get("create", args[1] if len(args) > 1 else False)
+            if created:
+                frame = sys._getframe(1)
+                site = f"{frame.f_code.co_filename}:{frame.f_lineno}"
+                with tracker._mutex:
+                    tracker._live[shm_self.name] = site
+
+        def unlink(shm_self):
+            with tracker._mutex:
+                tracker._live.pop(shm_self.name, None)
+            return orig_unlink(shm_self)
+
+        shared_memory.SharedMemory.__init__ = init
+        shared_memory.SharedMemory.unlink = unlink
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        shared_memory.SharedMemory.__init__ = self._orig_init
+        shared_memory.SharedMemory.unlink = self._orig_unlink
+        with self._mutex:
+            leaked = dict(self._live)
+            self._live.clear()
+        if self.cleanup:
+            for name in leaked:
+                try:
+                    seg = shared_memory.SharedMemory(name=name)
+                    seg.close()
+                    seg.unlink()
+                except (FileNotFoundError, OSError):  # already gone: fine
+                    pass
+        if leaked and exc_type is None:
+            rows = [f"'{name}' created at {site}" for name, site in sorted(leaked.items())]
+            raise ShmLeakError(
+                "shared-memory segment(s) never unlinked:\n  " + "\n  ".join(rows)
+            )
+        return False
+
+    @property
+    def live(self) -> dict[str, str]:
+        """Segments currently registered as created-but-not-unlinked."""
+        with self._mutex:
+            return dict(self._live)

@@ -160,7 +160,10 @@ class ReLU(Layer):
             return np.where(self._mask, x, 0.0)
         mask = ws.buffer((self._ws_tag, "mask"), x.shape, dtype=bool)
         np.greater(x, 0, out=mask)
-        self._mask = mask
+        # Safe arena persistence: the key is unique to this layer instance
+        # and backward() consumes the mask before the next forward() could
+        # re-request (and clobber) it.
+        self._mask = mask  # repro: noqa[ALS002]
         if ws.owns(x):
             # Fuse with the producing Dense: rectify its buffer in place.
             np.multiply(x, mask, out=x)

@@ -21,6 +21,7 @@ Hardening (each recovery path is proven by fault injection in
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FuturesTimeoutError
@@ -118,30 +119,43 @@ class ParallelExecutor:
         self.backoff = float(backoff)
         self.persistent = bool(persistent)
         self._pool: ProcessPoolExecutor | None = None
+        # Guards the check-then-create/swap of self._pool: a campaign's
+        # emit thread closing the executor must not race another thread's
+        # lazy pool creation (the loser's pool would leak its workers).
+        self._pool_lock = threading.Lock()
 
     # ------------------------------------------------------- pool lifecycle
     def _acquire_pool(self, workers: int) -> tuple[ProcessPoolExecutor, bool]:
         """``(pool, pooled)`` — ``pooled`` marks a kept-alive persistent pool."""
         if not self.persistent:
             return ProcessPoolExecutor(max_workers=workers), False
-        if self._pool is None:
-            # Full width regardless of this call's payload count, so later
-            # (possibly larger) batches reuse the same warm pool.
-            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
-        return self._pool, True
+        with self._pool_lock:
+            if self._pool is None:
+                # Full width regardless of this call's payload count, so later
+                # (possibly larger) batches reuse the same warm pool.
+                self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            return self._pool, True
 
     def _release_pool(self, pool: ProcessPoolExecutor, pooled: bool, unhealthy: bool) -> None:
         """Tear down per-call pools; keep a healthy persistent pool warm."""
         if pooled:
             if not unhealthy:
                 return  # stays warm for the next map_outcomes call
-            self._pool = None  # recycle: recreate lazily on next use
+            with self._pool_lock:
+                if self._pool is pool:
+                    self._pool = None  # recycle: recreate lazily on next use
         # wait=False so a hung (timed-out) worker cannot block shutdown.
         pool.shutdown(wait=not unhealthy and self.timeout is None, cancel_futures=True)
 
     def close(self) -> None:
-        """Shut down the persistent pool (idempotent; no-op when not persistent)."""
-        pool, self._pool = self._pool, None
+        """Shut down the persistent pool (idempotent; no-op when not persistent).
+
+        Thread-safe: concurrent ``close()`` calls shut the pool down once,
+        and a close racing :meth:`_acquire_pool` can never strand a
+        freshly created pool.
+        """
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
         if pool is not None:
             pool.shutdown(wait=True, cancel_futures=True)
 

@@ -362,6 +362,10 @@ class CampaignScheduler:
         stop = threading.Event()
         errors: list[tuple[str, int, BaseException]] = []
         err_lock = threading.Lock()
+        # busy and results are written from three threads (prefetcher,
+        # caller, emitter); dict/list item writes are not atomic under
+        # free-threaded builds, so every cross-thread write takes this.
+        stats_lock = threading.Lock()
 
         def fail(stage: str, t: int, exc: BaseException) -> None:
             with err_lock:
@@ -377,7 +381,8 @@ class CampaignScheduler:
                     t0 = time.perf_counter()
                     with span("campaign.prefetch", timestep=t):
                         item = self.materialize(t)
-                    busy["prefetch"] += time.perf_counter() - t0
+                    with stats_lock:
+                        busy["prefetch"] += time.perf_counter() - t0
                     _stoppable_put(fetch_q, (i, t, item), stop)
             except _Stop:
                 return
@@ -393,10 +398,10 @@ class CampaignScheduler:
                 try:
                     t0 = time.perf_counter()
                     with span("campaign.reconstruct", timestep=t):
-                        results[i] = (
-                            self.emit(t, payload) if self.emit is not None else payload
-                        )
-                    busy["emit"] += time.perf_counter() - t0
+                        out = self.emit(t, payload) if self.emit is not None else payload
+                    with stats_lock:
+                        results[i] = out
+                        busy["emit"] += time.perf_counter() - t0
                 except BaseException as exc:  # noqa: BLE001 - re-raised by run()
                     fail("emit", t, exc)
                     return
@@ -417,7 +422,8 @@ class CampaignScheduler:
                 t0 = time.perf_counter()
                 with span("campaign.finetune", timestep=t):
                     payload = self.process(t, item)
-                busy["process"] += time.perf_counter() - t0
+                with stats_lock:
+                    busy["process"] += time.perf_counter() - t0
                 _stoppable_acquire(slots, stop)
                 emit_q.put((i, t, payload))
         except _Stop:
@@ -906,6 +912,12 @@ def make_reconstruction_sink(
         except OSError:
             pool.close()
             record_event("campaign.pool_unavailable", fallback="local")
+        except BaseException:
+            # bind() failures beyond "no usable shm" are real errors, but
+            # the half-bound pool still owns segments and workers — release
+            # them before propagating or they outlive the test/run.
+            pool.close()
+            raise
     sink = LocalReconstructionSink(slots=slots)
     sink.bind(geometry, models)
     return sink

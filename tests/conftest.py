@@ -1,4 +1,13 @@
-"""Shared fixtures: small grids/fields/samples sized for fast tests."""
+"""Shared fixtures: small grids/fields/samples sized for fast tests.
+
+Also wires the runtime sanitizers (``repro.checks.sanitizers``) into the
+suite: ``pytest --sanitize`` wraps every test in the lock-order, shm-leak
+and array-aliasing sanitizers, so latent deadlocks, stranded ``/dev/shm``
+segments and aliased ``out=`` kernels fail the owning test instead of
+poisoning the session.  Tests that violate an invariant *on purpose*
+(the sanitizers' own trigger tests) opt out with
+``@pytest.mark.no_sanitize``.
+"""
 
 from __future__ import annotations
 
@@ -8,6 +17,37 @@ import pytest
 from repro.datasets import HurricaneDataset
 from repro.grid import UniformGrid
 from repro.sampling import MultiCriteriaSampler, RandomSampler
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--sanitize",
+        action="store_true",
+        default=False,
+        help="wrap every test in the repro.checks runtime sanitizers "
+        "(lock order, shm leaks, out= aliasing)",
+    )
+
+
+def pytest_configure(config: pytest.Config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "no_sanitize: disable the runtime sanitizers for this test "
+        "(for tests that deliberately violate a sanitized invariant)",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _runtime_sanitizers(request: pytest.FixtureRequest):
+    if not request.config.getoption("--sanitize") or request.node.get_closest_marker(
+        "no_sanitize"
+    ):
+        yield
+        return
+    from repro.checks.sanitizers import sanitize
+
+    with sanitize():
+        yield
 
 
 @pytest.fixture

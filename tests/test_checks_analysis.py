@@ -1,0 +1,197 @@
+"""The project-wide semantic model: symbols, summaries, call graph.
+
+These tests build :class:`~repro.checks.analysis.ProjectModel` directly
+from in-memory modules, asserting the layer the THR/ALS rules stand on:
+import resolution (absolute, aliased, relative, re-exported), qualified
+names for methods and closures, function summaries (captured writes,
+lock tracking, shm creations, out= flows) and bounded call-graph
+reachability.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.checks.analysis import build_model
+from repro.checks.rules.base import ModuleContext, ProjectContext
+
+
+def _project(tree: dict[str, str], root: Path) -> ProjectContext:
+    """Build a ProjectContext from {dotted_module: source} without disk IO."""
+    project = ProjectContext()
+    for module, source in tree.items():
+        rel = module.replace(".", "/")
+        path = root / (f"{rel}/__init__.py" if source.startswith("#pkg") else f"{rel}.py")
+        project.modules.append(
+            ModuleContext.from_source(
+                source, path=path, display_path=path.as_posix(), module=module
+            )
+        )
+    return project
+
+
+WORKER = """
+import threading
+
+COUNTS = {}
+
+def bump(key):
+    COUNTS[key] = COUNTS.get(key, 0) + 1
+
+def bump_locked(key, lock):
+    with lock:
+        COUNTS[key] = COUNTS.get(key, 0) + 1
+"""
+
+SPAWNER = """
+import threading
+from app.worker import bump
+
+def launch():
+    t = threading.Thread(target=bump, args=("a",))
+    t.start()
+    t.join()
+"""
+
+
+def test_functions_and_methods_get_qualified_names(tmp_path):
+    src = """
+class Box:
+    def get(self):
+        return self._v
+
+def top():
+    def inner():
+        return 1
+    return inner
+"""
+    model = build_model(_project({"m": src}, tmp_path))
+    assert "m.Box.get" in model.functions
+    assert "m.top" in model.functions
+    assert "m.top.<locals>.inner" in model.functions
+    assert model.functions["m.top.<locals>.inner"].parent == "m.top"
+
+
+def test_import_table_resolves_aliases_and_relatives(tmp_path):
+    tree = {
+        "app": "#pkg\nfrom app.worker import bump\n",
+        "app.worker": WORKER,
+        "app.spawn": "from . import bump\nimport app.worker as w\n",
+    }
+    model = build_model(_project(tree, tmp_path))
+    assert model.imports["app.spawn"]["bump"] == "app.bump"
+    assert model.imports["app.spawn"]["w"] == "app.worker"
+    # resolve() follows the app re-export to the defining module
+    info = model.functions["app.worker.bump"]
+    spawn_ctx = next(m for m in model.modules.values() if m.module == "app.spawn")
+    assert info.module == "app.worker"
+
+
+def test_resolve_follows_reexport_chain(tmp_path):
+    tree = {
+        "app": "#pkg\nfrom app.worker import bump\n",
+        "app.worker": WORKER,
+        "app.caller": "from app import bump\n\ndef go():\n    bump('x')\n",
+    }
+    model = build_model(_project(tree, tmp_path))
+    caller = model.functions["app.caller.go"]
+    assert model.resolve("bump", caller) == "app.worker.bump"
+
+
+def test_summary_captures_unlocked_and_locked_writes(tmp_path):
+    model = build_model(_project({"app.worker": WORKER}, tmp_path))
+    unlocked = model.summary("app.worker.bump")
+    assert any(w.name == "COUNTS" and not w.locked for w in unlocked.captured_writes)
+    locked = model.summary("app.worker.bump_locked")
+    assert all(w.locked for w in locked.captured_writes if w.name == "COUNTS")
+
+
+def test_summary_ignores_purely_local_writes(tmp_path):
+    src = "def f():\n    acc = {}\n    acc['k'] = 1\n    return acc\n"
+    model = build_model(_project({"m": src}, tmp_path))
+    assert not model.summary("m.f").captured_writes
+
+
+def test_thread_spawn_and_reachability_cross_module(tmp_path):
+    tree = {
+        "app": "#pkg\n",
+        "app.worker": WORKER,
+        "app.spawn": SPAWNER,
+    }
+    model = build_model(_project(tree, tmp_path))
+    launch = model.summary("app.spawn.launch")
+    assert len(launch.thread_spawns) == 1
+    target = model.resolve(
+        launch.thread_spawns[0].target, model.functions["app.spawn.launch"]
+    )
+    assert target == "app.worker.bump"
+    assert "app.worker.bump" in model.reachable_from(target, depth=1)
+
+
+def test_reachability_is_depth_bounded(tmp_path):
+    chain = "\n".join(
+        f"def f{i}():\n    f{i + 1}()" for i in range(5)
+    ) + "\ndef f5():\n    pass\n"
+    model = build_model(_project({"m": chain}, tmp_path))
+    shallow = model.reachable_from("m.f0", depth=2)
+    assert "m.f2" in shallow and "m.f4" not in shallow
+
+
+def test_resolve_self_method_from_nested_closure(tmp_path):
+    src = """
+class Sched:
+    def work(self, t):
+        return t
+
+    def run(self):
+        def loop():
+            self.work(1)
+        return loop
+"""
+    model = build_model(_project({"m": src}, tmp_path))
+    loop = model.functions["m.Sched.run.<locals>.loop"]
+    assert model.resolve("self.work", loop) == "m.Sched.work"
+
+
+def test_summary_records_shm_creation_and_escape(tmp_path):
+    src = """
+from multiprocessing.shared_memory import SharedMemory
+
+def local_leak():
+    shm = SharedMemory(create=True, size=8)
+    return 1
+
+def stored(registry):
+    registry['seg'] = SharedMemory(create=True, size=8)
+"""
+    model = build_model(_project({"m": src}, tmp_path))
+    leak = model.summary("m.local_leak").shm_creations
+    assert len(leak) == 1 and leak[0].assigned_to == "shm" and not leak[0].escapes
+    # attach-only (create=False / default) is not a creation
+    attach = "from multiprocessing.shared_memory import SharedMemory\n" \
+             "def attach(name):\n    return SharedMemory(name=name)\n"
+    model2 = build_model(_project({"m2": attach}, tmp_path))
+    assert not model2.summary("m2.attach").shm_creations
+
+
+def test_summary_records_out_flow_through_params(tmp_path):
+    src = """
+import numpy as np
+
+def fused(x, w, out):
+    np.matmul(x, w, out=out)
+    return out
+"""
+    model = build_model(_project({"m": src}, tmp_path))
+    flows = model.summary("m.fused").out_flows
+    assert {(f.in_param, f.out_param, f.op) for f in flows} == {
+        ("x", "out", "matmul"),
+        ("w", "out", "matmul"),
+    }
+
+
+def test_model_is_cached_per_project(tmp_path):
+    project = _project({"m": "def f():\n    pass\n"}, tmp_path)
+    assert build_model(project) is build_model(project)
+    assert project.model() is build_model(project)

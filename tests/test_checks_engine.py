@@ -5,7 +5,10 @@ from __future__ import annotations
 import json
 import subprocess
 import sys
+import warnings
 from pathlib import Path
+
+import pytest
 
 from repro.checks import (
     Baseline,
@@ -14,6 +17,7 @@ from repro.checks import (
     format_json,
     format_text,
     load_baseline,
+    migrate_baseline,
     module_name_for,
     parse_noqa,
     run_checks,
@@ -79,6 +83,54 @@ def test_baseline_entry_consumed_once():
 
 def test_missing_baseline_file_is_empty(tmp_path):
     assert len(load_baseline(tmp_path / "nope.json")) == 0
+
+
+def test_baseline_written_as_v2_with_family_and_severity(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline(path, [Finding("a.py", 3, 0, "THR001", "msg", severity="error")])
+    data = json.loads(path.read_text())
+    assert data["version"] == 2
+    entry = data["findings"][0]
+    assert entry["family"] == "THR" and entry["severity"] == "error"
+
+
+def test_v1_baseline_loads_with_deprecation_warning(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({
+        "version": 1,
+        "findings": [{"path": "a.py", "rule": "RNG001", "message": "msg"}],
+    }))
+    with pytest.warns(DeprecationWarning, match="deprecated v1 format"):
+        baseline = load_baseline(path)
+    new, old = baseline.split([Finding("a.py", 5, 0, "RNG001", "msg")])
+    assert not new and len(old) == 1  # fingerprints unchanged across formats
+
+
+def test_migrate_baseline_upgrades_v1_in_place(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({
+        "version": 1,
+        "findings": [{"path": "a.py", "rule": "RNG001", "message": "msg"}],
+    }))
+    assert migrate_baseline(path) is True
+    data = json.loads(path.read_text())
+    assert data["version"] == 2
+    entry = data["findings"][0]
+    assert entry["family"] == "RNG" and entry["severity"] == "warning"
+    # still matches the same finding, and loads without a warning now
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        baseline = load_baseline(path)
+    assert len(baseline) == 1
+    # already-current file is a no-op
+    assert migrate_baseline(path) is False
+
+
+def test_future_baseline_version_is_rejected(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "findings": []}))
+    with pytest.raises(ValueError, match="version 99"):
+        load_baseline(path)
 
 
 # ----------------------------------------------------------------- engine
@@ -163,8 +215,51 @@ def test_cli_rejects_unknown_rule_ids(tmp_path, capsys):
 def test_cli_list_rules(capsys):
     assert checks_main(["--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule_id in ("RNG001", "DIV001", "IMP001", "DEF001"):
+    for rule_id in ("RNG001", "DIV001", "IMP001", "DEF001",
+                    "THR001", "THR004", "ALS001", "ALS002"):
         assert rule_id in out
+    assert "error" in out and "warning" in out  # severity column
+    assert "[--fix]" in out                     # fixable rules are marked
+
+
+def test_cli_normalizes_argparse_systemexit(capsys):
+    # main() is a pure function of argv: usage errors return 2, --help
+    # returns 0, neither raises SystemExit.
+    assert checks_main(["--totally-bogus-flag"]) == 2
+    assert checks_main(["--help"]) == 0
+    assert checks_main(["--format", "nonsense"]) == 2
+    capsys.readouterr()
+
+
+def test_cli_exit_code_is_severity_blind(tmp_path, capsys):
+    # A note-severity finding (NOQA001) fails the run exactly like an error.
+    target = tmp_path / "m.py"
+    target.write_text("x = 1  # repro: noqa[TYPO99]\n")
+    assert checks_main([str(tmp_path)]) == 1
+    capsys.readouterr()
+
+
+def test_cli_migrate_baseline(tmp_path, capsys):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({
+        "version": 1,
+        "findings": [{"path": "a.py", "rule": "RNG001", "message": "msg"}],
+    }))
+    assert checks_main(["--baseline", str(path), "--migrate-baseline"]) == 0
+    assert "migrated to v2" in capsys.readouterr().out
+    assert json.loads(path.read_text())["version"] == 2
+    assert checks_main(["--baseline", str(path), "--migrate-baseline"]) == 0
+    assert "already current" in capsys.readouterr().out
+    assert checks_main(["--migrate-baseline"]) == 2
+    capsys.readouterr()
+
+
+def test_text_output_includes_severity_summary(tmp_path, capsys):
+    dirty = tmp_path / "dirty.py"
+    dirty.write_text(TRIGGER)
+    assert checks_main([str(dirty)]) == 1
+    out = capsys.readouterr().out
+    assert "1 finding (1 warning)" in out
 
 
 def test_repro_cli_check_subcommand(tmp_path, capsys):

@@ -1,0 +1,129 @@
+"""Autofixes (``repro check --fix``): DT001 and DEF001 rewrites."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.checks import CheckConfig, FIXABLE_RULES, fix_source, run_checks
+from repro.checks.cli import main as checks_main
+
+
+def _findings(tmp_path, relpath: str, source: str, rule: str):
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(source)
+    return run_checks([tmp_path], CheckConfig(select=frozenset({rule}))).findings
+
+
+def test_fixable_rules_registry():
+    assert FIXABLE_RULES == {"DT001", "DEF001"}
+
+
+# ------------------------------------------------------------------- DT001
+def test_dtype_fix_appends_kwarg(tmp_path):
+    src = "import numpy as np\ndef f(x):\n    return np.asarray(x)\n"
+    findings = _findings(tmp_path, "nn/m.py", src, "DT001")
+    fixed, applied = fix_source(src, findings)
+    assert applied == 1
+    assert "np.asarray(x, dtype=np.float64)" in fixed
+    assert not _findings(tmp_path, "nn/m.py", fixed, "DT001")
+
+
+def test_dtype_fix_handles_multiline_call(tmp_path):
+    src = (
+        "import numpy as np\n"
+        "def f(x):\n"
+        "    return np.array(\n"
+        "        x\n"
+        "    )\n"
+    )
+    findings = _findings(tmp_path, "nn/m.py", src, "DT001")
+    fixed, applied = fix_source(src, findings)
+    assert applied == 1
+    ast.parse(fixed)  # still valid syntax
+    assert not _findings(tmp_path, "nn/m.py", fixed, "DT001")
+
+
+def test_dtype_fix_multiple_sites_in_one_file(tmp_path):
+    src = (
+        "import numpy as np\n"
+        "def f(x, y):\n"
+        "    return np.asarray(x) + np.asarray(y)\n"
+    )
+    findings = _findings(tmp_path, "nn/m.py", src, "DT001")
+    fixed, applied = fix_source(src, findings)
+    assert applied == 2
+    assert fixed.count("dtype=np.float64") == 2
+
+
+# ------------------------------------------------------------------ DEF001
+def test_mutable_default_fix_rewrites_to_none_guard(tmp_path):
+    src = "def collect(x, into=[]):\n    into.append(x)\n    return into\n"
+    findings = _findings(tmp_path, "m.py", src, "DEF001")
+    fixed, applied = fix_source(src, findings)
+    assert applied == 1
+    assert "into=None" in fixed
+    assert "if into is None:" in fixed
+    assert not _findings(tmp_path, "m.py", fixed, "DEF001")
+    # the rewritten function actually behaves per-call
+    ns: dict = {}
+    exec(fixed, ns)
+    assert ns["collect"](1) == [1]
+    assert ns["collect"](2) == [2]  # no state shared between calls
+
+
+def test_mutable_default_fix_respects_docstring(tmp_path):
+    src = (
+        "def collect(x, into={}):\n"
+        '    """Docstring stays first."""\n'
+        "    into[x] = True\n"
+        "    return into\n"
+    )
+    findings = _findings(tmp_path, "m.py", src, "DEF001")
+    fixed, applied = fix_source(src, findings)
+    assert applied == 1
+    tree = ast.parse(fixed)
+    fn = tree.body[0]
+    assert isinstance(fn.body[0], ast.Expr)  # docstring still first
+    assert isinstance(fn.body[1], ast.If)    # guard right after
+
+
+def test_mutable_default_fix_kwonly_and_set_call(tmp_path):
+    src = "def f(*, seen=set()):\n    return seen\n"
+    findings = _findings(tmp_path, "m.py", src, "DEF001")
+    fixed, applied = fix_source(src, findings)
+    assert applied == 1
+    assert "seen=None" in fixed and "seen = set()" in fixed
+
+
+def test_nonempty_default_is_left_for_a_human(tmp_path):
+    src = "def f(x, table={'a': 1}):\n    return table\n"
+    findings = _findings(tmp_path, "m.py", src, "DEF001")
+    fixed, applied = fix_source(src, findings)
+    assert applied == 0 and fixed == src
+
+
+def test_unfixable_rule_findings_are_ignored(tmp_path):
+    src = "import numpy as np\n\nrng = np.random.default_rng()\n"
+    findings = _findings(tmp_path, "m.py", src, "RNG002")
+    fixed, applied = fix_source(src, findings)
+    assert applied == 0 and fixed == src
+
+
+# --------------------------------------------------------------------- CLI
+def test_cli_fix_rewrites_in_place_and_exits_clean(tmp_path, capsys):
+    target = tmp_path / "nn" / "m.py"
+    target.parent.mkdir()
+    target.write_text("import numpy as np\ndef f(x):\n    return np.asarray(x)\n")
+    assert checks_main([str(tmp_path), "--select", "DT001", "--fix"]) == 0
+    assert "dtype=np.float64" in target.read_text()
+    capsys.readouterr()
+
+
+def test_cli_fix_leaves_unfixable_findings_failing(tmp_path, capsys):
+    target = tmp_path / "m.py"
+    target.write_text("import numpy as np\n\nrng = np.random.default_rng()\n")
+    before = target.read_text()
+    assert checks_main([str(tmp_path), "--fix"]) == 1
+    assert target.read_text() == before
+    capsys.readouterr()

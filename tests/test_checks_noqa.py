@@ -1,0 +1,113 @@
+"""noqa directive edge cases: multi-code lists, continuation lines,
+unknown-code ``NOQA001`` validation."""
+
+from __future__ import annotations
+
+from repro.checks import CheckConfig, parse_noqa, run_checks
+from repro.checks.engine import NOQA_RULE_ID
+
+
+# ----------------------------------------------------------- parsing edges
+def test_multi_code_suppression_covers_each_listed_rule():
+    d = parse_noqa("x = risky()  # repro: noqa[RNG001,DT002, DIV001]\n")
+    for rule in ("RNG001", "DT002", "DIV001"):
+        assert d.is_suppressed(1, rule)
+    assert not d.is_suppressed(1, "THR001")
+
+
+def test_two_directives_on_same_line_union():
+    # tokenize yields one comment per line; union behavior is exercised via
+    # repeated _collect on split scanning of un-tokenizable source.
+    src = "def broken(:\n    pass  # repro: noqa[RNG001] # repro: noqa[DIV001]\n"
+    d = parse_noqa(src)
+    assert d.is_suppressed(2, "RNG001")
+
+
+def test_empty_bracket_list_means_suppress_all():
+    d = parse_noqa("x = 1  # repro: noqa[]\n")
+    assert d.is_suppressed(1, "RNG001") and d.is_suppressed(1, "ZZZ999")
+
+
+def test_directive_on_continuation_line_does_not_cover_statement_start():
+    # Findings anchor at the node's lineno; a directive on a later physical
+    # line of the same statement must not silently suppress them.
+    src = (
+        "import numpy as np\n"
+        "rng = np.random.default_rng(\n"
+        ")  # repro: noqa[RNG002]\n"
+    )
+    d = parse_noqa(src)
+    assert d.is_suppressed(3, "RNG002")
+    assert not d.is_suppressed(2, "RNG002")
+
+
+def test_directive_must_anchor_on_reported_line(tmp_path):
+    target = tmp_path / "m.py"
+    target.write_text(
+        "import numpy as np\n"
+        "rng = np.random.default_rng(\n"
+        ")  # repro: noqa[RNG002]\n"
+    )
+    result = run_checks([tmp_path], CheckConfig(select=frozenset({"RNG002"})))
+    assert [f.rule for f in result.findings] == ["RNG002"]  # NOT suppressed
+
+    target.write_text(
+        "import numpy as np\n"
+        "rng = np.random.default_rng(  # repro: noqa[RNG002]\n"
+        ")\n"
+    )
+    result = run_checks([tmp_path], CheckConfig(select=frozenset({"RNG002"})))
+    assert not result.findings and result.suppressed == 1
+
+
+def test_whitespace_variants():
+    for text in (
+        "x=1 #repro:noqa[RNG001]\n",
+        "x=1  #  repro:  noqa[ RNG001 ]\n",
+        "x=1  # repro: noqa[RNG001,]\n",
+    ):
+        assert parse_noqa(text).is_suppressed(1, "RNG001"), text
+
+
+def test_listed_codes_enumeration():
+    d = parse_noqa(
+        "a = 1  # repro: noqa[RNG001, DIV001]\n"
+        "b = 2  # repro: noqa\n"
+        "c = 3  # repro: noqa[THR001]\n"
+    )
+    assert list(d.listed_codes()) == [
+        (1, "DIV001"),
+        (1, "RNG001"),
+        (3, "THR001"),
+    ]  # blanket directives name no codes
+
+
+# ------------------------------------------------------- NOQA001 validation
+def test_unknown_code_in_directive_is_reported(tmp_path):
+    (tmp_path / "m.py").write_text("x = 1  # repro: noqa[RNG01]\n")  # typo
+    result = run_checks([tmp_path])
+    assert [f.rule for f in result.findings] == [NOQA_RULE_ID]
+    finding = result.findings[0]
+    assert finding.severity == "note"
+    assert "RNG01" in finding.message and finding.line == 1
+
+
+def test_known_codes_produce_no_noqa_findings(tmp_path):
+    (tmp_path / "m.py").write_text(
+        "import numpy as np\n"
+        "rng = np.random.default_rng()  # repro: noqa[RNG002]\n"
+    )
+    result = run_checks([tmp_path])
+    assert not result.findings and result.suppressed == 1
+
+
+def test_unknown_code_alongside_known_suppression(tmp_path):
+    (tmp_path / "m.py").write_text(
+        "import numpy as np\n"
+        "rng = np.random.default_rng()  # repro: noqa[RNG002, BOGUS9]\n"
+    )
+    result = run_checks([tmp_path])
+    # RNG002 is still suppressed; the bogus code is still reported.
+    assert result.suppressed == 1
+    assert [f.rule for f in result.findings] == [NOQA_RULE_ID]
+    assert "BOGUS9" in result.findings[0].message

@@ -192,6 +192,174 @@ FIXTURES: dict[str, RuleFixture] = {
             "    np.savez_compressed(path, arr=arr)  # repro: noqa[ATM001]\n"
         ),
     ),
+    "THR001": RuleFixture(
+        relpath="repro_fixture/pipe.py",
+        trigger=(
+            "import threading\n"
+            "def run(items):\n"
+            "    total = {'n': 0}\n"
+            "    def worker():\n"
+            "        for _ in items:\n"
+            "            total['n'] += 1\n"
+            "    t = threading.Thread(target=worker)\n"
+            "    t.start()\n"
+            "    t.join()\n"
+            "    return total['n']\n"
+        ),
+        clean=(
+            "import threading\n"
+            "def run(items):\n"
+            "    total = {'n': 0}\n"
+            "    lock = threading.Lock()\n"
+            "    def worker():\n"
+            "        for _ in items:\n"
+            "            with lock:\n"
+            "                total['n'] += 1\n"
+            "    t = threading.Thread(target=worker)\n"
+            "    t.start()\n"
+            "    t.join()\n"
+            "    return total['n']\n"
+        ),
+        suppressed=(
+            "import threading\n"
+            "def run(items):\n"
+            "    total = {'n': 0}\n"
+            "    def worker():\n"
+            "        for _ in items:\n"
+            "            total['n'] += 1  # repro: noqa[THR001]\n"
+            "    t = threading.Thread(target=worker)\n"
+            "    t.start()\n"
+            "    t.join()\n"
+            "    return total['n']\n"
+        ),
+    ),
+    "THR002": RuleFixture(
+        relpath="repro_fixture/transport.py",
+        trigger=(
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "def publish(data):\n"
+            "    shm = SharedMemory(create=True, size=len(data))\n"
+            "    shm.buf[: len(data)] = data\n"
+            "    return len(data)\n"
+        ),
+        clean=(
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "def publish(data):\n"
+            "    shm = SharedMemory(create=True, size=len(data))\n"
+            "    try:\n"
+            "        shm.buf[: len(data)] = data\n"
+            "        return len(data)\n"
+            "    finally:\n"
+            "        shm.close()\n"
+            "        shm.unlink()\n"
+        ),
+        suppressed=(
+            "from multiprocessing.shared_memory import SharedMemory\n"
+            "def publish(data):\n"
+            "    shm = SharedMemory(create=True, size=len(data))  # repro: noqa[THR002]\n"
+            "    shm.buf[: len(data)] = data\n"
+            "    return len(data)\n"
+        ),
+    ),
+    "THR003": RuleFixture(
+        relpath="repro_fixture/state.py",
+        trigger=(
+            "import threading\n"
+            "GUARD = threading.Lock()\n"
+            "def update(store, key, value):\n"
+            "    GUARD.acquire()\n"
+            "    store[key] = value\n"
+            "    GUARD.release()\n"
+        ),
+        clean=(
+            "import threading\n"
+            "GUARD = threading.Lock()\n"
+            "def update(store, key, value):\n"
+            "    with GUARD:\n"
+            "        store[key] = value\n"
+        ),
+        suppressed=(
+            "import threading\n"
+            "GUARD = threading.Lock()\n"
+            "def update(store, key, value):\n"
+            "    GUARD.acquire()  # repro: noqa[THR003]\n"
+            "    store[key] = value\n"
+            "    GUARD.release()\n"
+        ),
+    ),
+    "THR004": RuleFixture(
+        relpath="repro_fixture/spawner.py",
+        trigger=(
+            "import threading\n"
+            "def kick(fn):\n"
+            "    t = threading.Thread(target=fn)\n"
+            "    t.start()\n"
+        ),
+        clean=(
+            "import threading\n"
+            "def kick(fn):\n"
+            "    t = threading.Thread(target=fn)\n"
+            "    t.start()\n"
+            "    t.join()\n"
+        ),
+        suppressed=(
+            "import threading\n"
+            "def kick(fn):\n"
+            "    t = threading.Thread(target=fn)  # repro: noqa[THR004]\n"
+            "    t.start()\n"
+        ),
+    ),
+    "ALS001": RuleFixture(
+        relpath="repro_fixture/kernels.py",
+        trigger=(
+            "import numpy as np\n"
+            "def project(x, w):\n"
+            "    np.matmul(x, w, out=x)\n"
+            "    return x\n"
+        ),
+        clean=(
+            "import numpy as np\n"
+            "def project(x, w, out):\n"
+            "    np.matmul(x, w, out=out)\n"
+            "    return out\n"
+        ),
+        suppressed=(
+            "import numpy as np\n"
+            "def project(x, w):\n"
+            "    np.matmul(x, w, out=x)  # repro: noqa[ALS001]\n"
+            "    return x\n"
+        ),
+    ),
+    "ALS002": RuleFixture(
+        relpath="nn/act_fixture.py",
+        trigger=(
+            "import numpy as np\n"
+            "class Act:\n"
+            "    def forward(self, x, ws):\n"
+            "        mask = ws.buffer('mask', x.shape)\n"
+            "        np.greater(x, 0, out=mask)\n"
+            "        self._mask = mask\n"
+            "        return x\n"
+        ),
+        clean=(
+            "import numpy as np\n"
+            "class Act:\n"
+            "    def forward(self, x, ws):\n"
+            "        mask = ws.buffer('mask', x.shape)\n"
+            "        np.greater(x, 0, out=mask)\n"
+            "        self._mask = mask.copy()\n"
+            "        return x\n"
+        ),
+        suppressed=(
+            "import numpy as np\n"
+            "class Act:\n"
+            "    def forward(self, x, ws):\n"
+            "        mask = ws.buffer('mask', x.shape)\n"
+            "        np.greater(x, 0, out=mask)\n"
+            "        self._mask = mask  # repro: noqa[ALS002]\n"
+            "        return x\n"
+        ),
+    ),
     "PRF001": RuleFixture(
         relpath="repro_fixture/kernels.py",
         trigger=(

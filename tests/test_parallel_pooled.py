@@ -51,6 +51,54 @@ class TestLifecycle:
             assert ex.map(_square, [2, 3]) == [4, 9]
             assert ex._pool is None
 
+    def test_concurrent_acquire_and_close_strand_no_pool(self, monkeypatch):
+        # Regression (THR-family fix): close() racing the lazy check-then-
+        # create in _acquire_pool used to be able to leave a freshly made
+        # pool unreferenced — its workers leaked.  With the lifecycle lock,
+        # every pool ever created is either the current one or shut down.
+        import repro.parallel.executor as executor_mod
+
+        created = []
+
+        class FakePool:
+            def __init__(self, max_workers=None):
+                self.shut = False
+                created.append(self)
+
+            def shutdown(self, wait=True, cancel_futures=False):
+                self.shut = True
+
+        monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", FakePool)
+        ex = ParallelExecutor(max_workers=2, persistent=True)
+
+        import threading
+
+        stop = threading.Event()
+
+        def churn_acquire():
+            while not stop.is_set():
+                pool, pooled = ex._acquire_pool(2)
+                assert pooled
+
+        def churn_close():
+            while not stop.is_set():
+                ex.close()
+
+        threads = [threading.Thread(target=churn_acquire) for _ in range(3)]
+        threads += [threading.Thread(target=churn_close) for _ in range(2)]
+        for t in threads:
+            t.start()
+        import time
+
+        time.sleep(0.3)
+        stop.set()
+        for t in threads:
+            t.join()
+        ex.close()
+        assert ex._pool is None
+        assert created, "stress loop never created a pool"
+        assert all(pool.shut for pool in created), "a pool was stranded open"
+
 
 class TestRecovery:
     def test_broken_persistent_pool_recovers_and_recycles(self, tmp_path):

@@ -481,6 +481,50 @@ class TestWarmPool:
             with pytest.raises((KeyError, ValueError)):
                 pool.publish(0, np.zeros(geometry.num_samples), {"nope": flat})
 
+    def test_sink_factory_closes_pool_on_unexpected_bind_failure(self, monkeypatch):
+        # Regression (THR002-family fix): a non-OSError escaping bind() used
+        # to leak the half-bound pool (shm segments + worker pool) because
+        # only the OSError fallback path called close().
+        from repro.perf import campaign as campaign_mod
+
+        closed = []
+
+        def bad_bind(self, geometry, models):
+            raise RuntimeError("bind exploded mid-way")
+
+        def spy_close(self):
+            closed.append(self)
+
+        monkeypatch.setattr(campaign_mod.WarmReconstructionPool, "bind", bad_bind)
+        monkeypatch.setattr(campaign_mod.WarmReconstructionPool, "close", spy_close)
+        with pytest.raises(RuntimeError, match="bind exploded"):
+            campaign_mod.make_reconstruction_sink(object(), {"fcnn": object()})
+        assert len(closed) == 1
+
+    def test_sink_factory_falls_back_to_local_on_oserror(self, monkeypatch):
+        from repro.perf import campaign as campaign_mod
+
+        closed = []
+
+        def no_shm_bind(self, geometry, models):
+            raise OSError("no /dev/shm here")
+
+        monkeypatch.setattr(campaign_mod.WarmReconstructionPool, "bind", no_shm_bind)
+        monkeypatch.setattr(
+            campaign_mod.WarmReconstructionPool,
+            "close",
+            lambda self: closed.append(self),
+        )
+        bound = []
+        monkeypatch.setattr(
+            campaign_mod.LocalReconstructionSink,
+            "bind",
+            lambda self, geometry, models: bound.append(geometry),
+        )
+        sink = campaign_mod.make_reconstruction_sink(object(), {"fcnn": object()})
+        assert isinstance(sink, campaign_mod.LocalReconstructionSink)
+        assert len(closed) == 1 and len(bound) == 1
+
 
 # ---------------------------------------------------------------------------
 # natural-neighbor offset-ball memoization (satellite 3)
