@@ -149,11 +149,47 @@ def _fix_mutable_default(
     return None
 
 
+# -------------------------------------------------------------------- RES001
+def _fix_signal_capture(
+    tree: ast.Module, source: str, finding: Finding
+) -> list[_Edit] | None:
+    """Capture a discarded ``signal.signal(...)`` result into a variable.
+
+    ``signal.signal(signal.SIGTERM, h)`` becomes
+    ``_previous_sigterm = signal.signal(signal.SIGTERM, h)`` — the handler
+    is no longer lost; wiring the actual restore still needs the author
+    (and the rule's message says how).
+    """
+    stmt = _node_at(tree, ast.Expr, finding.line, finding.col)
+    if stmt is None or not isinstance(stmt.value, ast.Call):
+        return None
+    call = stmt.value
+    name = "_previous_handler"
+    if call.args:
+        first = call.args[0]
+        # signal.SIGTERM / SIGTERM -> _previous_sigterm
+        signame = None
+        if isinstance(first, ast.Attribute):
+            signame = first.attr
+        elif isinstance(first, ast.Name):
+            signame = first.id
+        if signame and signame.upper().startswith("SIG"):
+            name = f"_previous_{signame.lower()}"
+    return [
+        _Edit(
+            start=(stmt.lineno, stmt.col_offset),
+            end=(stmt.lineno, stmt.col_offset),
+            replacement=f"{name} = ",
+        )
+    ]
+
+
 _FIXERS = {
     "DT001": lambda tree, src, f: (lambda e: [e] if e else None)(
         _fix_dtype(tree, src, f)
     ),
     "DEF001": _fix_mutable_default,
+    "RES001": _fix_signal_capture,
 }
 
 #: Rules ``--fix`` can resolve mechanically.

@@ -26,6 +26,7 @@ from repro.checks.rules.imports import ImportCycleRule
 from repro.checks.rules.perf import HotLoopAllocationRule
 from repro.checks.rules.registry_consistency import RegistryConsistencyRule
 from repro.checks.rules.rng import LegacyGlobalRNGRule, UnseededGeneratorRule
+from repro.checks.rules.signals import UnrestoredSignalHandlerRule
 
 __all__ = [
     "Rule",
@@ -48,6 +49,7 @@ __all__ = [
     "UnjoinedThreadRule",
     "OutAliasesInputRule",
     "ArenaEscapeRule",
+    "UnrestoredSignalHandlerRule",
 ]
 
 ALL_RULES: tuple[type[Rule], ...] = (
@@ -67,4 +69,5 @@ ALL_RULES: tuple[type[Rule], ...] = (
     UnjoinedThreadRule,
     OutAliasesInputRule,
     ArenaEscapeRule,
+    UnrestoredSignalHandlerRule,
 )

@@ -166,6 +166,13 @@ def _tool_main(argv: list[str]) -> int:
     p.add_argument("--pipeline", default="on", choices=["on", "off"],
                    help="overlap simulate/train/write across timesteps "
                         "(bit-identical output either way; default on)")
+    p.add_argument("--journal", action="store_true",
+                   help="keep a durable write-ahead journal under "
+                        "OUTPUT_DIR/.wal/ so a killed campaign can --resume")
+    p.add_argument("--resume", action="store_true",
+                   help="skip timesteps the journal proves already emitted "
+                        "(verified by content hash) and continue bit-identically; "
+                        "implies --journal")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--obs", default=None, metavar="DIR",
                    help="record run telemetry under DIR (repro obs report DIR)")
@@ -221,7 +228,8 @@ def _tool_dispatch(args) -> str:
                                   sampler=args.sampler, train=args.train,
                                   fractions=tuple(args.fractions), epochs=args.epochs,
                                   finetune_epochs=args.finetune_epochs, seed=args.seed,
-                                  pipeline=args.pipeline == "on")
+                                  pipeline=args.pipeline == "on",
+                                  journal=args.journal, resume=args.resume)
     return tools.cmd_render(args.input, args.output, mode=args.mode,
                             axis=args.axis, array=args.array)
 

@@ -18,13 +18,23 @@ from repro.datasets.base import AnalyticDataset, TimestepField
 from repro.grid import UniformGrid
 from repro.interpolation.base import GridInterpolator
 from repro.metrics import ReconstructionScore, score_reconstruction
+from repro.obs import counter as obs_counter
+from repro.obs import record_event, span
 from repro.perf.campaign import (
     CampaignScheduler,
     CampaignStats,
     GeometryCache,
     make_reconstruction_sink,
 )
-from repro.perf.weights import snapshot_weights
+from repro.perf.weights import restore_weights, snapshot_weights
+from repro.resilience.journal import CampaignJournal, content_hash
+from repro.resilience.report import ReconstructionReport
+from repro.resilience.supervise import (
+    CampaignInterrupted,
+    QuarantineRecord,
+    SupervisionPolicy,
+    WorkerSupervisor,
+)
 from repro.sampling.base import SampledField, Sampler
 from repro.sampling.importance import MultiCriteriaSampler
 
@@ -63,6 +73,10 @@ class CampaignResult:
     rows: list[dict]                     # per-timestep metrics, in timestep order
     stats: CampaignStats                 # stage occupancy / wall accounting
     reconstructions: list[np.ndarray] | None = None
+    #: poison timesteps completed in degraded form (supervision enabled)
+    quarantined: tuple[QuarantineRecord, ...] = ()
+    #: timesteps skipped because the journal proved them already emitted
+    resumed: int = 0
 
     @property
     def finetune_seconds(self) -> float:
@@ -185,6 +199,11 @@ class ReconstructionPipeline:
         max_workers: int | None = None,
         num_chunks: int | None = None,
         depth: int = 1,
+        journal=None,
+        resume: bool = False,
+        supervision: SupervisionPolicy | WorkerSupervisor | None = None,
+        interrupt=None,
+        on_stage=None,
     ) -> CampaignResult:
         """Rolling fine-tune + reconstruct over a stream of timesteps (Fig 11).
 
@@ -205,6 +224,31 @@ class ReconstructionPipeline:
         in-process sink when shared memory is unavailable).  Every
         ``(pipeline, warm_pool)`` combination produces **bit-identical**
         reconstructions and scores.
+
+        Crash safety (see :mod:`repro.resilience` and docs/RESILIENCE.md):
+
+        * ``journal`` — a path (or open
+          :class:`~repro.resilience.journal.CampaignJournal`): every stage
+          completion is durably recorded; with ``resume=True`` the
+          contiguous already-emitted prefix is skipped bit-identically
+          (rows replayed from the journal, model weights restored from the
+          last completed timestep's atomic state sidecar; skipped
+          timesteps contribute ``None`` to ``reconstructions``).
+        * ``supervision`` — a
+          :class:`~repro.resilience.supervise.SupervisionPolicy` (or
+          prepared :class:`~repro.resilience.supervise.WorkerSupervisor`):
+          per-stage deadlines recycle a hung pool, and a "poison" timestep
+          whose reconstruct keeps failing (or whose fine-tune raises —
+          weights are rolled back) is quarantined as degraded
+          nearest-neighbor output instead of aborting the campaign.
+        * ``interrupt`` — a
+          :class:`~repro.resilience.supervise.GracefulInterrupt`: on
+          SIGTERM/SIGINT the scheduler drains in-flight work, the journal
+          gets a resume manifest, and
+          :class:`~repro.resilience.supervise.CampaignInterrupted` is
+          raised.
+        * ``on_stage`` — optional ``fn(stage, timestep)`` called as each
+          stage starts (the chaos harness's injection point).
         """
         if not reconstructor.is_trained:
             raise RuntimeError(
@@ -213,6 +257,46 @@ class ReconstructionPipeline:
         steps = [int(t) for t in timesteps]
         if not steps:
             return CampaignResult(rows=[], stats=CampaignStats(0, pipeline, 0.0, 0.0, 0.0, 0.0))
+
+        wal, own_wal = None, False
+        if journal is not None:
+            if isinstance(journal, CampaignJournal):
+                wal = journal
+            else:
+                config = {
+                    "kind": "run_campaign",
+                    "dataset": getattr(self.dataset, "name", type(self.dataset).__name__),
+                    "fraction": float(fraction),
+                    "timesteps": steps,
+                    "train_fractions": [float(f) for f in self.train_fractions],
+                    "finetune_epochs": int(finetune_epochs),
+                    "finetune_strategy": str(finetune_strategy),
+                }
+                wal = CampaignJournal(journal, config=config, resume=resume)
+                own_wal = True
+
+        # The resume plan: the contiguous prefix whose terminal records are
+        # durable.  Computed whenever a journal is present (trivially empty
+        # for a fresh one) so `campaign.resume.plan` is comparable across
+        # fresh and resumed run records.
+        skipped_rows: list[dict] = []
+        steps_to_run = steps
+        if wal is not None:
+            with span("campaign.resume.plan"):
+                plan = wal.plan(steps)
+            completed = list(plan.completed) if resume else []
+            if completed:
+                restore_weights(reconstructor.model, wal.load_state(completed[-1]))
+                skipped_rows = [dict(p["row"]) for p in plan.payloads]
+                steps_to_run = list(plan.remaining)
+                obs_counter("campaign.resume.skipped").inc(len(completed))
+            record_event(
+                "campaign.resume.planned",
+                resume=bool(resume),
+                skipped=len(completed),
+                remaining=len(steps_to_run),
+            )
+
         field0 = self.field(steps[0])
         geometry = self.geometry_cache.get(self.sample(field0, fraction))
         sink = make_reconstruction_sink(
@@ -225,37 +309,170 @@ class ReconstructionPipeline:
         )
         train_shell = geometry.shell()
 
+        sup: WorkerSupervisor | None = None
+        if supervision is not None:
+            sup = (
+                supervision
+                if isinstance(supervision, WorkerSupervisor)
+                else WorkerSupervisor(supervision)
+            )
+            pool_executor = getattr(sink, "executor", None)
+            if pool_executor is not None:
+                if sup.policy.max_respawns is not None:
+                    pool_executor.max_respawns = sup.policy.max_respawns
+                if sup.on_stall is None:
+                    # A stalled reconstruct means a wedged worker: replace
+                    # the pool (bounded by the respawn budget above).
+                    sup.on_stall = lambda stage, t, elapsed: pool_executor.recycle("stall")
+            sup.start()
+
         def materialize(t: int) -> TimestepField:
-            return field0 if t == steps[0] else self.field(t)
+            if on_stage is not None:
+                on_stage("materialize", t)
+            fld = field0 if t == steps[0] else self.field(t)
+            if wal is not None:
+                wal.record(t, "sampled", field_sha=content_hash(fld.values))
+            return fld
 
         def process(t: int, fld: TimestepField):
+            if on_stage is not None:
+                on_stage("process", t)
             geometry.refresh(train_shell, fld)
             train = [self.sample(fld, f) for f in self.train_fractions]
-            history = reconstructor.fine_tune(
-                fld, train, epochs=finetune_epochs, strategy=finetune_strategy
-            )
+            stale: str | None = None
+            if sup is None:
+                finetune_seconds = reconstructor.fine_tune(
+                    fld, train, epochs=finetune_epochs, strategy=finetune_strategy
+                ).total_seconds
+            else:
+                # Fine-tuning is deterministic, so retrying a failure is
+                # futile — roll back to the entering weights and carry on
+                # with them (bounded degradation, never a dead campaign).
+                before = snapshot_weights(reconstructor.model).data
+                with sup.stage("process", t):
+                    try:
+                        finetune_seconds = reconstructor.fine_tune(
+                            fld, train, epochs=finetune_epochs, strategy=finetune_strategy
+                        ).total_seconds
+                    except Exception as exc:
+                        if not sup.policy.quarantine:
+                            raise
+                        restore_weights(reconstructor.model, before)
+                        sup.quarantine(t, "fine-tune", exc, attempts=1)
+                        stale = f"{type(exc).__name__}: {exc}"
+                        finetune_seconds = 0.0
             flat = snapshot_weights(reconstructor.model).data
+            if wal is not None:
+                wal.save_state(t, flat)
+                wal.record(t, "fine-tuned", weights_sha=content_hash(flat))
             slot = sink.publish(t, train_shell.values, {"fcnn": flat})
-            return slot, fld, history.total_seconds
+            return slot, fld, finetune_seconds, stale
 
         def emit(t: int, payload):
-            slot, fld, finetune_seconds = payload
-            volume, report = sink.reconstruct(slot, "fcnn")
+            if on_stage is not None:
+                on_stage("emit", t)
+            slot, fld, finetune_seconds, stale = payload
+            if sup is None:
+                volume, report = sink.reconstruct(slot, "fcnn")
+            else:
+                ok, value, attempts = sup.attempt(
+                    lambda: sink.reconstruct(slot, "fcnn"), stage="reconstruct", timestep=t
+                )
+                if ok:
+                    volume, report = value
+                elif sup.policy.quarantine:
+                    sup.quarantine(t, "reconstruct", value, attempts)
+                    volume, report = _quarantine_reconstruction(
+                        geometry, fld, f"reconstruct quarantined after {attempts} attempt(s)"
+                    )
+                else:
+                    raise value
+                if stale is not None:
+                    report.flag(
+                        len(report.degraded),
+                        geometry.num_voids,
+                        f"fine-tune quarantined ({stale}); reconstructed with "
+                        "the previous timestep's weights",
+                        "stale-weights",
+                    )
             row = {
                 "timestep": t,
                 "finetune_seconds": finetune_seconds,
                 "degraded_points": report.degraded_points,
             }
             row.update(score_reconstruction(fld.values, volume).as_dict())
+            if wal is not None:
+                wal.record(t, "reconstructed", volume_sha=content_hash(volume))
+                wal.record(t, "emitted", row=_jsonable(row))
             return row, (volume if self.keep_reconstructions else None)
 
         scheduler = CampaignScheduler(
-            materialize, process, emit, pipeline=pipeline, depth=depth
+            materialize, process, emit, pipeline=pipeline, depth=depth, interrupt=interrupt
         )
         try:
-            emitted = scheduler.run(steps)
+            emitted = scheduler.run(steps_to_run)
+        except CampaignInterrupted as exc:
+            if wal is not None:
+                done = steps[: len(skipped_rows)] + list(exc.completed)
+                wal.write_manifest(
+                    reason=f"interrupted (signal {getattr(interrupt, 'signum', None)})",
+                    completed=done,
+                    remaining=steps[len(done):],
+                )
+            raise
         finally:
             sink.close()
-        rows = [row for row, _ in emitted]
-        volumes = [vol for _, vol in emitted] if self.keep_reconstructions else None
-        return CampaignResult(rows=rows, stats=scheduler.stats, reconstructions=volumes)
+            if sup is not None:
+                sup.stop()
+            if own_wal and wal is not None:
+                wal.close()
+        rows = skipped_rows + [row for row, _ in emitted]
+        volumes = None
+        if self.keep_reconstructions:
+            volumes = [None] * len(skipped_rows) + [vol for _, vol in emitted]
+        return CampaignResult(
+            rows=rows,
+            stats=scheduler.stats,
+            reconstructions=volumes,
+            quarantined=tuple(sup.quarantined) if sup is not None else (),
+            resumed=len(skipped_rows),
+        )
+
+
+def _jsonable(obj):
+    """Recursively convert numpy scalars/arrays to JSON-safe Python values.
+
+    Floats survive bit-exactly: ``json`` serializes doubles with
+    shortest-round-trip repr, so a journal-replayed row compares equal to
+    the row the uninterrupted run would have produced.
+    """
+    if isinstance(obj, dict):
+        return {k: _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, np.generic):
+        return obj.item()
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    return obj
+
+
+def _quarantine_reconstruction(geometry, fld: TimestepField, reason: str):
+    """Degraded full-grid output for a poison timestep: samples kept,
+    voids filled by nearest-neighbor from the timestep's own samples.
+
+    Deterministic and sink-independent, so a quarantined campaign still
+    emits a complete, finite, honestly-reported volume.
+    """
+    from scipy.spatial import cKDTree
+
+    values = np.ascontiguousarray(fld.values.ravel()[geometry.indices])
+    out = geometry.grid.empty_field().ravel()
+    out[geometry.indices] = values
+    _, nearest = cKDTree(geometry.points).query(geometry.void_points, k=1)
+    out[geometry.void_indices] = values[nearest]
+    report = ReconstructionReport(total_points=int(geometry.grid.num_points))
+    report.fallback_method = "nearest"
+    report.flag(0, int(geometry.num_voids), reason, "nearest")
+    obs_counter("supervise.quarantine_points").inc(int(geometry.num_voids))
+    return out.reshape(geometry.grid.dims), report

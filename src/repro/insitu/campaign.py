@@ -15,6 +15,7 @@ with any method, restore the matching model).
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass, field as dataclass_field
 from pathlib import Path
@@ -24,13 +25,22 @@ import numpy as np
 from repro.core.reconstructor import FCNNReconstructor
 from repro.datasets.base import AnalyticDataset
 from repro.grid import UniformGrid
+from repro.obs import counter as obs_counter, record_event, span
 from repro.perf.campaign import CampaignScheduler
 from repro.perf.weights import restore_weights, snapshot_weights
+from repro.resilience.journal import CampaignJournal, content_hash
+from repro.resilience.supervise import CampaignInterrupted
 from repro.sampling.base import SampledField, Sampler
 
 __all__ = ["CampaignManifest", "InSituWriter", "CampaignReader"]
 
 _MANIFEST_NAME = "manifest.json"
+#: journal + model-state sidecars live here, outside the campaign artifact
+WAL_DIRNAME = ".wal"
+
+
+def _file_sha(path: Path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
 
 
 @dataclass
@@ -126,7 +136,17 @@ class InSituWriter:
         self.finetune_epochs = int(finetune_epochs)
         self.model_kwargs = dict(model_kwargs or {})
 
-    def run(self, directory: str | Path, timesteps, pipeline: bool = True) -> CampaignManifest:
+    def run(
+        self,
+        directory: str | Path,
+        timesteps,
+        pipeline: bool = True,
+        *,
+        journal: bool = False,
+        resume: bool = False,
+        interrupt=None,
+        on_stage=None,
+    ) -> CampaignManifest:
         """Execute the campaign; returns the written manifest.
 
         With ``pipeline=True`` (default) the time loop runs on the
@@ -137,12 +157,28 @@ class InSituWriter:
         and checkpoints are written from published weight snapshots, so
         the on-disk campaign is byte-identical to ``pipeline=False``
         (files and manifest entries land in timestep order either way).
+
+        Crash safety: ``journal=True`` keeps a durable write-ahead journal
+        (plus per-timestep model-state sidecars) under
+        ``<directory>/.wal/``; ``resume=True`` (implies ``journal``)
+        verifies every already-emitted file against the journal's content
+        hashes, skips that prefix, restores the training model
+        bit-exactly, and continues — the finished directory is
+        byte-identical to an uninterrupted run (the ``.wal/`` bookkeeping
+        aside).  ``interrupt`` (a
+        :class:`~repro.resilience.supervise.GracefulInterrupt`) turns
+        SIGTERM/SIGINT into a drained stop: a partial (readable) manifest
+        and a resume manifest are written, then
+        :class:`~repro.resilience.supervise.CampaignInterrupted` is
+        raised.  ``on_stage`` (``fn(stage, timestep)``) is the chaos
+        harness's injection hook.
         """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
         timesteps = [int(t) for t in timesteps]
         if not timesteps:
             raise ValueError("a campaign needs at least one timestep")
+        journal = journal or resume
 
         grid = self.dataset.grid
         manifest = CampaignManifest(
@@ -154,15 +190,77 @@ class InSituWriter:
             fraction=self.fraction,
         )
 
+        wal: CampaignJournal | None = None
+        if journal:
+            wal = CampaignJournal(
+                directory / WAL_DIRNAME / "journal.jsonl",
+                config={
+                    "kind": "insitu",
+                    "dataset": self.dataset.name,
+                    "fraction": self.fraction,
+                    "timesteps": timesteps,
+                    "train_model": self.train_model,
+                    "train_fractions": list(self.train_fractions),
+                    "epochs": self.epochs,
+                    "finetune_epochs": self.finetune_epochs,
+                },
+                resume=resume,
+            )
+
         # Training state lives on the calling thread (process stage); the
         # emit thread writes checkpoints from its own clone restored per
         # published weight snapshot, never from the live training model.
         model: FCNNReconstructor | None = None
         emit_model: FCNNReconstructor | None = None
 
+        steps_to_run = timesteps
+        skipped: list[int] = []
+        if wal is not None:
+
+            def verify(t: int, payload: dict) -> bool:
+                for name, sha in payload.get("files", {}).items():
+                    path = directory / name
+                    if not path.exists() or _file_sha(path) != sha:
+                        return False
+                return True
+
+            with span("campaign.resume.plan"):
+                plan = (
+                    wal.plan(timesteps, verify=verify) if resume else wal.plan(timesteps)
+                )
+            record_event(
+                "campaign.resume.planned",
+                resume=bool(resume),
+                skipped=len(plan.completed) if resume else 0,
+                remaining=len(plan.remaining) if resume else len(timesteps),
+            )
+            if resume and plan.completed:
+                skipped = list(plan.completed)
+                steps_to_run = list(plan.remaining)
+                obs_counter("campaign.resume.skipped").inc(len(skipped))
+                # Replay the completed prefix into the manifest.
+                for t, payload in zip(skipped, plan.payloads):
+                    manifest.timesteps.append(t)
+                    manifest.cloud_files[str(t)] = payload["cloud"]
+                    if payload.get("model") is not None:
+                        manifest.model_files[str(t)] = payload["model"]
+                    if payload.get("base") is not None:
+                        manifest.base_model_file = payload["base"]
+                if self.train_model and manifest.base_model_file is not None:
+                    # Architecture + normalization from the base checkpoint,
+                    # exact weights from the last completed timestep's WAL
+                    # state — fine-tuning re-enters bit-identically.
+                    model = FCNNReconstructor.load(directory / manifest.base_model_file)
+                    restore_weights(model.model, wal.load_state(skipped[-1]))
+                    emit_model = model.clone()
+
         def materialize(t: int):
+            if on_stage is not None:
+                on_stage("materialize", t)
             field = self.dataset.field(t=t)
             sample = self.sampler.sample(field, self.fraction)
+            if wal is not None:
+                wal.record(t, "sampled", sample_sha=content_hash(sample.values))
             train = (
                 [self.sampler.sample(field, f) for f in self.train_fractions]
                 if self.train_model
@@ -172,6 +270,8 @@ class InSituWriter:
 
         def process(t: int, item):
             nonlocal model, emit_model
+            if on_stage is not None:
+                on_stage("process", t)
             field, sample, train = item
             if not self.train_model:
                 return sample, None, False
@@ -182,30 +282,69 @@ class InSituWriter:
                 emit_model = model.clone()
             else:
                 model.fine_tune(field, train, epochs=self.finetune_epochs, strategy="last")
-            return sample, snapshot_weights(model.model).data, first
+            flat = snapshot_weights(model.model).data
+            if wal is not None:
+                wal.save_state(t, flat)
+                wal.record(t, "fine-tuned", weights_sha=content_hash(flat))
+            return sample, flat, first
 
         def emit(t: int, payload):
+            if on_stage is not None:
+                on_stage("emit", t)
             sample, flat, first = payload
             cloud_name = f"t{t:04d}.vtp"
             sample.to_vtp(directory / cloud_name)
             manifest.timesteps.append(t)
             manifest.cloud_files[str(t)] = cloud_name
+            model_name = None
+            base_name = None
             if flat is not None:
                 restore_weights(emit_model.model, flat)
                 if first:
-                    manifest.base_model_file = "model_base.npz"
+                    base_name = manifest.base_model_file = "model_base.npz"
                     emit_model.save(directory / manifest.base_model_file)
                 # Case-2 storage: only the last two layers per timestep.
                 model_name = f"model_t{t:04d}.npz"
                 emit_model.save_partial(directory / model_name, num_layers=2)
                 manifest.model_files[str(t)] = model_name
+            if wal is not None:
+                written = [cloud_name] + [n for n in (base_name, model_name) if n]
+                wal.record(
+                    t,
+                    "emitted",
+                    cloud=cloud_name,
+                    model=model_name,
+                    base=base_name,
+                    files={n: _file_sha(directory / n) for n in written},
+                )
             return t
 
         scheduler = CampaignScheduler(
-            materialize, process, emit, pipeline=pipeline, name="insitu"
+            materialize, process, emit, pipeline=pipeline, name="insitu", interrupt=interrupt
         )
-        scheduler.run(timesteps)
+        try:
+            scheduler.run(steps_to_run)
+        except CampaignInterrupted as exc:
+            # Flush a *readable* partial campaign (post hoc tools work on
+            # the completed prefix) plus the resume manifest, then let the
+            # interruption propagate.
+            self._write_index(directory, manifest)
+            if wal is not None:
+                done = skipped + list(exc.completed)
+                wal.write_manifest(
+                    reason="interrupted",
+                    completed=done,
+                    remaining=timesteps[len(done):],
+                )
+                wal.close()
+            raise
+        self._write_index(directory, manifest)
+        if wal is not None:
+            wal.close()
+        return manifest
 
+    @staticmethod
+    def _write_index(directory: Path, manifest: CampaignManifest) -> None:
         (directory / _MANIFEST_NAME).write_text(manifest.to_json())
         # ParaView animation index over the stored point clouds.
         from repro.io import write_pvd
@@ -214,7 +353,6 @@ class InSituWriter:
             directory / "campaign.pvd",
             [(float(t), manifest.cloud_files[str(t)]) for t in manifest.timesteps],
         )
-        return manifest
 
 
 class CampaignReader:

@@ -29,6 +29,8 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any
 
+from repro.obs import counter, record_event
+
 __all__ = ["ParallelExecutor", "TaskOutcome"]
 
 
@@ -76,8 +78,12 @@ class ParallelExecutor:
     retries:
         Extra attempts per failed task (0 keeps the fail-fast behavior).
     backoff:
-        Base delay of the exponential backoff between attempts; attempt
-        ``k`` (2-based) waits ``backoff * 2**(k-2)`` seconds.
+        Base delay of the exponential backoff between attempts; after a
+        failed attempt ``k`` (1-based) that will be retried, the executor
+        waits ``backoff * 2**(k-1)`` seconds.  No delay is ever slept
+        after the *final* failed attempt — the caller gets the failure
+        immediately.  (Tests inject a fake clock via the ``_sleep``
+        attribute.)
     persistent:
         Keep the process pool alive across :meth:`map_outcomes` calls
         instead of creating and tearing one down per call.  Campaign-style
@@ -95,6 +101,13 @@ class ParallelExecutor:
         serially, ``recovered="serial-fallback"``).  The owner must call
         :meth:`close` (or use the executor as a context manager) when the
         campaign ends; a non-persistent executor needs no cleanup.
+    max_respawns:
+        Budget of persistent-pool replacements (automatic recycling after
+        an unhealthy call plus supervisor-driven :meth:`recycle` calls).
+        ``None`` (default) is unbounded — the PR 5 behavior.  Once the
+        budget is exhausted no further pool is created and the executor
+        degrades permanently to the in-process serial path: a host that
+        keeps killing workers stops being asked for new ones.
     """
 
     def __init__(
@@ -104,6 +117,7 @@ class ParallelExecutor:
         retries: int = 0,
         backoff: float = 0.5,
         persistent: bool = False,
+        max_respawns: int | None = None,
     ) -> None:
         if max_workers is not None and max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
@@ -113,11 +127,18 @@ class ParallelExecutor:
             raise ValueError(f"retries must be >= 0, got {retries}")
         if backoff < 0:
             raise ValueError(f"backoff must be >= 0, got {backoff}")
+        if max_respawns is not None and max_respawns < 0:
+            raise ValueError(f"max_respawns must be >= 0, got {max_respawns}")
         self.max_workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
         self.timeout = timeout
         self.retries = int(retries)
         self.backoff = float(backoff)
         self.persistent = bool(persistent)
+        self.max_respawns = max_respawns
+        self.respawns = 0
+        # Test seam: the backoff clock.  Injected by the fake-clock tests
+        # proving no delay is slept after the final failed attempt.
+        self._sleep = time.sleep
         self._pool: ProcessPoolExecutor | None = None
         # Guards the check-then-create/swap of self._pool: a campaign's
         # emit thread closing the executor must not race another thread's
@@ -131,10 +152,31 @@ class ParallelExecutor:
             return ProcessPoolExecutor(max_workers=workers), False
         with self._pool_lock:
             if self._pool is None:
+                if self._respawn_budget_spent():
+                    # Budget exhausted: refuse a new pool; _pool_phase
+                    # catches this and degrades to the serial path.
+                    raise RuntimeError(
+                        f"worker respawn budget exhausted "
+                        f"({self.respawns}/{self.max_respawns}); running serially"
+                    )
                 # Full width regardless of this call's payload count, so later
                 # (possibly larger) batches reuse the same warm pool.
                 self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
             return self._pool, True
+
+    def _respawn_budget_spent(self) -> bool:
+        return self.max_respawns is not None and self.respawns > self.max_respawns
+
+    def _count_respawn(self, reason: str) -> None:
+        """One persistent pool was discarded; a replacement costs budget."""
+        self.respawns += 1
+        counter("executor.respawns").inc()
+        record_event(
+            "executor.respawn",
+            reason=reason,
+            respawns=self.respawns,
+            budget=self.max_respawns,
+        )
 
     def _release_pool(self, pool: ProcessPoolExecutor, pooled: bool, unhealthy: bool) -> None:
         """Tear down per-call pools; keep a healthy persistent pool warm."""
@@ -144,8 +186,28 @@ class ParallelExecutor:
             with self._pool_lock:
                 if self._pool is pool:
                     self._pool = None  # recycle: recreate lazily on next use
+                    self._count_respawn("unhealthy")
         # wait=False so a hung (timed-out) worker cannot block shutdown.
         pool.shutdown(wait=not unhealthy and self.timeout is None, cancel_futures=True)
+
+    def recycle(self, reason: str = "supervisor") -> bool:
+        """Replace the persistent pool: shut it down so the next call
+        creates a fresh one.
+
+        This is the supervisor's stall remedy (a hung worker is replaced
+        wholesale) and counts against ``max_respawns``.  Returns ``True``
+        when a live pool was actually discarded.  No-op for
+        non-persistent executors.
+        """
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+            if pool is not None:
+                self._count_respawn(reason)
+        if pool is None:
+            return False
+        # A recycle usually means a wedged worker: don't block on it.
+        pool.shutdown(wait=False, cancel_futures=True)
+        return True
 
     def close(self) -> None:
         """Shut down the persistent pool (idempotent; no-op when not persistent).
@@ -231,8 +293,6 @@ class ParallelExecutor:
             for attempt in range(1, self.retries + 2):
                 if not pending or broken:
                     break
-                if attempt > 1:
-                    time.sleep(self.backoff * 2 ** (attempt - 2))
                 try:
                     futures = [(i, pool.submit(fn, payloads[i])) for i in pending]
                 except (BrokenProcessPool, RuntimeError):
@@ -270,6 +330,10 @@ class ParallelExecutor:
                         outcome.duration += time.perf_counter() - t0
                         outcome._succeed(result, "retry" if outcome.attempts > 1 else None)
                 pending = failed
+                # Back off only when another attempt will actually run:
+                # never sleep after the final failed attempt.
+                if pending and not broken and attempt <= self.retries:
+                    self._sleep(self.backoff * 2 ** (attempt - 1))
         finally:
             self._release_pool(pool, pooled, unhealthy=broken or had_timeout)
         if broken:
@@ -292,8 +356,6 @@ class ParallelExecutor:
             outcome = outcomes[i]
             recovered = "serial-fallback" if pool_attempted else None
             for attempt in range(1, self.retries + 2):
-                if attempt > 1:
-                    time.sleep(self.backoff * 2 ** (attempt - 2))
                 outcome.attempts += 1
                 t0 = time.perf_counter()
                 try:
@@ -301,6 +363,10 @@ class ParallelExecutor:
                 except Exception as exc:
                     outcome.duration += time.perf_counter() - t0
                     outcome._note_failure(exc)
+                    # Back off before the next attempt only; the final
+                    # failure returns to the caller without sleeping.
+                    if attempt <= self.retries:
+                        self._sleep(self.backoff * 2 ** (attempt - 1))
                 else:
                     outcome.duration += time.perf_counter() - t0
                     if recovered is None and attempt > 1:

@@ -54,9 +54,11 @@ from repro.obs import counter as obs_counter
 from repro.obs import gauge as obs_gauge
 from repro.obs import record_event, span
 from repro.parallel.executor import ParallelExecutor
-from repro.perf.shm import SharedArrayBundle, _attach
+from repro.perf import shm as _shm
+from repro.perf.shm import SharedArrayBundle
 from repro.perf.weights import apply_weight_delta, restore_weights, snapshot_weights, weight_delta
 from repro.resilience.report import ReconstructionReport
+from repro.resilience.supervise import CampaignInterrupted
 from repro.sampling.base import SampledField
 
 __all__ = [
@@ -275,6 +277,15 @@ class CampaignScheduler:
         process-but-not-yet-emitted at once.  Sinks with a slot ring need
         ``slots >= depth + 1`` (one slot may still be publishing while
         ``depth`` wait/emit).
+    interrupt:
+        Optional :class:`repro.resilience.supervise.GracefulInterrupt`
+        (or any object with a boolean ``triggered`` attribute).  Checked
+        between timesteps: once triggered, the scheduler finishes the
+        current timestep, drains every in-flight emit (their journal
+        records stay durable), then raises
+        :class:`~repro.resilience.supervise.CampaignInterrupted` naming
+        the completed prefix and the resume point.  Results are never
+        emitted out of order or dropped mid-stage.
 
     Error handling: an exception in any stage stops the pipeline, waits
     for in-flight stage calls to finish, and re-raises the original
@@ -297,6 +308,7 @@ class CampaignScheduler:
         pipeline: bool = True,
         depth: int = 1,
         name: str = "campaign",
+        interrupt=None,
     ) -> None:
         if depth < 1:
             raise ValueError(f"depth must be >= 1, got {depth}")
@@ -306,7 +318,24 @@ class CampaignScheduler:
         self.pipeline = bool(pipeline)
         self.depth = int(depth)
         self.name = str(name)
+        self.interrupt = interrupt
         self.stats: CampaignStats | None = None
+
+    def _interrupted(self) -> bool:
+        return self.interrupt is not None and bool(self.interrupt.triggered)
+
+    def _raise_interrupted(self, steps: list[int], done: int) -> None:
+        record_event(
+            "campaign.interrupted",
+            completed=done,
+            total=len(steps),
+            next_timestep=steps[done] if done < len(steps) else None,
+        )
+        raise CampaignInterrupted(
+            f"campaign interrupted after {done}/{len(steps)} timesteps",
+            completed=tuple(steps[:done]),
+            next_timestep=steps[done] if done < len(steps) else None,
+        )
 
     # ------------------------------------------------------------------ run
     def run(self, timesteps) -> list:
@@ -338,6 +367,8 @@ class CampaignScheduler:
     def _run_serial(self, steps: list[int], busy: dict) -> list:
         results = []
         for t in steps:
+            if self._interrupted():
+                self._raise_interrupted(steps, len(results))
             t0 = time.perf_counter()
             with span("campaign.prefetch", timestep=t):
                 item = self.materialize(t)
@@ -416,8 +447,14 @@ class CampaignScheduler:
         emitter = threading.Thread(target=emit_loop, name=f"{self.name}-emit", daemon=True)
         prefetcher.start()
         emitter.start()
+        cut: int | None = None
         try:
-            for _ in range(n):
+            for k in range(n):
+                if self._interrupted():
+                    # Stop pulling new timesteps; already-queued emits for
+                    # processed timesteps still drain below, in order.
+                    cut = k
+                    break
                 i, t, item = _stoppable_get(fetch_q, stop)
                 t0 = time.perf_counter()
                 with span("campaign.finetune", timestep=t):
@@ -441,6 +478,8 @@ class CampaignScheduler:
             exc.args = exc.args if exc.args else (f"campaign {stage} stage failed",)
             record_event("campaign.failed", stage=stage, timestep=t, error=type(exc).__name__)
             raise exc
+        if cut is not None:
+            self._raise_interrupted(steps, cut)
         return results
 
 
@@ -941,7 +980,7 @@ class _WorkerState:
         self.handles: list = []
         self.arrays: dict[str, np.ndarray] = {}
         for name, spec in init["specs"].items():
-            shm = _attach(spec.shm_name)
+            shm = _shm._attach(spec.shm_name)
             self.handles.append(shm)
             self.arrays[name] = np.ndarray(
                 spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf

@@ -15,9 +15,21 @@ package provides the recovery building blocks:
   reconstructions that fell back to a secondary method;
 * :mod:`repro.resilience.faults`     — deterministic fault injectors
   (worker crashes, checkpoint corruption, forced-NaN gradients, slow
-  tasks) used by the test suite to prove every recovery path recovers.
+  tasks, unavailable shared memory) used by the test suite to prove every
+  recovery path recovers;
+* :mod:`repro.resilience.journal`    — durable, checksummed write-ahead
+  journal + resume plans for crash-safe campaigns (``repro campaign
+  --resume``);
+* :mod:`repro.resilience.supervise`  — worker supervision (heartbeats,
+  stage deadlines, poison-timestep quarantine) and graceful
+  SIGTERM/SIGINT interruption;
+* :mod:`repro.resilience.chaos`      — the chaos harness: deterministic
+  fault schedules driving whole campaigns (imported explicitly as
+  ``repro.resilience.chaos``; it reaches into the campaign stack, so the
+  package root does not pull it in).
 
-Nothing here imports the rest of ``repro``, so any layer may depend on it.
+Nothing here imports from ``repro`` beyond :mod:`repro.obs` (which itself
+imports nothing else), so any layer may depend on this package.
 """
 
 from repro.resilience.checkpoint import (
@@ -31,7 +43,20 @@ from repro.resilience.checkpoint import (
     save_training_checkpoint,
 )
 from repro.resilience.health import HealthEvent, HealthGuard, NumericalHealthError
+from repro.resilience.journal import (
+    CampaignJournal,
+    JournalCorruptionError,
+    JournalEntry,
+    ResumePlan,
+)
 from repro.resilience.report import DegradedRegion, ReconstructionReport
+from repro.resilience.supervise import (
+    CampaignInterrupted,
+    GracefulInterrupt,
+    QuarantineRecord,
+    SupervisionPolicy,
+    WorkerSupervisor,
+)
 
 __all__ = [
     "CheckpointConfig",
@@ -47,4 +72,13 @@ __all__ = [
     "NumericalHealthError",
     "DegradedRegion",
     "ReconstructionReport",
+    "CampaignJournal",
+    "JournalCorruptionError",
+    "JournalEntry",
+    "ResumePlan",
+    "CampaignInterrupted",
+    "GracefulInterrupt",
+    "QuarantineRecord",
+    "SupervisionPolicy",
+    "WorkerSupervisor",
 ]

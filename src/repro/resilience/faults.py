@@ -44,6 +44,7 @@ __all__ = [
     "SlowTask",
     "RegionNaNFault",
     "RegionCrashFault",
+    "ShmUnavailableFault",
 ]
 
 
@@ -263,3 +264,70 @@ class RegionCrashFault:
                 f"injected interpolator failure for region axis{self.axis} >= {self.threshold}"
             )
         return self.inner.interpolate(points, values, query, grid)
+
+
+# ---------------------------------------------------------------------------
+# shared-memory transport faults
+
+
+class ShmUnavailableFault:
+    """Context manager making shared-memory creation and/or attachment fail.
+
+    ``transport="auto"`` paths (:func:`repro.parallel.parallel_reconstruct`,
+    the warm campaign pool in :mod:`repro.perf.campaign`) promise to fall
+    back to pickle/local execution when ``/dev/shm`` is restricted — this
+    injector makes that environment reproducible on hosts where shm works:
+
+    * ``mode="create"`` — :meth:`repro.perf.shm.SharedArrayBundle.create`
+      raises :class:`OSError`, as on a host without (or with a full)
+      ``/dev/shm``;
+    * ``mode="attach"`` — :func:`repro.perf.shm._attach` raises
+      :class:`OSError`, as when a worker's attach races segment cleanup.
+      Only the *current process* is affected (child processes import their
+      own unpatched module), so attach faults drive the in-process /
+      serial-fallback paths deterministically;
+    * ``mode="both"`` — both of the above.
+
+    ``fires`` counts injected failures, letting tests assert the fault
+    actually hit the path under test.
+    """
+
+    name = "shm-unavailable-fault"
+
+    def __init__(self, mode: str = "create") -> None:
+        if mode not in ("create", "attach", "both"):
+            raise ValueError(f"mode must be 'create', 'attach' or 'both', got {mode!r}")
+        self.mode = mode
+        self.fires = 0
+        self._saved: dict[str, object] = {}
+
+    def _raise(self, what: str):
+        self.fires += 1
+        raise OSError(f"injected shared-memory failure ({what} unavailable)")
+
+    def __enter__(self) -> "ShmUnavailableFault":
+        from repro.perf import shm as shm_mod
+
+        self._shm_mod = shm_mod
+        if self.mode in ("create", "both"):
+            self._saved["create"] = shm_mod.SharedArrayBundle.create
+
+            def fail_create(cls, arrays):
+                self._raise("segment creation")
+
+            shm_mod.SharedArrayBundle.create = classmethod(fail_create)
+        if self.mode in ("attach", "both"):
+            self._saved["_attach"] = shm_mod._attach
+
+            def fail_attach(name):
+                self._raise(f"attach to {name!r}")
+
+            shm_mod._attach = fail_attach
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if "create" in self._saved:
+            self._shm_mod.SharedArrayBundle.create = self._saved.pop("create")
+        if "_attach" in self._saved:
+            self._shm_mod._attach = self._saved.pop("_attach")
+        return False

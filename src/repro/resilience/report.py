@@ -51,6 +51,25 @@ class ReconstructionReport:
         """Record one degraded region."""
         self.degraded.append(DegradedRegion(int(index), int(size), reason, method))
 
+    @classmethod
+    def merged(cls, reports: "list[ReconstructionReport]") -> "ReconstructionReport":
+        """Aggregate per-chunk/per-timestep reports into one campaign view.
+
+        Region ordinals are re-numbered in merge order (each source
+        report's regions keep their relative order), ``total_points`` sum,
+        and ``fallback_method`` is kept when every degraded source agrees
+        (mixed methods show as ``"mixed"``).
+        """
+        out = cls(total_points=sum(r.total_points for r in reports))
+        methods = {r.fallback_method for r in reports if r.degraded and r.fallback_method}
+        out.fallback_method = methods.pop() if len(methods) == 1 else (
+            "mixed" if methods else None
+        )
+        for report in reports:
+            for region in report.degraded:
+                out.flag(len(out.degraded), region.size, region.reason, region.method)
+        return out
+
     def summary(self) -> str:
         """One-line human-readable outcome."""
         if self.ok:

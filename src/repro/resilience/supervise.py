@@ -1,0 +1,328 @@
+"""Worker supervision, stage deadlines, quarantine, and graceful interruption.
+
+The campaign stack already survives *task-level* failures (PR 2's
+``ParallelExecutor`` retries and broken-pool recovery).  This module adds
+the *campaign-level* layer above it:
+
+* :class:`WorkerSupervisor` — a monitor thread watching per-stage
+  heartbeats against wall-clock deadlines (distinct from per-task
+  timeouts: a stage deadline covers the whole stage, including queueing
+  and retries), firing an ``on_stall`` callback (e.g.
+  ``ParallelExecutor.recycle``) when a stage exceeds its budget;
+* quarantine of "poison" timesteps: a timestep whose stage keeps failing
+  after ``max_retries`` attempts is recorded and the campaign continues
+  with a degraded output instead of aborting — hours of completed
+  fine-tuning are never thrown away because one timestep is cursed;
+* :class:`GracefulInterrupt` — SIGTERM/SIGINT capture that converts the
+  signal into a cooperative stop flag, always restoring the previous
+  handlers on exit (the RES001 checks rule enforces the same discipline
+  project-wide);
+* :class:`CampaignInterrupted` — raised by the campaign scheduler after a
+  graceful stop, carrying what completed and where to resume.
+
+This module imports only :mod:`repro.obs` (which itself imports nothing
+from the rest of ``repro``).
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.obs import counter, record_event
+
+__all__ = [
+    "CampaignInterrupted",
+    "GracefulInterrupt",
+    "QuarantineRecord",
+    "SupervisionPolicy",
+    "WorkerSupervisor",
+]
+
+
+class CampaignInterrupted(RuntimeError):
+    """A campaign stopped cooperatively (signal) before finishing.
+
+    The journal (when enabled) already holds every completed timestep, so
+    the same campaign re-run with ``resume`` continues from
+    ``next_timestep``.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        completed: tuple[int, ...] = (),
+        next_timestep: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.completed = tuple(completed)
+        self.next_timestep = next_timestep
+
+
+class GracefulInterrupt:
+    """Convert SIGTERM/SIGINT into a cooperative stop flag.
+
+    Usage::
+
+        with GracefulInterrupt() as interrupt:
+            for step in work:
+                if interrupt.triggered:
+                    break
+                ...
+
+    The previous handlers are captured on entry and restored on exit —
+    nesting and library users keep their own signal behavior.  Installing
+    handlers is only possible from the main thread; elsewhere the context
+    degrades to an inert flag (``triggered`` stays ``False`` unless
+    :meth:`trigger` is called explicitly, which tests use).
+    """
+
+    def __init__(
+        self,
+        signals: tuple[int, ...] = (signal.SIGTERM, signal.SIGINT),
+        on_signal: Callable[[int], None] | None = None,
+    ) -> None:
+        self.signals = tuple(signals)
+        self.on_signal = on_signal
+        self._previous: dict[int, Any] = {}
+        self._triggered: int | None = None
+        self.installed = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._triggered is not None
+
+    @property
+    def signum(self) -> int | None:
+        """The signal number that triggered the stop, if any."""
+        return self._triggered
+
+    def trigger(self, signum: int = signal.SIGTERM) -> None:
+        """Set the stop flag directly (what the installed handler does)."""
+        first = self._triggered is None
+        self._triggered = int(signum)
+        if first:
+            counter("supervise.interrupts").inc()
+            record_event("supervise.interrupt", signum=int(signum))
+        if self.on_signal is not None:
+            self.on_signal(int(signum))
+
+    def _handle(self, signum, frame) -> None:
+        self.trigger(signum)
+
+    def __enter__(self) -> "GracefulInterrupt":
+        try:
+            for sig in self.signals:
+                self._previous[sig] = signal.signal(sig, self._handle)
+            self.installed = True
+        except ValueError:
+            # Not the main thread: handlers cannot be installed.  Restore
+            # whatever was swapped before the failure and stay inert.
+            self._restore()
+        return self
+
+    def _restore(self) -> None:
+        while self._previous:
+            sig, previous = self._previous.popitem()
+            signal.signal(sig, previous)
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self.installed or self._previous:
+            self._restore()
+        self.installed = False
+        return False
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """Knobs for :class:`WorkerSupervisor`.
+
+    ``stage_deadline`` is wall-clock seconds a single stage instance
+    (one timestep through one stage) may run before it is reported as
+    stalled — deliberately distinct from ``ParallelExecutor.timeout``,
+    which bounds one *task attempt*; a stage with retries can be within
+    every per-task timeout yet still blow its overall budget.
+    """
+
+    stage_deadline: float | None = None   # None disables stall detection
+    poll_interval: float = 0.05           # monitor thread wake-up period
+    max_retries: int = 1                  # extra attempts before quarantine
+    quarantine: bool = True               # degrade poison timesteps vs raise
+    max_respawns: int | None = 2          # pool-recycle budget (executor knob)
+
+    def __post_init__(self) -> None:
+        if self.stage_deadline is not None and self.stage_deadline <= 0:
+            raise ValueError(f"stage_deadline must be positive, got {self.stage_deadline}")
+        if self.poll_interval <= 0:
+            raise ValueError(f"poll_interval must be positive, got {self.poll_interval}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One poison timestep the campaign completed in degraded form."""
+
+    timestep: int
+    stage: str
+    attempts: int
+    error: str
+
+
+class WorkerSupervisor:
+    """Monitor campaign stages: heartbeats, deadlines, retries, quarantine.
+
+    The supervisor does not run work itself — stages wrap their execution
+    in :meth:`stage` (heartbeat bookkeeping) or :meth:`attempt`
+    (bookkeeping plus retry/quarantine accounting).  A monitor thread
+    compares active stages against ``policy.stage_deadline`` and fires
+    ``on_stall(stage, timestep, elapsed)`` once per stalled stage
+    instance — the campaign wires this to pool recycling so a hung worker
+    is replaced instead of wedging the run.
+    """
+
+    def __init__(
+        self,
+        policy: SupervisionPolicy | None = None,
+        *,
+        on_stall: Callable[[str, int, float], None] | None = None,
+        name: str = "campaign",
+    ) -> None:
+        self.policy = policy or SupervisionPolicy()
+        self.on_stall = on_stall
+        self.name = name
+        self.quarantined: list[QuarantineRecord] = []
+        self.stalls: list[tuple[str, int, float]] = []
+        self._active: dict[tuple[str, int], float] = {}
+        self._stalled: set[tuple[str, int]] = set()
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._monitor: threading.Thread | None = None
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> "WorkerSupervisor":
+        if self.policy.stage_deadline is not None and self._monitor is None:
+            self._stop.clear()
+            self._monitor = threading.Thread(
+                target=self._watch, name=f"{self.name}-supervisor", daemon=True
+            )
+            self._monitor.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._monitor is not None:
+            self._monitor.join()
+            self._monitor = None
+
+    def __enter__(self) -> "WorkerSupervisor":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.stop()
+        return False
+
+    # ------------------------------------------------------------ heartbeats
+    def stage(self, stage: str, timestep: int) -> "_StageContext":
+        """Context manager marking ``(stage, timestep)`` as actively running."""
+        return _StageContext(self, stage, int(timestep))
+
+    def _begin(self, key: tuple[str, int]) -> None:
+        with self._lock:
+            self._active[key] = time.monotonic()
+
+    def _end(self, key: tuple[str, int]) -> None:
+        with self._lock:
+            self._active.pop(key, None)
+            self._stalled.discard(key)
+
+    def _watch(self) -> None:
+        deadline = self.policy.stage_deadline
+        while not self._stop.wait(self.policy.poll_interval):
+            now = time.monotonic()
+            with self._lock:
+                stalled = [
+                    (key, now - started)
+                    for key, started in self._active.items()
+                    if now - started > deadline and key not in self._stalled
+                ]
+                self._stalled.update(key for key, _ in stalled)
+                self.stalls.extend(
+                    (key[0], key[1], elapsed) for key, elapsed in stalled
+                )
+            for (stage, timestep), elapsed in stalled:
+                counter("supervise.stalls").inc()
+                record_event(
+                    "supervise.stall",
+                    stage=stage,
+                    timestep=timestep,
+                    elapsed=round(elapsed, 3),
+                    deadline=deadline,
+                )
+                if self.on_stall is not None:
+                    try:
+                        self.on_stall(stage, timestep, elapsed)
+                    except Exception as exc:  # monitor must never die
+                        record_event(
+                            "supervise.on_stall_error",
+                            stage=stage,
+                            timestep=timestep,
+                            error=f"{type(exc).__name__}: {exc}",
+                        )
+
+    # ------------------------------------------------------ retry/quarantine
+    def attempt(
+        self, fn: Callable[[], Any], *, stage: str, timestep: int
+    ) -> tuple[bool, Any, int]:
+        """Run ``fn`` under heartbeat with up to ``max_retries`` extra tries.
+
+        Returns ``(ok, result_or_exception, attempts)``.  A final failure
+        is *not* raised here — the caller decides between quarantine
+        (``policy.quarantine``) and propagation.
+        """
+        attempts = 0
+        last: BaseException | None = None
+        with self.stage(stage, timestep):
+            for _ in range(self.policy.max_retries + 1):
+                attempts += 1
+                try:
+                    return True, fn(), attempts
+                except Exception as exc:
+                    last = exc
+                    counter("supervise.retries").inc()
+        return False, last, attempts
+
+    def quarantine(
+        self, timestep: int, stage: str, error: BaseException | str, attempts: int
+    ) -> QuarantineRecord:
+        """Record a poison timestep; the campaign continues degraded."""
+        message = error if isinstance(error, str) else f"{type(error).__name__}: {error}"
+        rec = QuarantineRecord(int(timestep), stage, int(attempts), message)
+        self.quarantined.append(rec)
+        counter("supervise.quarantined").inc()
+        record_event(
+            "supervise.quarantine",
+            timestep=int(timestep),
+            stage=stage,
+            attempts=int(attempts),
+            error=message,
+        )
+        return rec
+
+
+class _StageContext:
+    def __init__(self, supervisor: WorkerSupervisor, stage: str, timestep: int) -> None:
+        self._supervisor = supervisor
+        self._key = (stage, timestep)
+
+    def __enter__(self) -> "_StageContext":
+        self._supervisor._begin(self._key)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._supervisor._end(self._key)
+        return False

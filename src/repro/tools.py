@@ -237,6 +237,8 @@ def cmd_campaign(
     finetune_epochs: int = 10,
     seed: int = 0,
     pipeline: bool = True,
+    journal: bool = False,
+    resume: bool = False,
 ) -> str:
     """Run a multi-timestep in situ campaign into ``output_dir``.
 
@@ -245,10 +247,18 @@ def cmd_campaign(
     ``pipeline`` the simulate/sample, train and write stages overlap on
     the :class:`repro.perf.CampaignScheduler`; the on-disk campaign is
     identical either way.
+
+    ``journal`` keeps a durable write-ahead journal under
+    ``output_dir/.wal/``; ``resume`` (implies ``journal``) skips the
+    journal-verified completed prefix and finishes the campaign
+    byte-identically to an uninterrupted run.  SIGTERM/SIGINT interrupt
+    the run gracefully: in-flight timesteps drain, the journal flushes a
+    resume manifest, and the exit reports how to continue.
     """
     if sampler not in SAMPLERS:
         raise ValueError(f"unknown sampler {sampler!r}; available: {sorted(SAMPLERS)}")
     from repro.insitu import InSituWriter
+    from repro.resilience.supervise import CampaignInterrupted, GracefulInterrupt
 
     data = make_dataset(dataset, dims=tuple(dims) if dims else None, seed=seed)
     writer = InSituWriter(
@@ -261,11 +271,27 @@ def cmd_campaign(
         finetune_epochs=finetune_epochs,
     )
     t0 = time.perf_counter()
-    manifest = writer.run(output_dir, timesteps, pipeline=pipeline)
+    journal = journal or resume
+    try:
+        if journal:
+            with GracefulInterrupt() as interrupt:
+                manifest = writer.run(
+                    output_dir, timesteps, pipeline=pipeline,
+                    journal=True, resume=resume, interrupt=interrupt,
+                )
+        else:
+            manifest = writer.run(output_dir, timesteps, pipeline=pipeline)
+    except CampaignInterrupted as exc:
+        return (
+            f"campaign {output_dir} interrupted: {len(exc.completed)} further "
+            f"timestep(s) completed and journaled; "
+            f"re-run with --resume to continue from timestep {exc.next_timestep}"
+        )
     seconds = time.perf_counter() - t0
     trained = f", {len(manifest.model_files)} model checkpoint(s)" if train else ""
+    resumed = " (resumed)" if resume else ""
     return (
         f"wrote campaign {output_dir}: {len(manifest.timesteps)} timestep(s) "
         f"at {fraction:.2%}{trained} in {seconds:.2f}s "
-        f"(pipeline {'on' if pipeline else 'off'})"
+        f"(pipeline {'on' if pipeline else 'off'}){resumed}"
     )

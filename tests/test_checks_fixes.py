@@ -1,4 +1,4 @@
-"""Autofixes (``repro check --fix``): DT001 and DEF001 rewrites."""
+"""Autofixes (``repro check --fix``): DT001, DEF001 and RES001 rewrites."""
 
 from __future__ import annotations
 
@@ -16,7 +16,7 @@ def _findings(tmp_path, relpath: str, source: str, rule: str):
 
 
 def test_fixable_rules_registry():
-    assert FIXABLE_RULES == {"DT001", "DEF001"}
+    assert FIXABLE_RULES == {"DT001", "DEF001", "RES001"}
 
 
 # ------------------------------------------------------------------- DT001
@@ -108,6 +108,58 @@ def test_unfixable_rule_findings_are_ignored(tmp_path):
     findings = _findings(tmp_path, "m.py", src, "RNG002")
     fixed, applied = fix_source(src, findings)
     assert applied == 0 and fixed == src
+
+
+# ------------------------------------------------------------------ RES001
+def test_signal_fix_captures_previous_handler(tmp_path):
+    src = (
+        "import signal\n"
+        "def handler(signum, frame):\n"
+        "    pass\n"
+        "def install():\n"
+        "    signal.signal(signal.SIGTERM, handler)\n"
+    )
+    findings = _findings(tmp_path, "daemon.py", src, "RES001")
+    fixed, applied = fix_source(src, findings)
+    assert applied == 1
+    assert "_previous_sigterm = signal.signal(signal.SIGTERM, handler)" in fixed
+    ast.parse(fixed)
+    assert not _findings(tmp_path, "daemon.py", fixed, "RES001")
+
+
+def test_signal_fix_names_from_bare_signum(tmp_path):
+    src = (
+        "from signal import SIGINT, signal\n"
+        "def install(h):\n"
+        "    signal(SIGINT, h)\n"
+    )
+    findings = _findings(tmp_path, "daemon.py", src, "RES001")
+    fixed, applied = fix_source(src, findings)
+    assert applied == 1
+    assert "_previous_sigint = signal(SIGINT, h)" in fixed
+
+
+def test_signal_fix_falls_back_to_generic_name(tmp_path):
+    src = (
+        "import signal\n"
+        "def install(num, h):\n"
+        "    signal.signal(num, h)\n"
+    )
+    findings = _findings(tmp_path, "daemon.py", src, "RES001")
+    fixed, applied = fix_source(src, findings)
+    assert applied == 1
+    assert "_previous_handler = signal.signal(num, h)" in fixed
+
+
+def test_signal_restore_call_is_not_flagged(tmp_path):
+    src = (
+        "import signal\n"
+        "def teardown(previous):\n"
+        "    signal.signal(signal.SIGTERM, previous)\n"
+        "def table_restore(handlers, sig):\n"
+        "    signal.signal(sig, handlers[sig])\n"
+    )
+    assert not _findings(tmp_path, "daemon.py", src, "RES001")
 
 
 # --------------------------------------------------------------------- CLI

@@ -360,6 +360,34 @@ FIXTURES: dict[str, RuleFixture] = {
             "        return x\n"
         ),
     ),
+    "RES001": RuleFixture(
+        relpath="repro_fixture/daemon.py",
+        trigger=(
+            "import signal\n"
+            "def handler(signum, frame):\n"
+            "    pass\n"
+            "def install():\n"
+            "    signal.signal(signal.SIGTERM, handler)\n"
+        ),
+        clean=(
+            "import signal\n"
+            "def handler(signum, frame):\n"
+            "    pass\n"
+            "def install():\n"
+            "    previous = signal.signal(signal.SIGTERM, handler)\n"
+            "    try:\n"
+            "        pass\n"
+            "    finally:\n"
+            "        signal.signal(signal.SIGTERM, previous)\n"
+        ),
+        suppressed=(
+            "import signal\n"
+            "def handler(signum, frame):\n"
+            "    pass\n"
+            "def install():\n"
+            "    signal.signal(signal.SIGTERM, handler)  # repro: noqa[RES001]\n"
+        ),
+    ),
     "PRF001": RuleFixture(
         relpath="repro_fixture/kernels.py",
         trigger=(

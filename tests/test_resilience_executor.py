@@ -120,3 +120,85 @@ class TestArrayPayloads:
         results = ex.map(np.sort, chunks)
         for got, chunk in zip(results, chunks):
             np.testing.assert_array_equal(got, np.sort(chunk))
+
+
+class TestBackoffClock:
+    """Fake-clock proofs: exact delay sequence, never a post-final sleep."""
+
+    def test_serial_backoff_sequence_and_no_final_sleep(self):
+        ex = ParallelExecutor(max_workers=1, retries=2, backoff=0.5)
+        sleeps: list[float] = []
+        ex._sleep = sleeps.append
+        outcomes = ex.map_outcomes(_boom, [2])
+        assert not outcomes[0].ok and outcomes[0].attempts == 3
+        # backoff * 2**(k-1) after attempts 1 and 2; the third (final)
+        # failure returns immediately without sleeping.
+        assert sleeps == [0.5, 1.0]
+
+    def test_serial_no_sleep_when_last_attempt_succeeds(self, tmp_path):
+        task = TransientFaultTask(_square, tmp_path, crash_on={3}, mode="raise")
+        ex = ParallelExecutor(max_workers=1, retries=1, backoff=0.25)
+        sleeps: list[float] = []
+        ex._sleep = sleeps.append
+        outcomes = ex.map_outcomes(task, [3])
+        assert outcomes[0].ok and outcomes[0].attempts == 2
+        assert sleeps == [0.25]  # one backoff before the winning retry only
+
+    def test_serial_zero_retries_never_sleeps(self):
+        ex = ParallelExecutor(max_workers=1, retries=0, backoff=9.0)
+        sleeps: list[float] = []
+        ex._sleep = sleeps.append
+        outcomes = ex.map_outcomes(_boom, [0, 2])
+        assert [o.ok for o in outcomes] == [True, False]
+        assert sleeps == []
+
+    def test_pool_backoff_sequence_and_no_final_sleep(self):
+        ex = ParallelExecutor(max_workers=2, retries=2, backoff=0.5)
+        sleeps: list[float] = []
+        ex._sleep = sleeps.append
+        outcomes = ex.map_outcomes(_boom, [0, 1, 2, 3])
+        assert [o.ok for o in outcomes] == [True, True, False, True]
+        assert outcomes[2].attempts == 3
+        assert sleeps == [0.5, 1.0]
+
+    def test_pool_all_ok_never_sleeps(self):
+        ex = ParallelExecutor(max_workers=2, retries=3, backoff=9.0)
+        sleeps: list[float] = []
+        ex._sleep = sleeps.append
+        assert ex.map(_square, [1, 2, 3, 4]) == [1, 4, 9, 16]
+        assert sleeps == []
+
+
+class TestRespawnBudget:
+    def test_recycle_discards_live_pool_and_counts(self):
+        with ParallelExecutor(max_workers=2, persistent=True) as ex:
+            assert ex.map(_square, [1, 2, 3]) == [1, 4, 9]
+            if ex._pool is None:
+                pytest.skip("pool unavailable on this host; nothing to recycle")
+            assert ex.recycle() is True
+            assert ex.respawns == 1
+            assert ex._pool is None
+            # no live pool: nothing discarded, no budget spent
+            assert ex.recycle() is False
+            assert ex.respawns == 1
+            # the next call lazily builds a fresh pool and still works
+            assert ex.map(_square, [4]) == [16]
+
+    def test_recycle_noop_for_non_persistent_executor(self):
+        ex = ParallelExecutor(max_workers=2)
+        assert ex.recycle() is False
+        assert ex.respawns == 0
+
+    def test_exhausted_budget_degrades_to_serial(self):
+        with ParallelExecutor(max_workers=2, persistent=True, max_respawns=0) as ex:
+            assert ex.map(_square, [1, 2, 3]) == [1, 4, 9]
+            if ex._pool is None:
+                pytest.skip("pool unavailable on this host; nothing to recycle")
+            ex.recycle()  # spends the whole budget
+            # Still correct — but permanently in-process: no pool is rebuilt.
+            assert ex.map(_square, [5, 6, 7]) == [25, 36, 49]
+            assert ex._pool is None
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            ParallelExecutor(max_respawns=-1)

@@ -123,3 +123,73 @@ class TestChunkDegradation:
         assert report.ok
         assert report.degraded_points == 0
         assert np.all(np.isfinite(volume))
+
+
+class TestReportAggregation:
+    """flag/summary/merged across multi-chunk, multi-timestep degradation."""
+
+    def _degraded_report(self, sample, fault_cls):
+        interp = DelaunayLinearInterpolator()
+        thr = region_threshold(sample.grid)
+        faulty = fault_cls(interp, axis=0, threshold=thr)
+        ex = ParallelExecutor(max_workers=1)
+        _, report = parallel_reconstruct(
+            faulty, sample, num_chunks=6, executor=ex, return_report=True
+        )
+        return report
+
+    def test_summary_reports_counts_and_fraction(self, sample):
+        report = self._degraded_report(sample, RegionNaNFault)
+        text = report.summary()
+        assert f"{len(report.degraded)} degraded region(s)" in text
+        assert f"{report.degraded_points}/{report.total_points}" in text
+        assert "nearest" in text
+
+    def test_summary_of_clean_report(self):
+        from repro.resilience import ReconstructionReport
+
+        assert "healthy" in ReconstructionReport(total_points=100).summary()
+
+    def test_merged_across_campaign_timesteps(self, sample):
+        from repro.resilience import ReconstructionReport
+
+        clean = ReconstructionReport(total_points=1000)
+        nan_report = self._degraded_report(sample, RegionNaNFault)
+        crash_report = self._degraded_report(sample, RegionCrashFault)
+        merged = ReconstructionReport.merged([clean, nan_report, crash_report])
+
+        assert merged.total_points == (
+            1000 + nan_report.total_points + crash_report.total_points
+        )
+        assert merged.degraded_points == (
+            nan_report.degraded_points + crash_report.degraded_points
+        )
+        assert len(merged.degraded) == (
+            len(nan_report.degraded) + len(crash_report.degraded)
+        )
+        # region ordinals are renumbered in merge order
+        assert [r.index for r in merged.degraded] == list(range(len(merged.degraded)))
+        # both sources degraded via "nearest", so the merge agrees
+        assert merged.fallback_method == "nearest"
+        assert not merged.ok
+        assert "degraded region(s)" in merged.summary()
+
+    def test_merged_mixed_methods_and_empty_cases(self):
+        from repro.resilience import ReconstructionReport
+
+        a = ReconstructionReport(total_points=10, fallback_method="nearest")
+        a.flag(0, 4, "nan chunk", "nearest")
+        b = ReconstructionReport(total_points=10, fallback_method="linear")
+        b.flag(0, 2, "crashed chunk", "linear")
+        mixed = ReconstructionReport.merged([a, b])
+        assert mixed.fallback_method == "mixed"
+        assert mixed.degraded_points == 6
+
+        # clean-only merge: no degradation, no fallback method
+        clean = ReconstructionReport.merged(
+            [ReconstructionReport(total_points=5), ReconstructionReport(total_points=7)]
+        )
+        assert clean.ok
+        assert clean.fallback_method is None
+        assert clean.total_points == 12
+        assert ReconstructionReport.merged([]).total_points == 0

@@ -1,0 +1,183 @@
+"""Supervision primitives: graceful interrupts, stage deadlines, quarantine."""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.resilience import (
+    CampaignInterrupted,
+    GracefulInterrupt,
+    SupervisionPolicy,
+    WorkerSupervisor,
+)
+
+
+# ------------------------------------------------------- GracefulInterrupt
+def test_interrupt_installs_and_restores_handlers():
+    before = {s: signal.getsignal(s) for s in (signal.SIGTERM, signal.SIGINT)}
+    with GracefulInterrupt() as interrupt:
+        assert interrupt.installed
+        assert not interrupt.triggered
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            assert signal.getsignal(sig) == interrupt._handle
+    for sig, handler in before.items():
+        assert signal.getsignal(sig) == handler
+
+
+def test_interrupt_catches_real_sigterm():
+    with GracefulInterrupt() as interrupt:
+        os.kill(os.getpid(), signal.SIGTERM)
+        deadline = time.monotonic() + 5.0
+        while not interrupt.triggered and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert interrupt.triggered
+        assert interrupt.signum == signal.SIGTERM
+
+
+def test_interrupt_restores_after_trigger():
+    before = signal.getsignal(signal.SIGINT)
+    with GracefulInterrupt(signals=(signal.SIGINT,)) as interrupt:
+        interrupt.trigger(signal.SIGINT)
+    assert signal.getsignal(signal.SIGINT) == before
+
+
+def test_interrupt_on_signal_callback():
+    seen = []
+    with GracefulInterrupt(on_signal=seen.append) as interrupt:
+        interrupt.trigger(signal.SIGTERM)
+    assert seen == [signal.SIGTERM]
+
+
+def test_interrupt_degrades_to_inert_flag_off_main_thread():
+    results = {}
+
+    def worker():
+        with GracefulInterrupt() as interrupt:
+            results["installed"] = interrupt.installed
+            results["triggered"] = interrupt.triggered
+            interrupt.trigger()  # explicit trigger still works
+            results["after"] = interrupt.triggered
+
+    th = threading.Thread(target=worker)
+    th.start()
+    th.join()
+    assert results == {"installed": False, "triggered": False, "after": True}
+
+
+def test_campaign_interrupted_carries_resume_coordinates():
+    exc = CampaignInterrupted("stopped", completed=(0, 8), next_timestep=16)
+    assert exc.completed == (0, 8)
+    assert exc.next_timestep == 16
+    assert "stopped" in str(exc)
+
+
+# -------------------------------------------------------- SupervisionPolicy
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"stage_deadline": 0.0},
+        {"stage_deadline": -1.0},
+        {"poll_interval": 0.0},
+        {"max_retries": -1},
+    ],
+)
+def test_policy_validation(kwargs):
+    with pytest.raises(ValueError):
+        SupervisionPolicy(**kwargs)
+
+
+# --------------------------------------------------------- WorkerSupervisor
+def test_supervisor_detects_stalled_stage():
+    policy = SupervisionPolicy(stage_deadline=0.05, poll_interval=0.01)
+    stalls = []
+    with WorkerSupervisor(policy, on_stall=lambda *a: stalls.append(a)) as sup:
+        with sup.stage("process", 8):
+            deadline = time.monotonic() + 5.0
+            while not sup.stalls and time.monotonic() < deadline:
+                time.sleep(0.01)
+    assert sup.stalls and sup.stalls[0][:2] == ("process", 8)
+    assert stalls and stalls[0][:2] == ("process", 8)
+    # one stall report per stage instance, not one per poll
+    assert len(sup.stalls) == 1
+
+
+def test_supervisor_fast_stage_never_stalls():
+    policy = SupervisionPolicy(stage_deadline=5.0, poll_interval=0.01)
+    with WorkerSupervisor(policy) as sup:
+        with sup.stage("process", 0):
+            time.sleep(0.02)
+    assert sup.stalls == []
+
+
+def test_supervisor_on_stall_errors_do_not_kill_monitor():
+    policy = SupervisionPolicy(stage_deadline=0.02, poll_interval=0.01)
+
+    def explode(*args):
+        raise RuntimeError("on_stall crashed")
+
+    with WorkerSupervisor(policy, on_stall=explode) as sup:
+        for t in (0, 8):
+            with sup.stage("process", t):
+                deadline = time.monotonic() + 5.0
+                while (
+                    len(sup.stalls) < (1 if t == 0 else 2)
+                    and time.monotonic() < deadline
+                ):
+                    time.sleep(0.01)
+    # The monitor survived the first callback failure and kept watching.
+    assert len(sup.stalls) == 2
+
+
+def test_supervisor_without_deadline_runs_no_monitor():
+    sup = WorkerSupervisor(SupervisionPolicy(stage_deadline=None))
+    sup.start()
+    assert sup._monitor is None
+    sup.stop()
+
+
+def test_attempt_retries_then_reports_failure():
+    policy = SupervisionPolicy(max_retries=2)
+    sup = WorkerSupervisor(policy)
+    calls = []
+
+    def flaky():
+        calls.append(1)
+        raise OSError("still broken")
+
+    ok, result, attempts = sup.attempt(flaky, stage="reconstruct", timestep=8)
+    assert not ok
+    assert isinstance(result, OSError)
+    assert attempts == 3 and len(calls) == 3
+
+
+def test_attempt_recovers_on_retry():
+    policy = SupervisionPolicy(max_retries=1)
+    sup = WorkerSupervisor(policy)
+    state = {"calls": 0}
+
+    def flaky_once():
+        state["calls"] += 1
+        if state["calls"] == 1:
+            raise OSError("transient")
+        return "value"
+
+    ok, result, attempts = sup.attempt(flaky_once, stage="reconstruct", timestep=8)
+    assert ok and result == "value" and attempts == 2
+
+
+def test_quarantine_records_poison_timestep():
+    sup = WorkerSupervisor()
+    rec = sup.quarantine(16, "reconstruct", OSError("cursed"), attempts=2)
+    assert rec.timestep == 16
+    assert rec.stage == "reconstruct"
+    assert rec.attempts == 2
+    assert "OSError" in rec.error
+    assert sup.quarantined == [rec]
+    # string errors pass through unchanged
+    rec2 = sup.quarantine(24, "fine-tune", "stale weights", attempts=1)
+    assert rec2.error == "stale weights"
