@@ -7,6 +7,12 @@ allocation inside a loop body of such a file reintroduces the per-batch
 allocations the fast path exists to remove.  Intentional loop allocations
 (startup warming, once-per-call results) are suppressed explicitly with
 ``# repro: noqa[PRF001]``.
+
+One idiom is recognized as arena-backed rather than flagged: a loop
+allocation assigned to a name that the module elsewhere passes as an
+``out=`` target (``buf = np.empty(...)`` … ``np.matmul(a, b, out=buf)``).
+That is the batched engine's fallback-buffer pattern — the allocation
+*is* the reuse site's arena, sized once per call, so it needs no noqa.
 """
 
 from __future__ import annotations
@@ -38,6 +44,35 @@ def _allocator_name(node: ast.Call) -> str | None:
     return None
 
 
+def _final_name(node: ast.expr) -> str | None:
+    """The last name component of a target/argument expression.
+
+    ``buf`` -> ``buf``; ``self.scratch[tag]`` -> ``scratch``;
+    ``state.bufs["x"]`` -> ``bufs``.  Subscripts are stripped so a dict of
+    arena buffers matches its fill site.
+    """
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _out_target_names(tree: ast.AST) -> set[str]:
+    """Final name components of every ``out=`` keyword argument in the module."""
+    names: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            for kw in node.keywords:
+                if kw.arg == "out":
+                    name = _final_name(kw.value)
+                    if name is not None:
+                        names.add(name)
+    return names
+
+
 class HotLoopAllocationRule(Rule):
     id = "PRF001"
     name = "hot-loop-allocation"
@@ -50,6 +85,17 @@ class HotLoopAllocationRule(Rule):
             return
         # Only statement loops count: comprehensions run once per call, the
         # steady-state concern is the per-iteration body of for/while.
+        out_names = _out_target_names(ctx.tree)
+        # Allocations assigned to a later-``out=`` target are arena fills,
+        # not steady-state churn (see the module docstring).
+        arena_fills: set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Call)
+                and any(_final_name(t) in out_names for t in node.targets)
+            ):
+                arena_fills.add(id(node.value))
         seen: set[int] = set()  # nested loops walk shared bodies once
         for loop in ast.walk(ctx.tree):
             if not isinstance(loop, (ast.For, ast.While)):
@@ -58,6 +104,8 @@ class HotLoopAllocationRule(Rule):
                 for node in ast.walk(stmt):
                     if isinstance(node, ast.Call) and id(node) not in seen:
                         seen.add(id(node))
+                        if id(node) in arena_fills:
+                            continue
                         name = _allocator_name(node)
                         if name is not None:
                             yield self.finding(

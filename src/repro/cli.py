@@ -163,6 +163,13 @@ def _tool_main(argv: list[str]) -> int:
                    help="training sampling fractions (with --train)")
     p.add_argument("--epochs", type=int, default=100)
     p.add_argument("--finetune-epochs", type=int, default=10)
+    p.add_argument("--batched-finetune", action="store_true",
+                   help="fine-tune every timestep from the pretrained base "
+                        "through the fused repro.nn.batched engine "
+                        "(block-size invariant; see docs/TRAINING.md)")
+    p.add_argument("--finetune-batch", type=int, default=0, metavar="K",
+                   help="timesteps per fused fine-tune block with "
+                        "--batched-finetune (0 = all in one block)")
     p.add_argument("--pipeline", default="on", choices=["on", "off"],
                    help="overlap simulate/train/write across timesteps "
                         "(bit-identical output either way; default on)")
@@ -229,6 +236,8 @@ def _tool_dispatch(args) -> str:
                                   fractions=tuple(args.fractions), epochs=args.epochs,
                                   finetune_epochs=args.finetune_epochs, seed=args.seed,
                                   pipeline=args.pipeline == "on",
+                                  batched_finetune=args.batched_finetune,
+                                  finetune_batch=args.finetune_batch,
                                   journal=args.journal, resume=args.resume)
     return tools.cmd_render(args.input, args.output, mode=args.mode,
                             axis=args.axis, array=args.array)

@@ -194,6 +194,8 @@ class ReconstructionPipeline:
         *,
         finetune_epochs: int = 10,
         finetune_strategy: str = "full",
+        batched_finetune: bool = False,
+        finetune_batch: int = 0,
         pipeline: bool = True,
         warm_pool: bool = True,
         max_workers: int | None = None,
@@ -224,6 +226,21 @@ class ReconstructionPipeline:
         in-process sink when shared memory is unavailable).  Every
         ``(pipeline, warm_pool)`` combination produces **bit-identical**
         reconstructions and scores.
+
+        ``batched_finetune=True`` switches the fine-tune stage to the
+        :mod:`repro.nn.batched` engine: timesteps are grouped into blocks
+        of ``finetune_batch`` (0 = all timesteps in one block) and each
+        block's models advance together through fused stacked matmuls via
+        :meth:`FCNNReconstructor.fine_tune_batch`.  Semantics change
+        deliberately: every timestep fine-tunes **from the pretrained
+        base** (the paper's transfer setup, enabling per-timestep partial
+        checkpoints) instead of rolling the weights forward timestep to
+        timestep, so batched rows differ from serial rows by design.
+        Batched results are *block-size invariant* — any
+        ``finetune_batch`` (and any pipeline/warm_pool combination)
+        produces bit-identical reconstructions — and journal/resume keeps
+        its per-timestep granularity (one weight sidecar per timestep,
+        sliced out of the stack).
 
         Crash safety (see :mod:`repro.resilience` and docs/RESILIENCE.md):
 
@@ -272,6 +289,12 @@ class ReconstructionPipeline:
                     "finetune_epochs": int(finetune_epochs),
                     "finetune_strategy": str(finetune_strategy),
                 }
+                if batched_finetune:
+                    # Only present in batched journals: a serial journal
+                    # stays resumable by a serial run, and a batched resume
+                    # of a serial journal (different trajectories) is
+                    # rejected as a config mismatch.
+                    config["batched_finetune"] = True
                 wal = CampaignJournal(journal, config=config, resume=resume)
                 own_wal = True
 
@@ -286,7 +309,11 @@ class ReconstructionPipeline:
                 plan = wal.plan(steps)
             completed = list(plan.completed) if resume else []
             if completed:
-                restore_weights(reconstructor.model, wal.load_state(completed[-1]))
+                if not batched_finetune:
+                    # Serial fine-tunes roll forward; the batched engine
+                    # derives every timestep from the unchanged base, so
+                    # there is nothing to restore.
+                    restore_weights(reconstructor.model, wal.load_state(completed[-1]))
                 skipped_rows = [dict(p["row"]) for p in plan.payloads]
                 steps_to_run = list(plan.remaining)
                 obs_counter("campaign.resume.skipped").inc(len(completed))
@@ -368,10 +395,7 @@ class ReconstructionPipeline:
             slot = sink.publish(t, train_shell.values, {"fcnn": flat})
             return slot, fld, finetune_seconds, stale
 
-        def emit(t: int, payload):
-            if on_stage is not None:
-                on_stage("emit", t)
-            slot, fld, finetune_seconds, stale = payload
+        def reconstruct_one(t: int, fld: TimestepField, slot, finetune_seconds, stale_message):
             if sup is None:
                 volume, report = sink.reconstruct(slot, "fcnn")
             else:
@@ -387,12 +411,11 @@ class ReconstructionPipeline:
                     )
                 else:
                     raise value
-                if stale is not None:
+                if stale_message is not None:
                     report.flag(
                         len(report.degraded),
                         geometry.num_voids,
-                        f"fine-tune quarantined ({stale}); reconstructed with "
-                        "the previous timestep's weights",
+                        stale_message,
                         "stale-weights",
                     )
             row = {
@@ -406,12 +429,129 @@ class ReconstructionPipeline:
                 wal.record(t, "emitted", row=_jsonable(row))
             return row, (volume if self.keep_reconstructions else None)
 
-        scheduler = CampaignScheduler(
-            materialize, process, emit, pipeline=pipeline, depth=depth, interrupt=interrupt
-        )
+        def emit(t: int, payload):
+            if on_stage is not None:
+                on_stage("emit", t)
+            slot, fld, finetune_seconds, stale = payload
+            message = None
+            if stale is not None:
+                message = (
+                    f"fine-tune quarantined ({stale}); reconstructed with "
+                    "the previous timestep's weights"
+                )
+            return reconstruct_one(t, fld, slot, finetune_seconds, message)
+
+        # ------------------------------------------------- batched fine-tune
+        # Scheduler items become *block indices* (the scheduler int-casts
+        # its items); each block fine-tunes K timesteps from the base in
+        # one fused ModelStack, then emits them in timestep order.  The
+        # journal keeps per-timestep granularity throughout.
+        blocks: list[list[int]] = []
+        if batched_finetune and steps_to_run:
+            size = int(finetune_batch) if finetune_batch > 0 else len(steps_to_run)
+            blocks = [
+                steps_to_run[i : i + size] for i in range(0, len(steps_to_run), size)
+            ]
+        base_flat = snapshot_weights(reconstructor.model).data.copy()
+
+        def materialize_block(block_index: int):
+            items = []
+            for t in blocks[block_index]:
+                if on_stage is not None:
+                    on_stage("materialize", t)
+                fld = field0 if t == steps[0] else self.field(t)
+                train = [self.sample(fld, f) for f in self.train_fractions]
+                if wal is not None:
+                    wal.record(t, "sampled", field_sha=content_hash(fld.values))
+                items.append((t, fld, train))
+            return items
+
+        def process_block(block_index: int, items):
+            ts = [t for t, _, _ in items]
+            if on_stage is not None:
+                for t in ts:
+                    on_stage("process", t)
+            stale: str | None = None
+            if sup is None:
+                flats, histories = reconstructor.fine_tune_batch(
+                    [fld for _, fld, _ in items],
+                    [train for _, _, train in items],
+                    epochs=finetune_epochs,
+                    strategy=finetune_strategy,
+                )
+                seconds = [h.total_seconds for h in histories]
+            else:
+                with sup.stage("process", ts[0]):
+                    try:
+                        flats, histories = reconstructor.fine_tune_batch(
+                            [fld for _, fld, _ in items],
+                            [train for _, _, train in items],
+                            epochs=finetune_epochs,
+                            strategy=finetune_strategy,
+                        )
+                        seconds = [h.total_seconds for h in histories]
+                    except Exception as exc:
+                        if not sup.policy.quarantine:
+                            raise
+                        # Deterministic training: retrying is futile.  The
+                        # base model is untouched (fine_tune_batch never
+                        # mutates it), so every member degrades to base
+                        # weights and the campaign carries on.
+                        for t in ts:
+                            sup.quarantine(t, "fine-tune", exc, attempts=1)
+                        stale = f"{type(exc).__name__}: {exc}"
+                        flats = [base_flat] * len(ts)
+                        seconds = [0.0] * len(ts)
+            if wal is not None:
+                for t, flat in zip(ts, flats):
+                    wal.save_state(t, flat)
+                    wal.record(t, "fine-tuned", weights_sha=content_hash(flat))
+            return items, flats, seconds, stale
+
+        def emit_block(block_index: int, payload):
+            items, flats, seconds, stale = payload
+            message = None
+            if stale is not None:
+                message = (
+                    f"fine-tune quarantined ({stale}); reconstructed with "
+                    "the pretrained base weights"
+                )
+            out = []
+            for (t, fld, _), flat, finetune_seconds in zip(items, flats, seconds):
+                if on_stage is not None:
+                    on_stage("emit", t)
+                geometry.refresh(train_shell, fld)
+                slot = sink.publish(t, train_shell.values, {"fcnn": flat})
+                out.append(reconstruct_one(t, fld, slot, finetune_seconds, message))
+            return out
+
+        if batched_finetune:
+            scheduler = CampaignScheduler(
+                materialize_block,
+                process_block,
+                emit_block,
+                pipeline=pipeline,
+                depth=depth,
+                interrupt=interrupt,
+            )
+            items_to_run = list(range(len(blocks)))
+        else:
+            scheduler = CampaignScheduler(
+                materialize, process, emit, pipeline=pipeline, depth=depth, interrupt=interrupt
+            )
+            items_to_run = steps_to_run
         try:
-            emitted = scheduler.run(steps_to_run)
+            emitted = scheduler.run(items_to_run)
         except CampaignInterrupted as exc:
+            if batched_finetune:
+                # Translate block indices back into timestep coordinates.
+                done_steps = [t for bi in exc.completed for t in blocks[bi]]
+                next_blocks = blocks[len(exc.completed):]
+                exc = CampaignInterrupted(
+                    str(exc),
+                    completed=tuple(done_steps),
+                    next_timestep=next_blocks[0][0] if next_blocks else None,
+                )
             if wal is not None:
                 done = steps[: len(skipped_rows)] + list(exc.completed)
                 wal.write_manifest(
@@ -419,13 +559,15 @@ class ReconstructionPipeline:
                     completed=done,
                     remaining=steps[len(done):],
                 )
-            raise
+            raise exc
         finally:
             sink.close()
             if sup is not None:
                 sup.stop()
             if own_wal and wal is not None:
                 wal.close()
+        if batched_finetune:
+            emitted = [pair for block in emitted for pair in block]
         rows = skipped_rows + [row for row, _ in emitted]
         volumes = None
         if self.keep_reconstructions:

@@ -27,6 +27,7 @@ from repro.core.normalization import Normalizer
 from repro.datasets.base import TimestepField
 from repro.grid import UniformGrid
 from repro.nn import Adam, MSELoss, Sequential, Trainer, TrainingHistory, WeightedMSELoss, mlp
+from repro.nn.batched import BatchedAdam, BatchedTrainer, ModelStack
 from repro.nn.serialization import load_model, save_model, save_partial
 from repro.obs import counter as obs_counter
 from repro.obs import record_event, span
@@ -290,6 +291,98 @@ class FCNNReconstructor:
         self.history.extend(run)
         model.set_all_trainable(True)
         return run
+
+    def fine_tune_batch(
+        self,
+        fields: list[TimestepField],
+        samples_per_step: list,
+        epochs: int = 10,
+        strategy: str = "last",
+        num_trainable: int = 2,
+        train_fraction: float = 1.0,
+        prefix_cache: bool = True,
+    ) -> tuple[list[np.ndarray], list[TrainingHistory]]:
+        """Fine-tune one model per field from the current base, fused.
+
+        The batched counterpart of calling :meth:`fine_tune` once per
+        timestep from the same pretrained base: every step gets its own
+        weight set, all K advance together through the
+        :mod:`repro.nn.batched` engine (one fused matmul per layer per
+        batch instead of K serial ones).  Unlike :meth:`fine_tune` this
+        does **not** mutate ``self.model`` — the base stays pristine and
+        each step's result comes back as a flat weight vector
+        (:func:`repro.perf.restore_weights` layout, journal-sidecar
+        ready) plus its :class:`~repro.nn.TrainingHistory`.
+
+        ``strategy="last"`` (paper Case 2) additionally enables the
+        frozen-prefix activation cache: the frozen layers run once per
+        step over the full training slab instead of every batch of every
+        epoch.  Pass ``prefix_cache=False`` for the exact serial Case-2
+        op sequence (bit-identical to per-step :meth:`fine_tune`).
+
+        Steps whose training matrices disagree in row count are grouped
+        into separate stacks (fused batching needs a rectangular slab);
+        each member's bits never depend on its group's size.
+        """
+        model, normalizer = self._require_trained()
+        if strategy not in ("full", "last"):
+            raise ValueError(f"strategy must be 'full' or 'last', got {strategy!r}")
+        fields = list(fields)
+        samples_per_step = list(samples_per_step)
+        if len(fields) != len(samples_per_step):
+            raise ValueError(
+                f"{len(fields)} fields but {len(samples_per_step)} sample groups"
+            )
+        if not fields:
+            raise ValueError("need at least one timestep to fine-tune")
+
+        matrices = []
+        with span("fcnn.features.batched", steps=len(fields)):
+            for field, samples in zip(fields, samples_per_step):
+                sample_list = self._as_sample_list(samples)
+                tuned = dataclasses.replace(
+                    normalizer,
+                    origin=np.asarray(field.grid.origin, dtype=np.float64),
+                    span=_grid_span(field.grid),
+                )
+                rng = np.random.default_rng(self.seed + 1)
+                matrices.append(
+                    self._training_matrix(field, sample_list, tuned, train_fraction, rng)
+                )
+
+        # The batched engine is float64-only; a float32 arena would change
+        # the gather dtype, so fall back to the allocating float64 path.
+        workspace = self._get_workspace()
+        if workspace is not None and workspace.dtype != np.float64:
+            workspace = None
+
+        groups: dict[int, list[int]] = {}
+        for i, (x, _) in enumerate(matrices):
+            groups.setdefault(len(x), []).append(i)
+        flats: list[np.ndarray | None] = [None] * len(fields)
+        histories: list[TrainingHistory | None] = [None] * len(fields)
+        for steps in groups.values():
+            stack = ModelStack.from_network(model, k=len(steps))
+            if strategy == "last":
+                stack.freeze_all_but_last(num_trainable)
+            trainer = BatchedTrainer(
+                stack,
+                loss=self._loss(),
+                optimizer=BatchedAdam(stack.parameters(), lr=self.learning_rate),
+                batch_size=self.batch_size,
+                seed=self.seed + 1,
+                workspace=workspace,
+                case2_prefix_cache=prefix_cache,
+            )
+            runs = trainer.fit(
+                np.stack([matrices[i][0] for i in steps]),
+                np.stack([matrices[i][1] for i in steps]),
+                epochs=epochs,
+            )
+            for member, i in enumerate(steps):
+                flats[i] = stack.member_weights(member)
+                histories[i] = runs[member]
+        return flats, histories
 
     # --------------------------------------------------------- reconstruction
     def predict_values(

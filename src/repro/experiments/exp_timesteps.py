@@ -18,6 +18,13 @@ stays strictly sequential (model state rolls forward in time) and the
 emit stage works on published weight snapshots restored into dedicated
 clones — results are bit-identical to the serial loop
 (``config.campaign_pipeline = False``).
+
+With ``config.batched_finetune`` the ``fcnn-ft`` curves switch to the
+fused :mod:`repro.nn.batched` engine: every timestep fine-tunes **from
+the pretrained base** (the paper's transfer setup) and timesteps advance
+together in blocks of ``config.finetune_batch`` — a different (but
+block-size-invariant) trajectory from the rolling curves by design; see
+docs/TRAINING.md.
 """
 
 from __future__ import annotations
@@ -49,6 +56,7 @@ def run(config: ExperimentConfig | None = None) -> ExperimentResult:
             "pretrain_timesteps": (t_a, t_b),
             "finetune_epochs": config.finetune_epochs,
             "pipeline": config.campaign_pipeline,
+            "batched_finetune": config.batched_finetune,
         },
     )
 
@@ -98,10 +106,48 @@ def run(config: ExperimentConfig | None = None) -> ExperimentResult:
             record[f"fcnn-ft@{tag}"] = snr(field.values, model.reconstruct(sample))
         return record
 
-    scheduler = CampaignScheduler(
-        materialize, process, emit, pipeline=config.campaign_pipeline
-    )
-    for record in scheduler.run(timesteps):
+    # Batched variant: scheduler items become block indices, every block's
+    # fcnn-ft members fine-tune together from the pretrained base.
+    blocks: list[tuple[int, ...]] = []
+    if config.batched_finetune:
+        size = config.finetune_batch if config.finetune_batch > 0 else len(timesteps)
+        blocks = [timesteps[i : i + size] for i in range(0, len(timesteps), size)]
+
+    def materialize_block(block_index: int):
+        return [materialize(t) for t in blocks[block_index]]
+
+    def process_block(block_index: int, items):
+        fields = [field for field, _ in items]
+        trains = [
+            [pipeline.sample(field, f) for f in config.train_fractions] for field in fields
+        ]
+        flats_per_t = [{} for _ in items]
+        for tag, model in pretrained.items():
+            flats, _histories = model.fine_tune_batch(
+                fields, trains, epochs=config.finetune_epochs, strategy="full"
+            )
+            for slot, flat in zip(flats_per_t, flats):
+                slot[tag] = flat
+        return [
+            (field, sample, flats) for (field, sample), flats in zip(items, flats_per_t)
+        ]
+
+    def emit_block(block_index: int, payloads):
+        return [emit(t, payload) for t, payload in zip(blocks[block_index], payloads)]
+
+    if config.batched_finetune:
+        scheduler = CampaignScheduler(
+            materialize_block, process_block, emit_block, pipeline=config.campaign_pipeline
+        )
+        records = (
+            record for block in scheduler.run(range(len(blocks))) for record in block
+        )
+    else:
+        scheduler = CampaignScheduler(
+            materialize, process, emit, pipeline=config.campaign_pipeline
+        )
+        records = iter(scheduler.run(timesteps))
+    for record in records:
         result.rows.append(record)
         for key, value in record.items():
             if key != "timestep":

@@ -112,6 +112,14 @@ class InSituWriter:
         first stored timestep and Case-1 fine-tuned (``finetune_epochs``)
         at each subsequent one; the base model and per-timestep Case-2
         partial checkpoints are written alongside the clouds.
+    batched_finetune:
+        When True (with ``train_model``), every timestep after the first
+        is fine-tuned **from the pretrained base** through the
+        :mod:`repro.nn.batched` engine — timesteps are grouped into
+        blocks of ``finetune_batch`` (0 = all remaining timesteps in one
+        block) and each block's models advance together through fused
+        stacked matmuls.  The on-disk campaign is *block-size invariant*;
+        it differs from the serial (rolling) campaign by design.
     """
 
     def __init__(
@@ -124,6 +132,8 @@ class InSituWriter:
         epochs: int = 100,
         finetune_epochs: int = 10,
         model_kwargs: dict | None = None,
+        batched_finetune: bool = False,
+        finetune_batch: int = 0,
     ) -> None:
         if not (0.0 < fraction <= 1.0):
             raise ValueError(f"fraction must be in (0, 1], got {fraction}")
@@ -135,6 +145,8 @@ class InSituWriter:
         self.epochs = int(epochs)
         self.finetune_epochs = int(finetune_epochs)
         self.model_kwargs = dict(model_kwargs or {})
+        self.batched_finetune = bool(batched_finetune)
+        self.finetune_batch = int(finetune_batch)
 
     def run(
         self,
@@ -192,18 +204,24 @@ class InSituWriter:
 
         wal: CampaignJournal | None = None
         if journal:
+            config = {
+                "kind": "insitu",
+                "dataset": self.dataset.name,
+                "fraction": self.fraction,
+                "timesteps": timesteps,
+                "train_model": self.train_model,
+                "train_fractions": list(self.train_fractions),
+                "epochs": self.epochs,
+                "finetune_epochs": self.finetune_epochs,
+            }
+            if self.batched_finetune:
+                # Recorded only for batched campaigns so old serial
+                # journals stay valid; a serial<->batched resume (different
+                # trajectories) is rejected as a config mismatch.
+                config["batched_finetune"] = True
             wal = CampaignJournal(
                 directory / WAL_DIRNAME / "journal.jsonl",
-                config={
-                    "kind": "insitu",
-                    "dataset": self.dataset.name,
-                    "fraction": self.fraction,
-                    "timesteps": timesteps,
-                    "train_model": self.train_model,
-                    "train_fractions": list(self.train_fractions),
-                    "epochs": self.epochs,
-                    "finetune_epochs": self.finetune_epochs,
-                },
+                config=config,
                 resume=resume,
             )
 
@@ -251,7 +269,11 @@ class InSituWriter:
                     # exact weights from the last completed timestep's WAL
                     # state — fine-tuning re-enters bit-identically.
                     model = FCNNReconstructor.load(directory / manifest.base_model_file)
-                    restore_weights(model.model, wal.load_state(skipped[-1]))
+                    if not self.batched_finetune:
+                        # Serial fine-tunes roll forward; batched ones
+                        # derive every timestep from the unchanged base,
+                        # which *is* the checkpoint just loaded.
+                        restore_weights(model.model, wal.load_state(skipped[-1]))
                     emit_model = model.clone()
 
         def materialize(t: int):
@@ -319,12 +341,77 @@ class InSituWriter:
                 )
             return t
 
-        scheduler = CampaignScheduler(
-            materialize, process, emit, pipeline=pipeline, name="insitu", interrupt=interrupt
-        )
+        # Batched fine-tuning: scheduler items become *block indices*.  The
+        # first block stays ``[t0]`` when the base still has to be trained;
+        # every later block fine-tunes its timesteps from that base in one
+        # fused ModelStack.  The journal keeps per-timestep granularity.
+        blocks: list[list[int]] = []
+        if self.batched_finetune and steps_to_run:
+            rest = steps_to_run
+            if self.train_model and model is None:
+                blocks.append([rest[0]])
+                rest = rest[1:]
+            size = self.finetune_batch if self.finetune_batch > 0 else max(1, len(rest))
+            blocks.extend(rest[i : i + size] for i in range(0, len(rest), size))
+
+        def materialize_block(block_index: int):
+            return [materialize(t) for t in blocks[block_index]]
+
+        def process_block(block_index: int, items):
+            nonlocal model, emit_model
+            ts = blocks[block_index]
+            if not self.train_model or (model is None and len(ts) == 1):
+                # Untrained campaigns, and the base-training first block,
+                # go through the serial stage unchanged.
+                return [process(t, item) for t, item in zip(ts, items)]
+            if on_stage is not None:
+                for t in ts:
+                    on_stage("process", t)
+            flats, _histories = model.fine_tune_batch(
+                [field for field, _, _ in items],
+                [train for _, _, train in items],
+                epochs=self.finetune_epochs,
+                strategy="last",
+            )
+            if wal is not None:
+                for t, flat in zip(ts, flats):
+                    wal.save_state(t, flat)
+                    wal.record(t, "fine-tuned", weights_sha=content_hash(flat))
+            return [
+                (sample, flat, False)
+                for (_, sample, _), flat in zip(items, flats)
+            ]
+
+        def emit_block(block_index: int, payloads):
+            return [emit(t, payload) for t, payload in zip(blocks[block_index], payloads)]
+
+        if self.batched_finetune:
+            scheduler = CampaignScheduler(
+                materialize_block,
+                process_block,
+                emit_block,
+                pipeline=pipeline,
+                name="insitu",
+                interrupt=interrupt,
+            )
+            items_to_run = list(range(len(blocks)))
+        else:
+            scheduler = CampaignScheduler(
+                materialize, process, emit, pipeline=pipeline, name="insitu", interrupt=interrupt
+            )
+            items_to_run = steps_to_run
         try:
-            scheduler.run(steps_to_run)
+            scheduler.run(items_to_run)
         except CampaignInterrupted as exc:
+            if self.batched_finetune:
+                # Translate block indices back into timestep coordinates.
+                done_steps = [t for bi in exc.completed for t in blocks[bi]]
+                next_blocks = blocks[len(exc.completed):]
+                exc = CampaignInterrupted(
+                    str(exc),
+                    completed=tuple(done_steps),
+                    next_timestep=next_blocks[0][0] if next_blocks else None,
+                )
             # Flush a *readable* partial campaign (post hoc tools work on
             # the completed prefix) plus the resume manifest, then let the
             # interruption propagate.
@@ -337,7 +424,7 @@ class InSituWriter:
                     remaining=timesteps[len(done):],
                 )
                 wal.close()
-            raise
+            raise exc
         self._write_index(directory, manifest)
         if wal is not None:
             wal.close()

@@ -1,0 +1,75 @@
+# hot-path
+"""In-place optimizers over stacked parameters.
+
+:class:`BatchedAdam` applies :class:`repro.nn.Adam`'s exact update — the
+same ufunc sequence with the same hoisted bias corrections — to ``(K,
+*shape)`` parameter stacks, so every member's trajectory is bit-identical
+to a serial Adam run stepping in lockstep (one shared step counter; all
+members step together every batch).  Frozen stacks are skipped entirely,
+matching the serial optimizer's per-parameter ``trainable`` check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.batched.stack import StackedParameter
+
+__all__ = ["BatchedAdam"]
+
+
+class BatchedAdam:
+    """Adam (Kingma & Ba) over stacked parameters, fully in place."""
+
+    def __init__(
+        self,
+        parameters: list[StackedParameter],
+        lr: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError(f"betas must be in [0, 1), got {beta1}, {beta2}")
+        self.parameters = list(parameters)
+        self.lr = float(lr)
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self._m = [np.zeros_like(p.value) for p in self.parameters]
+        self._v = [np.zeros_like(p.value) for p in self.parameters]
+        self._s1 = [np.empty_like(p.value) for p in self.parameters]
+        self._s2 = [np.empty_like(p.value) for p in self.parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        """One update from the accumulated gradients, all K members at once."""
+        self._t += 1
+        # Bias corrections depend only on t: hoisted out of the parameter loop.
+        b1t = 1.0 - self.beta1**self._t
+        b2t = 1.0 - self.beta2**self._t
+        one_minus_b1 = 1.0 - self.beta1
+        one_minus_b2 = 1.0 - self.beta2
+        for p, m, v, s1, s2 in zip(self.parameters, self._m, self._v, self._s1, self._s2):
+            if not p.trainable:
+                continue
+            m *= self.beta1
+            np.multiply(p.grad, one_minus_b1, out=s1)
+            m += s1
+            v *= self.beta2
+            np.multiply(p.grad, p.grad, out=s2)
+            s2 *= one_minus_b2
+            v += s2
+            np.divide(m, b1t, out=s1)          # m_hat
+            np.divide(v, b2t, out=s2)          # v_hat
+            np.sqrt(s2, out=s2)
+            s2 += self.eps
+            s1 *= self.lr
+            s1 /= s2
+            p.value -= s1
+
+    def zero_grad(self) -> None:
+        for p in self.parameters:
+            p.zero_grad()

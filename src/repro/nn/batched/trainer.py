@@ -1,0 +1,264 @@
+# hot-path
+"""The batched mini-batch training loop: K fine-tunes per BLAS call.
+
+:class:`BatchedTrainer` drives a :class:`~repro.nn.batched.ModelStack`
+through the serial :class:`repro.nn.Trainer` protocol — shuffled
+mini-batches, per-member loss history, Adam — with every step fused across
+the K members.  All members share one shuffling seed (the campaign
+fine-tunes every timestep with the same ``seed + 1``), so a single
+permutation drives the whole stack and the per-member trajectories are
+bit-identical to K serial runs (``tests/test_nn_batched.py``).
+
+Case-2 fast path: when the stack has a frozen prefix
+(:meth:`ModelStack.freeze_all_but_last`), the prefix is evaluated **once**
+per fit over the full training slab (it never changes — its weights are
+frozen), the resulting activations are cached in an arena buffer, and the
+epoch loop trains only the suffix layers: no forward *or* backward work
+through frozen layers, ever.  The cached-prefix trajectory is proven
+correct against finite differences rather than claimed bit-identical to
+the serial Case-2 run (the prefix matmul happens at full-slab rather than
+per-batch shape); disable it with ``case2_prefix_cache=False`` to recover
+the exact serial Case-2 op sequence.
+
+Telemetry mirrors the serial trainer under a ``train.batched.*`` prefix:
+``train.batched.fit``/``train.batched.epoch`` spans, batch/epoch counters,
+loss/model-count gauges and epoch-seconds histograms.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.nn.batched.optimizers import BatchedAdam
+from repro.nn.batched.stack import ModelStack
+from repro.nn.losses import Loss, MSELoss
+from repro.nn.losses_weighted import WeightedMSELoss
+from repro.nn.training import TrainingHistory
+from repro.obs import counter as obs_counter
+from repro.obs import gauge as obs_gauge
+from repro.obs import histogram as obs_histogram
+from repro.obs import span
+
+__all__ = ["BatchedTrainer", "batched_loss_gradient"]
+
+#: rows per block when streaming the frozen prefix over the training slab;
+#: K-independent so blocked evaluation keeps member results K-invariant
+PREFIX_BLOCK = 16384
+
+
+def batched_loss_gradient(loss: Loss, pred: np.ndarray, target: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """Loss gradient over a ``(K, B, C)`` stack, element-identical per member.
+
+    The fused forms repeat the serial losses' exact ``out=`` op sequences
+    (subtract, scale, divide by the *member* element count ``B * C``);
+    unrecognized losses fall back to a per-member loop.
+    """
+    member_size = pred[0].size
+    if type(loss) is MSELoss:
+        np.subtract(pred, target, out=out)
+        out *= 2.0
+        out /= member_size
+    elif type(loss) is WeightedMSELoss:
+        np.subtract(pred, target, out=out)
+        out *= 2.0 * loss.weights
+        out /= member_size
+    else:
+        for k in range(pred.shape[0]):
+            out[k] = loss.gradient(pred[k], target[k])
+    return out
+
+
+class BatchedTrainer:
+    """Mini-batch gradient descent on a :class:`ModelStack`.
+
+    Parameters
+    ----------
+    stack:
+        The K-member model stack (trained in place).
+    loss:
+        Defaults to :class:`MSELoss`; applied per member.
+    optimizer:
+        Defaults to :class:`BatchedAdam` with the paper's ``lr=0.001``.
+        Construct it *after* any freezing so its state lists line up.
+    batch_size:
+        Mini-batch rows per member per update.
+    seed:
+        Shared shuffling seed — one permutation drives all K members.
+    workspace:
+        Optional :class:`repro.perf.Workspace`; when given, batch gathers,
+        activations, gradients and the cached Case-2 prefix all reuse
+        arena buffers (allocation-free steady-state epochs).
+    case2_prefix_cache:
+        Enable the frozen-prefix activation cache (default).  ``False``
+        keeps the frozen layers in the per-batch loop — slower, but the
+        exact serial Case-2 op sequence.
+    """
+
+    def __init__(
+        self,
+        stack: ModelStack,
+        loss: Loss | None = None,
+        optimizer: BatchedAdam | None = None,
+        batch_size: int = 4096,
+        seed: int = 0,
+        workspace=None,
+        case2_prefix_cache: bool = True,
+    ) -> None:
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.stack = stack
+        self.loss = loss if loss is not None else MSELoss()
+        self.optimizer = optimizer if optimizer is not None else BatchedAdam(stack.parameters())
+        self.batch_size = int(batch_size)
+        self.seed = int(seed)
+        self.workspace = workspace
+        self.case2_prefix_cache = bool(case2_prefix_cache)
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int,
+        shuffle: bool = True,
+    ) -> list[TrainingHistory]:
+        """Train all K members for ``epochs`` passes over their data slabs.
+
+        ``x`` is ``(K, N, features)`` and ``y`` is ``(K, N, targets)`` —
+        member ``k`` trains on the ``(x[k], y[k])`` slab.  Every member
+        sees the same number of rows (a rectangular stack is what makes
+        the fused batching possible).  Returns one
+        :class:`~repro.nn.TrainingHistory` per member; epoch wall time is
+        attributed ``1/K`` to each.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.ndim != 3 or y.ndim != 3:
+            raise ValueError(f"expected stacked 3D x/y, got {x.shape} and {y.shape}")
+        if x.shape[0] != self.stack.k or y.shape[0] != self.stack.k:
+            raise ValueError(
+                f"stack has K={self.stack.k} members; x/y carry {x.shape[0]}/{y.shape[0]} slabs"
+            )
+        if x.shape[1] != y.shape[1]:
+            raise ValueError(
+                f"x and y row counts differ: x has shape {x.shape}, y has shape {y.shape}"
+            )
+        if x.shape[1] == 0:
+            raise ValueError(f"training set is empty: x has shape {x.shape}")
+        if epochs < 0:
+            raise ValueError(f"epochs must be >= 0, got {epochs}")
+
+        ws = self.workspace
+        if ws is not None:
+            x = np.ascontiguousarray(x, dtype=ws.dtype)
+            y = np.ascontiguousarray(y, dtype=ws.dtype)
+            self.stack.attach_workspace(ws)
+        try:
+            return self._fit_loop(x, y, epochs, shuffle)
+        finally:
+            if ws is not None:
+                self.stack.detach_workspace()
+                obs_gauge("train.batched.workspace.bytes").set(float(ws.nbytes))
+                obs_gauge("train.batched.workspace.buffers").set(float(ws.num_buffers))
+
+    # ------------------------------------------------------------- internals
+    def _fit_loop(
+        self, x: np.ndarray, y: np.ndarray, epochs: int, shuffle: bool
+    ) -> list[TrainingHistory]:
+        k = self.stack.k
+        cut = 0
+        if self.case2_prefix_cache and any(not d.trainable for d in self.stack.dense_layers()):
+            cut = self.stack.trainable_cut()
+        rng = np.random.default_rng(self.seed)
+        histories = [TrainingHistory() for _ in range(k)]
+        n = x.shape[1]
+        with span(
+            "train.batched.fit",
+            models=k,
+            epochs=int(epochs),
+            rows=n,
+            case2_prefix=cut > 0,
+        ):
+            obs_gauge("train.batched.models").set(float(k))
+            if cut > 0:
+                x = self._prefix_activations(x, cut)
+                obs_counter("train.batched.prefix_rows").inc(k * n)
+            epoch = 0
+            while epoch < epochs:
+                with span("train.batched.epoch", epoch=epoch):
+                    t0 = time.perf_counter()
+                    order = rng.permutation(n) if shuffle else np.arange(n)
+                    losses = self._run_epoch(x, y, order, cut)
+                    seconds = time.perf_counter() - t0
+                    for member, history in enumerate(histories):
+                        history.train_loss.append(losses[member])
+                        history.epoch_seconds.append(seconds / k)
+                    obs_counter("train.batched.epochs").inc()
+                    obs_gauge("train.batched.loss").set(float(np.mean(losses)))
+                    obs_histogram("train.batched.epoch.seconds").observe(seconds)
+                    epoch += 1
+        return histories
+
+    def _prefix_activations(self, x: np.ndarray, cut: int) -> np.ndarray:
+        """Evaluate the frozen prefix once over the full ``(K, N, F)`` slab.
+
+        Streams ``PREFIX_BLOCK``-row blocks through the stacked prefix
+        (block boundaries are K-independent, so member results don't
+        depend on how many members ride along) into one cached activation
+        slab that the epoch loop then treats as the training input.
+        """
+        k, n, _ = x.shape
+        width = self.stack.prefix_width(cut)
+        ws = self.workspace
+        with span("train.batched.prefix", rows=n, width=width):
+            if ws is None:
+                z = np.empty((k, n, width), dtype=np.float64)
+            else:
+                z = ws.buffer(("case2", "z"), (k, n, width))
+            for start in range(0, n, PREFIX_BLOCK):
+                stop = min(start + PREFIX_BLOCK, n)
+                z[:, start:stop] = self.stack.forward(x[:, start:stop], stop=cut)
+        return z
+
+    def _run_epoch(
+        self, x: np.ndarray, y: np.ndarray, order: np.ndarray, cut: int
+    ) -> list[float]:
+        k = self.stack.k
+        n = x.shape[1]
+        ws = self.stack.workspace
+        grad_out = (
+            getattr(self.loss, "supports_out", False)
+            and ws is not None
+            and ws.dtype == np.float64
+        )
+        epoch_loss = [0.0] * k
+        counted = 0
+        for start in range(0, n, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            if ws is None:
+                xb, yb = x[:, idx], y[:, idx]
+            else:
+                # Gather into arena buffers instead of fancy-index copies.
+                xb = ws.buffer(("batch", "x"), (k, len(idx), x.shape[2]), dtype=x.dtype)
+                np.take(x, idx, axis=1, out=xb)
+                yb = ws.buffer(("batch", "y"), (k, len(idx), y.shape[2]), dtype=y.dtype)
+                np.take(y, idx, axis=1, out=yb)
+            pred = self.stack.forward(xb, start=cut)
+            batch_losses = [self.loss.value(pred[m], yb[m]) for m in range(k)]
+            self.optimizer.zero_grad()
+            if grad_out:
+                gbuf = ws.buffer(("loss", "grad"), pred.shape, dtype=np.float64)
+            else:
+                gbuf = np.empty(pred.shape, dtype=np.float64)
+            self.stack.backward(
+                batched_loss_gradient(self.loss, pred, yb, out=gbuf), stop=cut
+            )
+            obs_counter("train.batched.batches").inc()
+            self.optimizer.step()
+            for member in range(k):
+                epoch_loss[member] += batch_losses[member] * len(idx)
+            counted += len(idx)
+        if counted == 0:
+            return [float("nan")] * k
+        return [total / counted for total in epoch_loss]

@@ -1000,9 +1000,7 @@ class _WorkerState:
             recon.normalizer = Normalizer.from_dict(meta["normalizer"])
             self.models[tag] = recon
             self.num_weights[tag] = int(meta["num_weights"])
-            self.scratch[tag] = np.empty(  # repro: noqa[PRF001] — the reuse buffer itself, built once per worker
-                meta["num_weights"], dtype=np.float64
-            )
+            self.scratch[tag] = np.empty(meta["num_weights"], dtype=np.float64)
         self._slabs: dict[tuple[int, int, int], tuple[np.ndarray, np.ndarray]] = {}
 
     def slab(self, start: int, stop: int, num_neighbors: int, workers: int):

@@ -237,6 +237,8 @@ def cmd_campaign(
     finetune_epochs: int = 10,
     seed: int = 0,
     pipeline: bool = True,
+    batched_finetune: bool = False,
+    finetune_batch: int = 0,
     journal: bool = False,
     resume: bool = False,
 ) -> str:
@@ -269,6 +271,8 @@ def cmd_campaign(
         train_fractions=tuple(fractions),
         epochs=epochs,
         finetune_epochs=finetune_epochs,
+        batched_finetune=batched_finetune,
+        finetune_batch=finetune_batch,
     )
     t0 = time.perf_counter()
     journal = journal or resume
@@ -289,9 +293,10 @@ def cmd_campaign(
         )
     seconds = time.perf_counter() - t0
     trained = f", {len(manifest.model_files)} model checkpoint(s)" if train else ""
+    batched = ", batched fine-tune" if batched_finetune else ""
     resumed = " (resumed)" if resume else ""
     return (
         f"wrote campaign {output_dir}: {len(manifest.timesteps)} timestep(s) "
         f"at {fraction:.2%}{trained} in {seconds:.2f}s "
-        f"(pipeline {'on' if pipeline else 'off'}){resumed}"
+        f"(pipeline {'on' if pipeline else 'off'}{batched}){resumed}"
     )

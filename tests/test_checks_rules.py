@@ -395,8 +395,8 @@ FIXTURES: dict[str, RuleFixture] = {
             "import numpy as np\n"
             "def run(batches):\n"
             "    for b in batches:\n"
-            "        out = np.empty(b.shape)\n"
-            "        np.multiply(b, 2.0, out=out)\n"
+            "        tmp = np.empty(b.shape)\n"
+            "        tmp[:] = b * 2.0\n"
         ),
         clean=(
             "# hot-path\n"
@@ -411,8 +411,8 @@ FIXTURES: dict[str, RuleFixture] = {
             "import numpy as np\n"
             "def run(batches):\n"
             "    for b in batches:\n"
-            "        out = np.empty(b.shape)  # repro: noqa[PRF001]\n"
-            "        np.multiply(b, 2.0, out=out)\n"
+            "        tmp = np.empty(b.shape)  # repro: noqa[PRF001]\n"
+            "        tmp[:] = b * 2.0\n"
         ),
     ),
 }
@@ -457,6 +457,50 @@ def test_noqa_suppresses(tmp_path, rule_id):
 
 
 # ---------------------------------------------------------------- edge cases
+
+
+def test_perf_rule_exempts_out_target_arena_fill(tmp_path):
+    """The batched engine's fallback idiom: a loop allocation whose name is
+    elsewhere an ``out=`` target is the arena itself, not churn."""
+    src = (
+        "# hot-path\n"
+        "import numpy as np\n"
+        "def run(batches):\n"
+        "    for b in batches:\n"
+        "        gbuf = np.empty(b.shape)\n"
+        "        np.multiply(b, 2.0, out=gbuf)\n"
+    )
+    fixture = RuleFixture("repro_fixture/kernels.py", src, src, src)
+    assert not _run_fixture(tmp_path, fixture, src, "PRF001").findings
+
+
+def test_perf_rule_out_exemption_matches_attribute_and_subscript_targets(tmp_path):
+    src = (
+        "# hot-path\n"
+        "import numpy as np\n"
+        "def warm(self, tags, n, batches):\n"
+        "    for tag in tags:\n"
+        "        self.scratch[tag] = np.empty(n)\n"
+        "    for tag, b in zip(tags, batches):\n"
+        "        np.multiply(b, 2.0, out=self.scratch[tag])\n"
+    )
+    fixture = RuleFixture("repro_fixture/kernels.py", src, src, src)
+    assert not _run_fixture(tmp_path, fixture, src, "PRF001").findings
+
+
+def test_perf_rule_still_fires_when_out_targets_differ(tmp_path):
+    src = (
+        "# hot-path\n"
+        "import numpy as np\n"
+        "def run(batches, arena):\n"
+        "    for b in batches:\n"
+        "        tmp = np.empty(b.shape)\n"
+        "        np.multiply(b, 2.0, out=arena)\n"
+    )
+    fixture = RuleFixture("repro_fixture/kernels.py", src, src, src)
+    result = _run_fixture(tmp_path, fixture, src, "PRF001")
+    assert len(result.findings) == 1
+    assert "np.empty" in result.findings[0].message
 
 
 def test_div_rule_accepts_clamped_denominator(tmp_path):

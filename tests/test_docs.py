@@ -3,10 +3,15 @@
 Two gates:
 
 * every relative markdown link (and ``#anchor`` fragment) in the repo's
-  documentation points at a real file/heading;
+  documentation points at a real file/heading — including intra-document
+  ``#heading`` links and GitHub's ``-1``/``-2`` suffixes for duplicated
+  heading slugs;
 * every ``python`` code block in ``docs/API.md`` executes cleanly — the
   per-package examples are promises about the public API, so they are run
-  verbatim in a scratch directory.
+  verbatim in a scratch directory;
+* the ``docs/TRAINING.md`` walkthrough executes cleanly as one continuous
+  program — its blocks build on each other, so they run in order in a
+  shared namespace and every identity assertion inside them is enforced.
 """
 
 from __future__ import annotations
@@ -48,8 +53,20 @@ def _strip_code_blocks(text: str) -> str:
 
 
 def anchors_of(path: Path) -> set[str]:
+    """Every fragment GitHub would accept for ``path``'s headings.
+
+    Repeated headings get suffixed slugs (``#setup``, ``#setup-1``, ...),
+    so a document may validly link to any of them.
+    """
     headings = _HEADING_RE.findall(_strip_code_blocks(path.read_text(encoding="utf-8")))
-    return {github_anchor(h) for h in headings}
+    anchors: set[str] = set()
+    seen: dict[str, int] = {}
+    for heading in headings:
+        slug = github_anchor(heading)
+        count = seen.get(slug, 0)
+        anchors.add(slug if count == 0 else f"{slug}-{count}")
+        seen[slug] = count + 1
+    return anchors
 
 
 def links_of(path: Path) -> list[str]:
@@ -80,6 +97,23 @@ def test_docs_cover_observability():
     assert "docs/API.md" in readme
     resilience = (REPO_ROOT / "docs" / "RESILIENCE.md").read_text(encoding="utf-8")
     assert "OBSERVABILITY.md" in resilience
+
+
+def test_docs_cover_training():
+    """TRAINING.md is indexed and cross-linked with the perf story."""
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    assert "docs/TRAINING.md" in readme
+    performance = (REPO_ROOT / "docs" / "PERFORMANCE.md").read_text(encoding="utf-8")
+    assert "TRAINING.md" in performance
+    training = (REPO_ROOT / "docs" / "TRAINING.md").read_text(encoding="utf-8")
+    assert "PERFORMANCE.md" in training and "RESILIENCE.md" in training
+
+
+def test_anchor_slugs_handle_duplicate_headings(tmp_path):
+    """The checker accepts GitHub's -N suffixes and nothing else."""
+    doc = tmp_path / "dup.md"
+    doc.write_text("# Setup\ntext\n## Setup\n### `Setup`\n", encoding="utf-8")
+    assert anchors_of(doc) == {"setup", "setup-1", "setup-2"}
 
 
 # ----------------------------------------------------------- API.md examples
@@ -132,3 +166,23 @@ def test_api_md_documents_every_package():
 def test_api_md_example_runs(section, code, tmp_path, monkeypatch):
     monkeypatch.chdir(tmp_path)  # examples may write files; keep them scratch
     exec(compile(code, f"API.md:{section}", "exec"), {"__name__": "__api_example__"})
+
+
+# ------------------------------------------------- TRAINING.md walkthrough
+
+_TRAINING_MD = REPO_ROOT / "docs" / "TRAINING.md"
+
+
+def test_training_md_walkthrough_runs(tmp_path, monkeypatch):
+    """TRAINING.md's blocks are one continuous program; run them in order.
+
+    The blocks assert the engine's bit-identity guarantees themselves
+    (``flat.tobytes() == ...``), so executing them *is* the check that
+    the documented contract holds.
+    """
+    blocks = python_blocks(_TRAINING_MD)
+    assert len(blocks) >= 4, "TRAINING.md lost its executed walkthrough"
+    monkeypatch.chdir(tmp_path)
+    namespace = {"__name__": "__training_example__"}
+    for section, code in blocks:
+        exec(compile(code, f"TRAINING.md:{section}", "exec"), namespace)

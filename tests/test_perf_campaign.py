@@ -379,6 +379,175 @@ class TestRunCampaign:
 
 
 # ---------------------------------------------------------------------------
+# batched fine-tune: fused multi-model training inside the campaign
+
+
+class TestFineTuneBatch:
+    """repro.nn.batched plumbed through FCNNReconstructor.fine_tune_batch."""
+
+    @pytest.fixture(scope="class")
+    def step_data(self, campaign_pipeline):
+        fields = [campaign_pipeline.field(t) for t in TIMESTEPS]
+        trains = [
+            [campaign_pipeline.sample(f, fr) for fr in (0.02, 0.05)] for f in fields
+        ]
+        return fields, trains
+
+    @pytest.mark.parametrize(
+        "strategy,kwargs",
+        [("full", {}), ("last", {"prefix_cache": False})],
+        ids=["case1-full", "case2-no-cache"],
+    )
+    def test_bit_identical_to_serial_fine_tune_from_base(
+        self, campaign_pipeline, base_model, step_data, strategy, kwargs
+    ):
+        fields, trains = step_data
+        flats, histories = base_model.clone().fine_tune_batch(
+            fields, trains, epochs=2, strategy=strategy, **kwargs
+        )
+        assert len(flats) == len(histories) == len(TIMESTEPS)
+        for field, train, flat in zip(fields, trains, flats):
+            ref = base_model.clone()
+            ref.fine_tune(field, train, epochs=2, strategy=strategy)
+            assert flat.tobytes() == snapshot_weights(ref.model).data.tobytes()
+
+    def test_case2_prefix_cache_close_to_exact(self, base_model, step_data):
+        fields, trains = step_data
+        exact, _ = base_model.clone().fine_tune_batch(
+            fields, trains, epochs=2, strategy="last", prefix_cache=False
+        )
+        fast, _ = base_model.clone().fine_tune_batch(
+            fields, trains, epochs=2, strategy="last", prefix_cache=True
+        )
+        for a, b in zip(exact, fast):
+            np.testing.assert_allclose(a, b, rtol=1e-9, atol=1e-12)
+
+    def test_base_model_stays_pristine(self, base_model, step_data):
+        fields, trains = step_data
+        model = base_model.clone()
+        before = snapshot_weights(model.model).data.copy()
+        model.fine_tune_batch(fields[:2], trains[:2], epochs=1)
+        assert snapshot_weights(model.model).data.tobytes() == before.tobytes()
+
+    def test_validation(self, base_model, step_data):
+        fields, trains = step_data
+        with pytest.raises(ValueError, match="strategy"):
+            base_model.clone().fine_tune_batch(fields, trains, strategy="most")
+        with pytest.raises(ValueError, match="sample groups"):
+            base_model.clone().fine_tune_batch(fields, trains[:1])
+        with pytest.raises(ValueError, match="at least one"):
+            base_model.clone().fine_tune_batch([], [])
+
+
+@pytest.fixture(scope="module")
+def batched_results(campaign_pipeline, base_model):
+    results = {}
+    for name, kw in {
+        "serial": dict(pipeline=False, finetune_batch=0),
+        "blocks-of-1": dict(pipeline=False, finetune_batch=1),
+        "pipelined-blocks-of-2": dict(pipeline=True, finetune_batch=2),
+    }.items():
+        results[name] = campaign_pipeline.run_campaign(
+            base_model.clone(),
+            TIMESTEPS,
+            0.05,
+            finetune_epochs=2,
+            batched_finetune=True,
+            warm_pool=False,
+            **kw,
+        )
+    return results
+
+
+class TestBatchedCampaign:
+    @staticmethod
+    def _scores(result):
+        return [
+            {k: v for k, v in row.items() if k != "finetune_seconds"}
+            for row in result.rows
+        ]
+
+    def test_complete_and_finite(self, batched_results):
+        ref = batched_results["serial"]
+        assert [row["timestep"] for row in ref.rows] == list(TIMESTEPS)
+        assert all(np.isfinite(v).all() for v in ref.reconstructions)
+
+    @pytest.mark.parametrize("variant", ["blocks-of-1", "pipelined-blocks-of-2"])
+    def test_block_size_and_pipeline_invariant(self, batched_results, variant):
+        ref = batched_results["serial"]
+        got = batched_results[variant]
+        assert self._scores(got) == self._scores(ref)
+        for mine, theirs in zip(got.reconstructions, ref.reconstructions):
+            assert mine.tobytes() == theirs.tobytes()
+
+    def test_from_base_semantics_differ_from_rolling(
+        self, batched_results, campaign_results
+    ):
+        rolling = campaign_results[(False, False)]
+        batched = batched_results["serial"]
+        # The first timestep fine-tunes from the base either way...
+        assert self._scores(batched)[0] == self._scores(rolling)[0]
+        # ...but later ones roll forward serially vs. derive from the base.
+        assert self._scores(batched)[1:] != self._scores(rolling)[1:]
+
+    def test_journal_keeps_per_timestep_states_from_base(
+        self, campaign_pipeline, base_model, tmp_path
+    ):
+        from repro.resilience.journal import CampaignJournal
+
+        wal = tmp_path / "journal.jsonl"
+        campaign_pipeline.run_campaign(
+            base_model.clone(),
+            TIMESTEPS,
+            0.05,
+            finetune_epochs=2,
+            batched_finetune=True,
+            warm_pool=False,
+            journal=wal,
+        )
+        fields = [campaign_pipeline.field(t) for t in TIMESTEPS]
+        trains = [
+            [campaign_pipeline.sample(f, fr) for fr in (0.02, 0.05)] for f in fields
+        ]
+        expected, _ = base_model.clone().fine_tune_batch(
+            fields, trains, epochs=2, strategy="full"
+        )
+        journal = CampaignJournal(wal, resume=True)
+        try:
+            for t, flat in zip(TIMESTEPS, expected):
+                assert journal.load_state(t).tobytes() == flat.tobytes()
+        finally:
+            journal.close()
+
+    def test_quarantined_block_degrades_to_base_weights(
+        self, campaign_pipeline, base_model
+    ):
+        from repro.resilience import SupervisionPolicy
+
+        model = base_model.clone()
+
+        def exploding_fine_tune_batch(*args, **kwargs):
+            raise RuntimeError("optimizer exploded")
+
+        model.fine_tune_batch = exploding_fine_tune_batch
+        result = campaign_pipeline.run_campaign(
+            model,
+            TIMESTEPS,
+            0.05,
+            finetune_epochs=2,
+            batched_finetune=True,
+            finetune_batch=2,
+            warm_pool=False,
+            supervision=SupervisionPolicy(),
+        )
+        assert [row["timestep"] for row in result.rows] == list(TIMESTEPS)
+        assert len(result.quarantined) == len(TIMESTEPS)
+        assert all(rec.stage == "fine-tune" for rec in result.quarantined)
+        assert all(row["degraded_points"] > 0 for row in result.rows)
+        assert all(row["finetune_seconds"] == 0.0 for row in result.rows)
+
+
+# ---------------------------------------------------------------------------
 # warm pool vs local sink, including worker-kill fault injection
 
 
@@ -580,6 +749,42 @@ class TestInSituPipelined:
         assert names == sorted(p.name for p in dirs["pipelined"].iterdir())
         match, mismatch, errors = filecmp.cmpfiles(
             dirs["serial"], dirs["pipelined"], names, shallow=False
+        )
+        assert mismatch == [] and errors == []
+        assert sorted(match) == names
+
+    def test_batched_campaign_block_size_invariant_on_disk(self, tmp_path):
+        import filecmp
+
+        from repro.insitu import InSituWriter
+        from repro.sampling import MultiCriteriaSampler
+
+        data = make_dataset("combustion", dims=DIMS, seed=0)
+        dirs = {}
+        for name, kw in {
+            "one-block": dict(finetune_batch=0, pipeline=False),
+            "blocks-of-1": dict(finetune_batch=1, pipeline=True),
+        }.items():
+            pipeline = kw.pop("pipeline")
+            writer = InSituWriter(
+                data,
+                MultiCriteriaSampler(seed=0),
+                0.05,
+                train_model=True,
+                train_fractions=(0.02,),
+                epochs=2,
+                finetune_epochs=1,
+                model_kwargs={"hidden_layers": (8,), "batch_size": 1024, "seed": 7},
+                batched_finetune=True,
+                **kw,
+            )
+            out = tmp_path / name
+            writer.run(out, TIMESTEPS, pipeline=pipeline)
+            dirs[name] = out
+        names = sorted(p.name for p in dirs["one-block"].iterdir())
+        assert names == sorted(p.name for p in dirs["blocks-of-1"].iterdir())
+        match, mismatch, errors = filecmp.cmpfiles(
+            dirs["one-block"], dirs["blocks-of-1"], names, shallow=False
         )
         assert mismatch == [] and errors == []
         assert sorted(match) == names

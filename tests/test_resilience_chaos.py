@@ -215,6 +215,106 @@ class TestRunCampaignResume:
             )
 
 
+# ------------------------------- batched fine-tune: crash, resume, journal
+class TestBatchedResume:
+    def _run(self, campaign_pipeline, base_model, journal_path, **kwargs):
+        kwargs.setdefault("warm_pool", False)
+        kwargs.setdefault("pipeline", False)
+        return campaign_pipeline.run_campaign(
+            base_model.clone(),
+            TIMESTEPS,
+            0.05,
+            finetune_epochs=2,
+            batched_finetune=True,
+            journal=journal_path,
+            **kwargs,
+        )
+
+    def test_crash_then_resume_with_other_block_size_bit_identical(
+        self, campaign_pipeline, base_model, tmp_path
+    ):
+        """Resume may regroup the remaining timesteps into different fused
+        blocks — block-size invariance keeps the output bit-identical."""
+        full = self._run(
+            campaign_pipeline, base_model, tmp_path / "full" / "journal.jsonl"
+        )
+
+        wal = tmp_path / "crashed" / "journal.jsonl"
+        schedule = FaultSchedule([Fault("process", timestep=TIMESTEPS[-1])])
+        with pytest.raises(SimulatedCrash):
+            self._run(
+                campaign_pipeline,
+                base_model,
+                wal,
+                finetune_batch=1,
+                on_stage=schedule.fire,
+            )
+        assert schedule.fired
+
+        resumed = self._run(
+            campaign_pipeline, base_model, wal, finetune_batch=0, resume=True
+        )
+        assert resumed.resumed == len(TIMESTEPS) - 1
+        assert _strip_timing(resumed.rows) == _strip_timing(full.rows)
+        for i, volume in enumerate(resumed.reconstructions):
+            if i < resumed.resumed:
+                assert volume is None
+            else:
+                assert volume.tobytes() == full.reconstructions[i].tobytes()
+
+    def test_serial_journal_rejected_by_batched_resume(
+        self, campaign_pipeline, base_model, tmp_path
+    ):
+        from repro.resilience.journal import JournalCorruptionError
+
+        wal = tmp_path / "journal.jsonl"
+        campaign_pipeline.run_campaign(
+            base_model.clone(), TIMESTEPS, 0.05, finetune_epochs=2,
+            warm_pool=False, pipeline=False, journal=wal,
+        )
+        with pytest.raises(JournalCorruptionError, match="config"):
+            self._run(campaign_pipeline, base_model, wal, resume=True)
+
+    def test_insitu_sigterm_then_resume_byte_identical(self, tmp_path):
+        data = make_dataset("combustion", dims=DIMS, seed=0)
+
+        def writer(**kw):
+            return InSituWriter(
+                dataset=data,
+                sampler=MultiCriteriaSampler(seed=5),
+                fraction=0.05,
+                train_model=True,
+                train_fractions=(0.02, 0.05),
+                epochs=3,
+                finetune_epochs=2,
+                batched_finetune=True,
+                **kw,
+            )
+
+        full_dir = tmp_path / "full"
+        writer().run(full_dir, TIMESTEPS, journal=True)
+        reference = chaos.directory_digest(full_dir)
+
+        target = tmp_path / "campaign"
+        schedule = FaultSchedule(
+            [Fault("process", timestep=TIMESTEPS[1], kind="sigterm")]
+        )
+        with GracefulInterrupt() as interrupt:
+            with pytest.raises(CampaignInterrupted) as excinfo:
+                writer(finetune_batch=1).run(
+                    target,
+                    TIMESTEPS,
+                    journal=True,
+                    interrupt=interrupt,
+                    on_stage=schedule.fire,
+                )
+        assert schedule.fired == [("process", TIMESTEPS[1], "sigterm")]
+        assert excinfo.value.next_timestep in TIMESTEPS
+        # Resume with a different block size: byte-identical regardless.
+        writer(finetune_batch=2).run(target, TIMESTEPS, resume=True)
+        assert chaos.directory_digest(target) == reference
+
+
 # -------------------------------------------------- poison-timestep quarantine
 class TestQuarantine:
     def test_permanent_reconstruct_fault_is_quarantined(
