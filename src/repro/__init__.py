@@ -55,5 +55,6 @@ __all__ = [
     "parallel",
     "resilience",
     "sampling",
+    "shard",
     "vis",
 ]

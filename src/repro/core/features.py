@@ -19,7 +19,35 @@ from repro.datasets.base import TimestepField
 from repro.grid import UniformGrid, field_gradients
 from repro.sampling.base import SampledField
 
-__all__ = ["FeatureExtractor"]
+__all__ = ["FeatureExtractor", "TIE_BREAK_PAD", "canonical_neighbors"]
+
+#: Extra kd-tree candidates fetched per query so rank-k distance ties
+#: resolve canonically (see :func:`canonical_neighbors`).
+TIE_BREAK_PAD = 15
+
+
+def canonical_neighbors(dist: np.ndarray, idx: np.ndarray, k: int) -> np.ndarray:
+    """Pick ``k`` of ``(Q, kq)`` candidate neighbors by ``(distance, index)``.
+
+    kd-tree queries return candidates sorted by distance, but *ties* —
+    ubiquitous between lattice points — are ordered by the tree's internal
+    construction: two trees over different subsets of the same points can
+    disagree both on the order of tied neighbors and on which tied
+    candidate makes the ``k`` cut.  Re-sorting the padded candidate list
+    by ``(distance, sample index)`` and keeping the first ``k`` makes the
+    selection a pure function of the point set itself, so any spatial
+    partition of the samples (for example a shard's halo-extended subset,
+    whose local→global index map is strictly increasing) reproduces the
+    global selection bit-for-bit whenever all ``k + TIE_BREAK_PAD``
+    candidates lie inside the subset.
+    """
+    n, kq = idx.shape
+    if kq <= 1:
+        return idx[:, :k]
+    rows = np.repeat(np.arange(n), kq)
+    perm = np.lexsort((idx.ravel(), dist.ravel(), rows)).reshape(n, kq)
+    perm -= np.arange(n)[:, None] * kq
+    return np.take_along_axis(idx, perm[:, :k], axis=1)
 
 
 class FeatureExtractor:
@@ -89,10 +117,12 @@ class FeatureExtractor:
         sample: SampledField,
         query_points: np.ndarray,
         normalizer: Normalizer,
+        *,
+        canonical: bool = True,
     ) -> np.ndarray:
         """Assemble ``(Q, feature_size)`` inputs for arbitrary query points."""
         query_points = np.atleast_2d(np.asarray(query_points, dtype=np.float64))
-        idx = self._neighbor_indices(sample, query_points)
+        idx = self._neighbor_indices(sample, query_points, canonical=canonical)
 
         neighbor_xyz = normalizer.normalize_coords(sample.points[idx.ravel()]).reshape(
             len(query_points), self.num_neighbors, 3
@@ -104,16 +134,47 @@ class FeatureExtractor:
         query_feat = normalizer.normalize_coords(query_points)
         return np.concatenate([neighbor_feat, query_feat], axis=1)
 
-    def _neighbor_indices(self, sample: SampledField, query_points: np.ndarray) -> np.ndarray:
+    def _neighbor_indices(
+        self,
+        sample: SampledField,
+        query_points: np.ndarray,
+        *,
+        canonical: bool = True,
+    ) -> np.ndarray:
         """``(Q, num_neighbors)`` nearest-sample indices, nearest first.
 
-        With ``cache_geometry`` the result is memoized for the last
-        ``(sample, query_points)`` *object* pair: reconstructing every
+        Ties are broken canonically by sample index over a padded candidate
+        list (:func:`canonical_neighbors`), so the selection depends only on
+        the sampled point set — not on kd-tree construction order — and
+        shard-local queries over a halo-extended subset reproduce it
+        exactly.
+
+        ``canonical=False`` queries exactly ``k`` candidates and keeps the
+        kd-tree's own tie order.  Training uses it: a training set is
+        built once from the global sample (no spatial subset ever has to
+        reproduce the selection), so it can skip the padded query and the
+        re-rank — and keep the exact neighbor sets the pre-canonical
+        training path produced.  The non-canonical path never touches the
+        memo below, so interleaving training and prediction over the same
+        ``(sample, query_points)`` objects cannot leak one selection into
+        the other.
+
+        With ``cache_geometry`` the canonical result is memoized for the
+        last ``(sample, query_points)`` *object* pair: reconstructing every
         timestep of a campaign re-queries the identical void positions
         (:meth:`SampledField.void_points` returns a cached array), so the
         kd-tree query — the dominant cost of warm reconstruction — runs
         once per geometry instead of once per call.
         """
+        if not canonical:
+            k = min(self.num_neighbors, sample.num_samples)
+            _, idx = self._tree(sample).query(query_points, k=k, workers=self.workers)
+            if k == 1:
+                idx = idx[:, None]
+            if k < self.num_neighbors:
+                pad = np.repeat(idx[:, -1:], self.num_neighbors - k, axis=1)
+                idx = np.concatenate([idx, pad], axis=1)
+            return idx
         if (
             self.cache_geometry
             and sample is self._cached_sample
@@ -123,9 +184,11 @@ class FeatureExtractor:
         ):
             return self._cached_idx
         k = min(self.num_neighbors, sample.num_samples)
-        _, idx = self._tree(sample).query(query_points, k=k, workers=self.workers)
-        if k == 1:
-            idx = idx[:, None]
+        kq = min(k + TIE_BREAK_PAD, sample.num_samples)
+        dist, idx = self._tree(sample).query(query_points, k=kq, workers=self.workers)
+        if kq == 1:
+            dist, idx = dist[:, None], idx[:, None]
+        idx = canonical_neighbors(dist, idx, k)
         if k < self.num_neighbors:
             # Degenerate sample smaller than k: repeat the farthest neighbor.
             pad = np.repeat(idx[:, -1:], self.num_neighbors - k, axis=1)
@@ -228,7 +291,11 @@ class FeatureExtractor:
             raise ValueError("field and sample must live on the same grid")
         void = sample.void_indices()
         points = field.grid.index_to_position(field.grid.flat_to_multi(void))
-        x = self.features(sample, points, normalizer)
+        # Training selection keeps the kd-tree's raw neighbor order: no
+        # spatial subset ever has to reproduce it, so the padded canonical
+        # query (a prediction-path property — see `_neighbor_indices`)
+        # would only add cost.
+        x = self.features(sample, points, normalizer, canonical=False)
         y = self.targets(field, void, normalizer)
         return x, y
 

@@ -77,6 +77,10 @@ class CampaignResult:
     quarantined: tuple[QuarantineRecord, ...] = ()
     #: timesteps skipped because the journal proved them already emitted
     resumed: int = 0
+    #: spatial decomposition used (None = unsharded)
+    shards: tuple[int, int, int] | None = None
+    #: halo width (cells) of the decomposition (None = unsharded)
+    halo: int | None = None
 
     @property
     def finetune_seconds(self) -> float:
@@ -201,6 +205,9 @@ class ReconstructionPipeline:
         max_workers: int | None = None,
         num_chunks: int | None = None,
         depth: int = 1,
+        shards=None,
+        halo: int | None = None,
+        shard_scope: str = "global",
         journal=None,
         resume: bool = False,
         supervision: SupervisionPolicy | WorkerSupervisor | None = None,
@@ -242,6 +249,21 @@ class ReconstructionPipeline:
         its per-timestep granularity (one weight sidecar per timestep,
         sliced out of the stack).
 
+        ``shards`` (an ``"AxBxC"`` spec or 3-tuple) decomposes the grid
+        spatially (:mod:`repro.shard`): reconstruction fans out one task
+        per shard chunk over the shm transport, each shard seeing only the
+        samples in its halo-extended box (``halo`` cells; default
+        :func:`~repro.shard.suggest_halo` for the kNN stencil).  With
+        ``shard_scope="global"`` (default) fine-tuning is unchanged — one
+        model per timestep — and output is **bit-identical** to the
+        unsharded campaign whenever the halo holds the padded kNN stencil
+        (verify with :meth:`~repro.shard.ShardedCampaignGeometry.seam_check`).
+        ``shard_scope="local"`` additionally trains one model per
+        (timestep, shard) on shard-local data (requires
+        ``batched_finetune=True``; SNR parity, not bit-identity).  The
+        shard geometry joins the journal config, so a sharded journal
+        refuses an unsharded resume and vice versa.
+
         Crash safety (see :mod:`repro.resilience` and docs/RESILIENCE.md):
 
         * ``journal`` — a path (or open
@@ -271,6 +293,25 @@ class ReconstructionPipeline:
             raise RuntimeError(
                 "run_campaign needs a (pre)trained reconstructor; call train_fcnn() first"
             )
+        shard_counts = None
+        if shards is not None:
+            from repro.shard import SHARD_SCOPES, parse_shards, suggest_halo
+
+            shard_counts = parse_shards(shards)
+            if shard_scope not in SHARD_SCOPES:
+                raise ValueError(
+                    f"shard_scope must be one of {SHARD_SCOPES}, got {shard_scope!r}"
+                )
+            if shard_scope == "local" and not batched_finetune:
+                raise ValueError(
+                    "shard_scope='local' trains one model per (timestep, shard) "
+                    "through the batched engine; pass batched_finetune=True"
+                )
+            if halo is None:
+                halo = suggest_halo(reconstructor.extractor.num_neighbors, fraction)
+            halo = int(halo)
+        elif halo is not None:
+            raise ValueError("halo requires shards")
         steps = [int(t) for t in timesteps]
         if not steps:
             return CampaignResult(rows=[], stats=CampaignStats(0, pipeline, 0.0, 0.0, 0.0, 0.0))
@@ -295,6 +336,14 @@ class ReconstructionPipeline:
                     # of a serial journal (different trajectories) is
                     # rejected as a config mismatch.
                     config["batched_finetune"] = True
+                if shard_counts is not None:
+                    # Same conditional-key pattern: shard geometry in the
+                    # header makes a sharded<->unsharded (or differently
+                    # sharded) resume a config mismatch, refused up front.
+                    config["shards"] = list(shard_counts)
+                    config["halo"] = halo
+                    if shard_scope != "global":
+                        config["shard_scope"] = shard_scope
                 wal = CampaignJournal(journal, config=config, resume=resume)
                 own_wal = True
 
@@ -326,15 +375,34 @@ class ReconstructionPipeline:
 
         field0 = self.field(steps[0])
         geometry = self.geometry_cache.get(self.sample(field0, fraction))
-        sink = make_reconstruction_sink(
-            geometry,
-            {"fcnn": reconstructor},
-            max_workers=max_workers,
-            num_chunks=num_chunks,
-            slots=depth + 1,
-            warm_pool=warm_pool,
-        )
+        shard_plan = None
+        if shard_counts is not None:
+            from repro.shard import ShardPlan, ShardedCampaignGeometry, make_shard_sink
+
+            shard_plan = ShardPlan.create(geometry.grid, shard_counts, halo)
+            sharded = ShardedCampaignGeometry(shard_plan, geometry)
+            sink = make_shard_sink(
+                sharded,
+                {"fcnn": reconstructor},
+                max_workers=max_workers,
+                num_chunks=num_chunks,
+                slots=depth + 1,
+                scope=shard_scope,
+                warm_pool=warm_pool,
+            )
+        else:
+            sink = make_reconstruction_sink(
+                geometry,
+                {"fcnn": reconstructor},
+                max_workers=max_workers,
+                num_chunks=num_chunks,
+                slots=depth + 1,
+                warm_pool=warm_pool,
+            )
         train_shell = geometry.shell()
+        # Sharded runs stamp the shard coordinate system onto per-timestep
+        # journal records (the header already pins counts + halo).
+        shard_coords = {"shards": shard_plan.num_shards} if shard_plan is not None else {}
 
         sup: WorkerSupervisor | None = None
         if supervision is not None:
@@ -391,7 +459,7 @@ class ReconstructionPipeline:
             flat = snapshot_weights(reconstructor.model).data
             if wal is not None:
                 wal.save_state(t, flat)
-                wal.record(t, "fine-tuned", weights_sha=content_hash(flat))
+                wal.record(t, "fine-tuned", weights_sha=content_hash(flat), **shard_coords)
             slot = sink.publish(t, train_shell.values, {"fcnn": flat})
             return slot, fld, finetune_seconds, stale
 
@@ -425,7 +493,7 @@ class ReconstructionPipeline:
             }
             row.update(score_reconstruction(fld.values, volume).as_dict())
             if wal is not None:
-                wal.record(t, "reconstructed", volume_sha=content_hash(volume))
+                wal.record(t, "reconstructed", volume_sha=content_hash(volume), **shard_coords)
                 wal.record(t, "emitted", row=_jsonable(row))
             return row, (volume if self.keep_reconstructions else None)
 
@@ -466,6 +534,32 @@ class ReconstructionPipeline:
                 items.append((t, fld, train))
             return items
 
+        def finetune_block(items):
+            """One batched fine-tune call: per-timestep flats + epoch seconds.
+
+            Local shard scope trains one model per (timestep, shard)
+            (:func:`repro.shard.fine_tune_shards`) and returns ``(S, W)``
+            stacks; otherwise one model per timestep, flat ``(W,)``.
+            """
+            fields = [fld for _, fld, _ in items]
+            trains = [train for _, _, train in items]
+            if shard_plan is not None and shard_scope == "local":
+                from repro.shard import fine_tune_shards
+
+                flats, grouped = fine_tune_shards(
+                    reconstructor,
+                    fields,
+                    trains,
+                    shard_plan,
+                    epochs=finetune_epochs,
+                    strategy=finetune_strategy,
+                )
+                return flats, [sum(h.total_seconds for h in hs) for hs in grouped]
+            flats, histories = reconstructor.fine_tune_batch(
+                fields, trains, epochs=finetune_epochs, strategy=finetune_strategy
+            )
+            return flats, [h.total_seconds for h in histories]
+
         def process_block(block_index: int, items):
             ts = [t for t, _, _ in items]
             if on_stage is not None:
@@ -473,23 +567,11 @@ class ReconstructionPipeline:
                     on_stage("process", t)
             stale: str | None = None
             if sup is None:
-                flats, histories = reconstructor.fine_tune_batch(
-                    [fld for _, fld, _ in items],
-                    [train for _, _, train in items],
-                    epochs=finetune_epochs,
-                    strategy=finetune_strategy,
-                )
-                seconds = [h.total_seconds for h in histories]
+                flats, seconds = finetune_block(items)
             else:
                 with sup.stage("process", ts[0]):
                     try:
-                        flats, histories = reconstructor.fine_tune_batch(
-                            [fld for _, fld, _ in items],
-                            [train for _, _, train in items],
-                            epochs=finetune_epochs,
-                            strategy=finetune_strategy,
-                        )
-                        seconds = [h.total_seconds for h in histories]
+                        flats, seconds = finetune_block(items)
                     except Exception as exc:
                         if not sup.policy.quarantine:
                             raise
@@ -500,12 +582,15 @@ class ReconstructionPipeline:
                         for t in ts:
                             sup.quarantine(t, "fine-tune", exc, attempts=1)
                         stale = f"{type(exc).__name__}: {exc}"
-                        flats = [base_flat] * len(ts)
+                        degraded = base_flat
+                        if shard_plan is not None and shard_scope == "local":
+                            degraded = np.tile(base_flat, (shard_plan.num_shards, 1))
+                        flats = [degraded] * len(ts)
                         seconds = [0.0] * len(ts)
             if wal is not None:
                 for t, flat in zip(ts, flats):
                     wal.save_state(t, flat)
-                    wal.record(t, "fine-tuned", weights_sha=content_hash(flat))
+                    wal.record(t, "fine-tuned", weights_sha=content_hash(flat), **shard_coords)
             return items, flats, seconds, stale
 
         def emit_block(block_index: int, payload):
@@ -578,6 +663,8 @@ class ReconstructionPipeline:
             reconstructions=volumes,
             quarantined=tuple(sup.quarantined) if sup is not None else (),
             resumed=len(skipped_rows),
+            shards=shard_counts,
+            halo=halo if shard_counts is not None else None,
         )
 
 

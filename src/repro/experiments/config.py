@@ -86,6 +86,17 @@ class ExperimentConfig:
     #: timesteps per fused fine-tune block with batched_finetune
     #: (0 = all timesteps in one block)
     finetune_batch: int = 0
+    #: spatial domain decomposition for campaigns: an ``AxBxC`` spec, a
+    #: plain shard count, or None (unsharded) — see repro.shard and
+    #: docs/PERFORMANCE.md ("Shard-parallel campaigns")
+    shards: str | tuple[int, int, int] | None = None
+    #: halo/ghost-zone width in grid cells around each shard (None sizes
+    #: it to the kNN stencil via repro.shard.suggest_halo)
+    halo: int | None = None
+    #: "global" reconstructs every shard with the timestep's one model
+    #: (bit-identical to unsharded); "local" fine-tunes one model per
+    #: (timestep, shard) on its halo-extended box (SNR parity)
+    shard_scope: str = "global"
     seed: int = 7
 
     def scaled(self, **overrides) -> "ExperimentConfig":

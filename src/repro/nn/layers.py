@@ -24,6 +24,18 @@ from repro.nn.parameter import Parameter
 
 __all__ = ["Layer", "Dense", "ReLU", "Tanh", "Sigmoid", "Identity", "LayerNorm"]
 
+#: Output widths below this use a fixed-accumulation-order matmul at
+#: inference.  BLAS dispatches skinny-N gemms (N <= 4 observed with
+#: OpenBLAS) to kernels whose k-accumulation order depends on the row
+#: count M, so the same input row can round to different last bits in a
+#: 16384-row predict block than in a shard chunk.  ``np.einsum`` (without
+#: ``optimize``) sums k sequentially per output element regardless of M,
+#: making predictions a pure per-row function — the property the
+#: shard-parallel campaign's bit-identity rests on.  Hidden-width gemms
+#: (>= 8 columns) go through the standard blocked kernels, whose
+#: M-partitioning does not reorder the per-row k loop.
+_DETERMINISTIC_N = 8
+
 
 class Layer:
     """Base class: a differentiable map with (possibly zero) parameters."""
@@ -32,6 +44,7 @@ class Layer:
     # see "no workspace attached"
     _ws = None       # active repro.perf.Workspace, or None (slow path)
     _ws_tag = -1     # layer index within the owning Sequential
+    training = True  # toggled by Sequential.set_training
 
     def __init__(self) -> None:
         self.trainable = True
@@ -106,11 +119,23 @@ class Dense(Layer):
                 f"Dense({self.in_features}->{self.out_features}) got input shape {x.shape}"
             )
         self._input = x
+        # Inference through a skinny output (the scalar/gradient head) must
+        # be row-count independent — see _DETERMINISTIC_N.  Training keeps
+        # the BLAS path: batch shapes are fixed there, and the batched
+        # multi-model engine mirrors its exact numerics.
+        skinny = not self.training and self.out_features < _DETERMINISTIC_N
         if ws is None:
+            if skinny:
+                out = np.einsum("mk,kn->mn", x, self.weight.value)
+                out += self.bias.value
+                return out
             return x @ self.weight.value + self.bias.value
         # Fast lane: same ops (matmul, then the bias add), arena-owned output.
         out = ws.buffer((self._ws_tag, "fwd"), (x.shape[0], self.out_features))
-        np.matmul(x, self.weight.value, out=out)
+        if skinny:
+            np.einsum("mk,kn->mn", x, self.weight.value, out=out)
+        else:
+            np.matmul(x, self.weight.value, out=out)
         out += self.bias.value
         return out
 

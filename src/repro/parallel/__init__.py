@@ -10,11 +10,12 @@ guidance this repo follows (vectorize inside a worker, decompose across
 workers).
 """
 
-from repro.parallel.chunking import chunk_indices, split_grid, GridChunk
+from repro.parallel.chunking import aligned_chunks, chunk_indices, split_grid, GridChunk
 from repro.parallel.executor import ParallelExecutor
 from repro.parallel.reconstruct import parallel_reconstruct
 
 __all__ = [
+    "aligned_chunks",
     "chunk_indices",
     "split_grid",
     "GridChunk",

@@ -2,13 +2,14 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.grid import UniformGrid
 
-__all__ = ["GridChunk", "chunk_indices", "split_grid"]
+__all__ = ["GridChunk", "aligned_chunks", "chunk_indices", "split_grid"]
 
 
 @dataclass(frozen=True)
@@ -19,6 +20,27 @@ class GridChunk:
     start: int   # inclusive slab start index along `axis`
     stop: int    # exclusive slab end
     flat_indices: np.ndarray  # flat indices of the slab's grid points
+
+
+def aligned_chunks(total: int, num_chunks: int, align: int) -> list[tuple[int, int]]:
+    """Split ``[0, total)`` into chunks whose boundaries are multiples of ``align``.
+
+    Serial prediction blocks start at absolute multiples of ``align``
+    (the FCNN predict block, ``max(batch_size, 16384)``); aligned chunk
+    boundaries keep the union of per-chunk blocks identical to the serial
+    block sequence, which keeps the matmul shapes — and the floats —
+    bit-identical.  Shared by the warm campaign pool
+    (:mod:`repro.perf.campaign`) and the shard decomposer
+    (:mod:`repro.shard`).
+    """
+    if align < 1:
+        raise ValueError(f"align must be >= 1, got {align}")
+    if total <= 0:
+        return []
+    max_chunks = max(1, math.ceil(total / align))
+    num_chunks = max(1, min(int(num_chunks), max_chunks))
+    per = math.ceil(total / num_chunks / align) * align
+    return [(start, min(start + per, total)) for start in range(0, total, per)]
 
 
 def chunk_indices(n: int, num_chunks: int) -> list[np.ndarray]:

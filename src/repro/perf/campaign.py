@@ -41,7 +41,6 @@ replicated with the serial path's tree and counters.
 from __future__ import annotations
 
 import hashlib
-import math
 import threading
 import time
 import uuid
@@ -53,6 +52,7 @@ import numpy as np
 from repro.obs import counter as obs_counter
 from repro.obs import gauge as obs_gauge
 from repro.obs import record_event, span
+from repro.parallel.chunking import aligned_chunks
 from repro.parallel.executor import ParallelExecutor
 from repro.perf import shm as _shm
 from repro.perf.shm import SharedArrayBundle
@@ -525,20 +525,10 @@ def _predict_block(reconstructor) -> int:
     return max(reconstructor.batch_size, 16384)
 
 
-def _aligned_chunks(total: int, num_chunks: int, align: int) -> list[tuple[int, int]]:
-    """Split ``[0, total)`` into chunks whose boundaries are multiples of ``align``.
-
-    Serial prediction blocks start at absolute multiples of ``align``;
-    aligned chunk boundaries keep the union of per-chunk blocks identical
-    to the serial block sequence, which keeps the matmul shapes — and the
-    floats — bit-identical.
-    """
-    if total <= 0:
-        return []
-    max_chunks = max(1, math.ceil(total / align))
-    num_chunks = max(1, min(int(num_chunks), max_chunks))
-    per = math.ceil(total / num_chunks / align) * align
-    return [(start, min(start + per, total)) for start in range(0, total, per)]
+# The aligned chunking contract lives in repro.parallel.chunking now (the
+# shard decomposer shares it); the private name stays importable for its
+# long-standing users.
+_aligned_chunks = aligned_chunks
 
 
 def _nonfinite_fallback(
@@ -1014,11 +1004,15 @@ class _WorkerState:
         cached = self._slabs.get(key)
         if cached is not None:
             return cached
+        from repro.core.features import TIE_BREAK_PAD, canonical_neighbors
+
         points = self.geometry.void_points[start:stop]
         k = min(num_neighbors, self.geometry.num_samples)
-        _, idx = self.tree.query(points, k=k, workers=workers)
-        if k == 1:
-            idx = idx[:, None]
+        kq = min(k + TIE_BREAK_PAD, self.geometry.num_samples)
+        dist, idx = self.tree.query(points, k=kq, workers=workers)
+        if kq == 1:
+            dist, idx = dist[:, None], idx[:, None]
+        idx = canonical_neighbors(dist, idx, k)
         if k < num_neighbors:
             pad = np.repeat(idx[:, -1:], num_neighbors - k, axis=1)
             idx = np.concatenate([idx, pad], axis=1)

@@ -1,0 +1,49 @@
+"""Spatial domain decomposition: shard-parallel campaigns with halo exchange.
+
+ROADMAP item 2.  A campaign grid is split into axis-aligned subdomains
+(:class:`ShardPlan`/:class:`Shard`, with halo/ghost zones sized to the
+kNN feature stencil), each shard gets its own view of the campaign's
+sampled-location geometry (:class:`ShardedCampaignGeometry`), fine-tuning
+can go per-shard through the batched engine (:func:`fine_tune_shards`),
+and reconstruction fans out shard-by-shard over the shared-memory
+transport with halo exchange (:class:`ShardReconstructionPool` /
+:class:`LocalShardSink`) before the stitcher reassembles the global field.
+
+Wired into :meth:`repro.core.ReconstructionPipeline.run_campaign`
+(``shards=``/``halo=``/``shard_scope=``), :class:`repro.insitu.InSituWriter`
+and ``repro campaign --shards AxBxC --halo N``.  See
+docs/PERFORMANCE.md ("Shard-parallel campaigns") and docs/API.md.
+"""
+
+from repro.shard.geometry import (
+    SeamReport,
+    ShardGeometry,
+    ShardSeamStats,
+    ShardedCampaignGeometry,
+)
+from repro.shard.plan import Shard, ShardPlan, parse_shards, suggest_halo
+from repro.shard.pool import (
+    SHARD_SCOPES,
+    LocalShardSink,
+    ShardReconstructionPool,
+    make_shard_sink,
+)
+from repro.shard.training import fine_tune_shards, shard_field, shard_sample
+
+__all__ = [
+    "Shard",
+    "ShardPlan",
+    "parse_shards",
+    "suggest_halo",
+    "ShardGeometry",
+    "ShardedCampaignGeometry",
+    "SeamReport",
+    "ShardSeamStats",
+    "SHARD_SCOPES",
+    "LocalShardSink",
+    "ShardReconstructionPool",
+    "make_shard_sink",
+    "fine_tune_shards",
+    "shard_field",
+    "shard_sample",
+]

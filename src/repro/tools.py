@@ -239,6 +239,8 @@ def cmd_campaign(
     pipeline: bool = True,
     batched_finetune: bool = False,
     finetune_batch: int = 0,
+    shards=None,
+    halo: int | None = None,
     journal: bool = False,
     resume: bool = False,
 ) -> str:
@@ -249,6 +251,11 @@ def cmd_campaign(
     ``pipeline`` the simulate/sample, train and write stages overlap on
     the :class:`repro.perf.CampaignScheduler`; the on-disk campaign is
     identical either way.
+
+    ``shards`` (an ``AxBxC`` spec or a plain shard count, with ``train``)
+    decomposes the domain spatially: each timestep after the base is
+    fine-tuned per shard on its ``halo``-extended box and emits one
+    Case-2 checkpoint per (timestep, shard); the reader stitches them.
 
     ``journal`` keeps a durable write-ahead journal under
     ``output_dir/.wal/``; ``resume`` (implies ``journal``) skips the
@@ -273,6 +280,8 @@ def cmd_campaign(
         finetune_epochs=finetune_epochs,
         batched_finetune=batched_finetune,
         finetune_batch=finetune_batch,
+        shards=shards,
+        halo=halo,
     )
     t0 = time.perf_counter()
     journal = journal or resume
@@ -292,11 +301,19 @@ def cmd_campaign(
             f"re-run with --resume to continue from timestep {exc.next_timestep}"
         )
     seconds = time.perf_counter() - t0
-    trained = f", {len(manifest.model_files)} model checkpoint(s)" if train else ""
+    checkpoints = len(manifest.model_files) + sum(
+        len(v) for v in manifest.shard_model_files.values()
+    )
+    trained = f", {checkpoints} model checkpoint(s)" if train else ""
     batched = ", batched fine-tune" if batched_finetune else ""
+    sharded = (
+        f", shards {'x'.join(map(str, manifest.shards))} halo {manifest.halo}"
+        if manifest.shards is not None
+        else ""
+    )
     resumed = " (resumed)" if resume else ""
     return (
         f"wrote campaign {output_dir}: {len(manifest.timesteps)} timestep(s) "
         f"at {fraction:.2%}{trained} in {seconds:.2f}s "
-        f"(pipeline {'on' if pipeline else 'off'}{batched}){resumed}"
+        f"(pipeline {'on' if pipeline else 'off'}{batched}{sharded}){resumed}"
     )
