@@ -55,6 +55,7 @@ __all__ = [
     "parallel",
     "resilience",
     "sampling",
+    "serve",
     "shard",
     "vis",
 ]

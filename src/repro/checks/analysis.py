@@ -78,8 +78,10 @@ THREAD_SAFE_METHODS = frozenset(
 )
 
 #: Heuristic: a ``with`` context expression whose terminal name matches this
-#: counts as holding a lock for the duration of the block.
-_LOCKLIKE_NAME = re.compile(r"(lock|mutex|guard|sem|semaphore)", re.IGNORECASE)
+#: counts as holding a lock for the duration of the block.  Condition
+#: variables are context-manager locks too, but ``cond`` is anchored to a
+#: name-segment start so ``second``/``precondition`` don't pass as locks.
+_LOCKLIKE_NAME = re.compile(r"(lock|mutex|guard|sem|semaphore|(^|_)cond)", re.IGNORECASE)
 
 #: numpy operations whose ``out=`` must not alias any input operand
 #: (reduction/contraction kernels read inputs while writing the output).
@@ -331,7 +333,9 @@ class _Summarizer:
         if not isinstance(value, ast.Call):
             return
         name = dotted(value.func) or ""
-        if name.rsplit(".", 1)[-1] in ("Lock", "RLock", "Semaphore", "BoundedSemaphore"):
+        if name.rsplit(".", 1)[-1] in (
+            "Lock", "RLock", "Semaphore", "BoundedSemaphore", "Condition",
+        ):
             for target in targets:
                 if isinstance(target, ast.Name):
                     self._known_locks.add(target.id)
@@ -652,7 +656,7 @@ class ProjectModel:
         for stmt in ctx.tree.body:
             if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
                 name = dotted(stmt.value.func) or ""
-                if name.rsplit(".", 1)[-1] in ("Lock", "RLock"):
+                if name.rsplit(".", 1)[-1] in ("Lock", "RLock", "Condition"):
                     locks.update(
                         t.id for t in stmt.targets if isinstance(t, ast.Name)
                     )

@@ -23,6 +23,12 @@ Two command families (``repro ...`` or ``python -m repro ...``):
     repro check src/repro
     repro check src/repro --format json --baseline .repro-checks-baseline.json
 
+**Serving** — registry-backed reconstruction-as-a-service (``repro.serve``)::
+
+    repro serve build registry/ --dataset combustion --timesteps 0 1 2 3
+    repro serve ls registry/
+    repro replay registry/ --requests 10000 --report stats.json
+
 **Observability** — record and inspect run telemetry (``repro.obs``)::
 
     repro fig10 --profile quick --obs runs/          # instrumented experiment
@@ -264,6 +270,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.obs.cli import main as obs_main
 
         return obs_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serve.cli import serve_main
+
+        return serve_main(argv[1:])
+    if argv and argv[0] == "replay":
+        from repro.serve.cli import replay_main
+
+        return replay_main(argv[1:])
     if argv and argv[0] in _TOOL_COMMANDS:
         return _tool_main(argv)
 

@@ -374,7 +374,9 @@ class ReconstructionPipeline:
             )
 
         field0 = self.field(steps[0])
-        geometry = self.geometry_cache.get(self.sample(field0, fraction))
+        geometry = self.geometry_cache.get(
+            self.sample(field0, fraction), dtype=reconstructor.dtype_policy.compute
+        )
         shard_plan = None
         if shard_counts is not None:
             from repro.shard import ShardPlan, ShardedCampaignGeometry, make_shard_sink

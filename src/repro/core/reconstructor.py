@@ -18,6 +18,7 @@ training fit.
 from __future__ import annotations
 
 import dataclasses
+import threading
 from pathlib import Path
 
 import numpy as np
@@ -108,11 +109,26 @@ class FCNNReconstructor:
         self.fast_path = bool(fast_path)
         self.dtype_policy = DtypePolicy(dtype_policy)
         self._workspace: Workspace | None = None
+        # Single-writer guard for the shared Workspace arena: concurrent
+        # fine_tune_batch calls on one instance serialize here (ALS002 —
+        # arena buffers are keyed by tag, not by caller).
+        self._ft_lock = threading.Lock()
         self.model: Sequential | None = None
         self.normalizer: Normalizer | None = None
         self.history = TrainingHistory()
 
     # ------------------------------------------------------------ plumbing
+    def __getstate__(self) -> dict:
+        # The fine-tune guard is per-instance runtime state: a copy or an
+        # unpickled worker replica gets a fresh, unheld lock.
+        state = self.__dict__.copy()
+        state["_ft_lock"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._ft_lock = threading.Lock()
+
     @property
     def is_trained(self) -> bool:
         return self.model is not None and self.normalizer is not None
@@ -323,7 +339,30 @@ class FCNNReconstructor:
         Steps whose training matrices disagree in row count are grouped
         into separate stacks (fused batching needs a rectangular slab);
         each member's bits never depend on its group's size.
+
+        **Single-writer:** the call shares the instance's one
+        :class:`~repro.perf.Workspace` arena, whose buffers are keyed by
+        tag rather than by caller, so concurrent submissions on the same
+        instance are serialized on an internal lock (results are
+        identical to running them back to back).  For true parallelism
+        give each thread its own :meth:`clone`.
         """
+        with self._ft_lock:
+            return self._fine_tune_batch_locked(
+                fields, samples_per_step, epochs, strategy, num_trainable,
+                train_fraction, prefix_cache,
+            )
+
+    def _fine_tune_batch_locked(
+        self,
+        fields: list[TimestepField],
+        samples_per_step: list,
+        epochs: int,
+        strategy: str,
+        num_trainable: int,
+        train_fraction: float,
+        prefix_cache: bool,
+    ) -> tuple[list[np.ndarray], list[TrainingHistory]]:
         model, normalizer = self._require_trained()
         if strategy not in ("full", "last"):
             raise ValueError(f"strategy must be 'full' or 'last', got {strategy!r}")

@@ -44,6 +44,7 @@ import hashlib
 import threading
 import time
 import uuid
+from collections import OrderedDict
 from dataclasses import dataclass
 from queue import Empty, Full, Queue
 
@@ -188,31 +189,56 @@ class CampaignGeometry:
 
 
 class GeometryCache:
-    """Content-addressed cache of :class:`CampaignGeometry` objects.
+    """Content-addressed LRU cache of :class:`CampaignGeometry` objects.
 
     Re-running a campaign (or reconstructing several models against the
     same sample locations) reuses the void enumeration, positions and the
     kd-trees hanging off the cached arrays instead of recomputing them per
-    timestep.  Counters: ``campaign.geometry.hits`` / ``.misses``.
+    timestep.  Eviction is least-recently-used (a hit refreshes the
+    entry), and the cache key folds in the caller's compute dtype so
+    fast32 and fast64 runs over the same locations can never alias one
+    entry.  Counters: ``campaign.geometry.hits`` / ``.misses``; gauges
+    ``campaign.geometry.hit_count`` / ``.miss_count``.
     """
 
     def __init__(self, max_entries: int = 8) -> None:
         self.max_entries = int(max_entries)
-        self._entries: dict[str, CampaignGeometry] = {}
+        self._entries: OrderedDict[tuple[str, str], CampaignGeometry] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
 
-    def get(self, sample: SampledField) -> CampaignGeometry:
-        """The cached geometry for ``sample``'s locations (building it on miss)."""
-        key = geometry_key(sample.grid, sample.indices)
+    def get(self, sample: SampledField, dtype: str = "float64") -> CampaignGeometry:
+        """The cached geometry for ``sample``'s locations (building it on miss).
+
+        ``dtype`` is the caller's compute-dtype policy (for example
+        ``reconstructor.dtype_policy.compute``); it is part of the cache
+        key, not of the construction, so mixed-precision runs get
+        distinct entries instead of aliasing each other's geometry.
+        """
+        key = (geometry_key(sample.grid, sample.indices), str(dtype))
         cached = self._entries.get(key)
         if cached is not None:
+            self._entries.move_to_end(key)
+            self._hits += 1
             obs_counter("campaign.geometry.hits").inc()
+            obs_gauge("campaign.geometry.hit_count").set(self._hits)
             return cached
+        self._misses += 1
         obs_counter("campaign.geometry.misses").inc()
+        obs_gauge("campaign.geometry.miss_count").set(self._misses)
         geometry = CampaignGeometry.from_sample(sample)
-        if len(self._entries) >= self.max_entries:
-            self._entries.pop(next(iter(self._entries)))
+        while len(self._entries) >= self.max_entries:
+            self._entries.popitem(last=False)
         self._entries[key] = geometry
         return geometry
+
+    @property
+    def hits(self) -> int:
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        return self._misses
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -969,12 +995,24 @@ class _WorkerState:
         init = payload["init"]
         self.handles: list = []
         self.arrays: dict[str, np.ndarray] = {}
-        for name, spec in init["specs"].items():
-            shm = _shm._attach(spec.shm_name)
-            self.handles.append(shm)
-            self.arrays[name] = np.ndarray(
-                spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf
-            )
+        try:
+            for name, spec in init["specs"].items():
+                shm = _shm._attach(spec.shm_name)
+                self.handles.append(shm)
+                self.arrays[name] = np.ndarray(
+                    spec.shape, dtype=np.dtype(spec.dtype), buffer=shm.buf
+                )
+        except BaseException:
+            # A failure between attach and first read must not leak the
+            # already-opened mappings: drop the views, close every handle.
+            self.arrays.clear()
+            for shm in self.handles:
+                try:
+                    shm.close()
+                except BufferError:  # pragma: no cover - view still alive
+                    pass
+            self.handles.clear()
+            raise
         indices = np.array(self.arrays["indices"], dtype=np.int64, copy=True)
         self.geometry = CampaignGeometry(init["grid"], indices, init["fraction"])
         self.sample = self.geometry.shell()

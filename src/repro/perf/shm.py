@@ -120,13 +120,22 @@ class SharedArrayBundle:
         return sum(view.nbytes for _, view in self._segments.values())
 
     def close(self) -> None:
-        """Release and unlink every segment; safe to call twice."""
+        """Release and unlink every segment; safe to call twice.
+
+        Entries are popped before closing so the ``(shm, view)`` tuple —
+        and with it the numpy view pinning the mapped buffer — is dropped
+        *before* ``shm.close()``.  Iterating the dict instead would keep
+        every view alive through its tuple, making each close raise a
+        (previously swallowed) ``BufferError`` and deferring the actual
+        unmap to garbage collection.
+        """
         segments, self._segments = self._segments, {}
-        for shm, view in segments.values():
+        while segments:
+            _, (shm, view) = segments.popitem()
             del view
             try:
                 shm.close()
-            except BufferError:  # pragma: no cover - view still referenced
+            except BufferError:  # pragma: no cover - caller kept a view alive
                 pass
             try:
                 shm.unlink()

@@ -83,3 +83,24 @@ def dense_sample(hurricane_field):
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(42)
+
+
+@pytest.fixture(scope="session")
+def serve_registry(tmp_path_factory):
+    """A small populated model registry (trained once per session).
+
+    Three fine-tuned timesteps of one combustion namespace — shared by
+    the ``repro.serve`` suites, which treat it as read-only.
+    """
+    from repro.serve import build_registry
+
+    root = tmp_path_factory.mktemp("serve-registry")
+    return build_registry(
+        root,
+        dims=(10, 10, 5),
+        fraction=0.06,
+        timesteps=(0, 1, 2),
+        epochs=6,
+        finetune_epochs=2,
+        hidden=(16, 8),
+    )

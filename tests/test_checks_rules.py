@@ -616,3 +616,38 @@ def test_dtype_boundary_only_applies_inside_nn(tmp_path):
     src = "import numpy as np\ndef load(x):\n    return np.asarray(x)\n"
     fixture = RuleFixture("io_helpers/loader.py", src, src, src)
     assert not _run_fixture(tmp_path, fixture, src, "DT001").findings
+
+
+def test_thr001_condition_variable_counts_as_lock(tmp_path):
+    """``with self._cond:`` guards writes: condition variables ARE locks."""
+    src = (
+        "import threading\n"
+        "class Server:\n"
+        "    def __init__(self):\n"
+        "        self._cond = threading.Condition()\n"
+        "        self._n = {'requests': 0}\n"
+        "        threading.Thread(target=self._run).start()\n"
+        "    def _run(self):\n"
+        "        with self._cond:\n"
+        "            self._n['requests'] += 1\n"
+    )
+    fixture = RuleFixture("repro_fixture/serve.py", src, src, src)
+    assert not _run_fixture(tmp_path, fixture, src, "THR001").findings
+
+
+def test_thr001_cond_heuristic_anchors_to_name_segment(tmp_path):
+    """``second``/``precondition`` must not pass as locks via 'cond'."""
+    src = (
+        "import threading\n"
+        "class Server:\n"
+        "    def __init__(self):\n"
+        "        self._second = open('/dev/null')\n"
+        "        self._n = {'requests': 0}\n"
+        "        threading.Thread(target=self._run).start()\n"
+        "    def _run(self):\n"
+        "        with self._second:\n"
+        "            self._n['requests'] += 1\n"
+    )
+    fixture = RuleFixture("repro_fixture/serve.py", src, src, src)
+    findings = _run_fixture(tmp_path, fixture, src, "THR001").findings
+    assert findings and all(f.rule == "THR001" for f in findings)

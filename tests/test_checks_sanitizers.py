@@ -134,6 +134,32 @@ def test_shm_attach_is_not_a_creation():
         outer.unlink()
 
 
+def test_shm_bundle_lifecycle_is_clean_under_tracker():
+    """SharedArrayBundle.close() releases and unlinks deterministically."""
+    from repro.perf import SharedArrayBundle
+
+    with ShmLeakTracker():
+        bundle = SharedArrayBundle.create({"a": np.arange(8.0)})
+        bundle.close()
+
+
+def test_shm_worker_crash_between_attach_and_read_is_clean():
+    """A worker dying right after attach must not strand the segment.
+
+    The parent's close() is the sole unlink authority; the tracker
+    verifies that a crash inside the attach window leaves nothing behind
+    once the parent tears the bundle down.
+    """
+    from repro.perf import SharedArrayBundle, attached_arrays
+
+    with ShmLeakTracker():
+        bundle = SharedArrayBundle.create({"a": np.arange(8.0)})
+        with pytest.raises(RuntimeError, match="between attach"):
+            with attached_arrays(bundle.specs):
+                raise RuntimeError("crash between attach and first read")
+        bundle.close()
+
+
 def test_shm_tracker_restores_patches():
     orig_init = shared_memory.SharedMemory.__init__
     orig_unlink = shared_memory.SharedMemory.unlink

@@ -1,0 +1,137 @@
+"""Concurrent ``fine_tune_batch`` submissions sharing one Workspace arena.
+
+``fine_tune_batch`` routes all K members through its instance's single
+:class:`repro.perf.Workspace`, whose buffers are keyed by tag rather
+than by caller — two interleaved submissions would overwrite each
+other's arenas.  The documented contract is **single-writer**: an
+internal per-instance lock serializes concurrent submissions (results
+identical to running them back to back), and true parallelism requires
+per-thread :meth:`~repro.core.FCNNReconstructor.clone`\\ s.  These tests
+prove both sides of that contract, plus an ALS002-rule regression for
+the hazard class the lock guards (arena state escaping its call).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.reconstructor import FCNNReconstructor
+from repro.datasets.registry import make_dataset
+from repro.sampling import MultiCriteriaSampler
+
+
+@pytest.fixture(scope="module")
+def tuned_setup():
+    """A small trained base plus two timesteps' fine-tune inputs."""
+    data = make_dataset("combustion", dims=(10, 10, 5), seed=0)
+    sampler = MultiCriteriaSampler(seed=0)
+    field0 = data.field(0)
+    recon = FCNNReconstructor(hidden_layers=(16, 8), seed=0)
+    recon.train(field0, [sampler.sample(field0, f) for f in (0.02, 0.05)], epochs=5)
+    fields = [data.field(t) for t in (1, 2)]
+    trains = [[sampler.sample(fld, 0.05)] for fld in fields]
+    return recon, fields, trains
+
+
+def _flats(recon, fields, trains):
+    flats, _ = recon.fine_tune_batch(fields, trains, epochs=2)
+    return flats
+
+
+class TestSingleWriterLock:
+    def test_concurrent_submissions_match_serial_bitwise(self, tuned_setup):
+        """N threads on ONE instance: every result equals the serial one."""
+        recon, fields, trains = tuned_setup
+        reference = _flats(recon, fields, trains)
+        results: list = [None] * 4
+        errors: list = []
+
+        def work(i: int) -> None:
+            try:
+                results[i] = _flats(recon, fields, trains)
+            except Exception as exc:  # pragma: no cover - the failure mode
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for flats in results:
+            assert flats is not None
+            for got, want in zip(flats, reference):
+                assert got.tobytes() == want.tobytes()
+
+    def test_lock_serializes_overlapping_calls(self, tuned_setup):
+        """While one submission holds the arena, a second one blocks."""
+        recon, fields, trains = tuned_setup
+        started = threading.Event()
+        finished = threading.Event()
+
+        def work() -> None:
+            started.set()
+            _flats(recon, fields, trains)
+            finished.set()
+
+        with recon._ft_lock:  # simulate an in-flight submission
+            t = threading.Thread(target=work)
+            t.start()
+            assert started.wait(5.0)
+            assert not finished.wait(0.3)  # blocked on the single-writer lock
+        assert finished.wait(30.0)
+        t.join()
+
+    def test_clones_give_true_parallelism_with_identical_bits(self, tuned_setup):
+        """Per-thread clones (the documented parallel idiom) agree bitwise."""
+        recon, fields, trains = tuned_setup
+        reference = _flats(recon, fields, trains)
+        results: list = [None] * 3
+        errors: list = []
+
+        def work(i: int, clone: FCNNReconstructor) -> None:
+            try:
+                results[i] = _flats(clone, fields, trains)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=work, args=(i, recon.clone())) for i in range(3)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for flats in results:
+            for got, want in zip(flats, reference):
+                assert got.tobytes() == want.tobytes()
+
+
+def test_als002_still_flags_escaping_arena_state(tmp_path):
+    """Regression: the rule backing the single-writer contract stays armed.
+
+    The lock exists because arena buffers are keyed by tag, not caller;
+    the matching static guard is ALS002 (arena state persisted beyond
+    its call).  If this trigger stops firing, the contract has lost its
+    automated enforcement.
+    """
+    from repro.checks import CheckConfig, run_checks
+
+    target = tmp_path / "nn" / "tuner_fixture.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(
+        "import numpy as np\n"
+        "class Tuner:\n"
+        "    def fine_tune_batch(self, x, ws):\n"
+        "        feat = ws.buffer('feat', x.shape)\n"
+        "        np.multiply(x, 2.0, out=feat)\n"
+        "        self._feat = feat\n"
+        "        return feat\n"
+    )
+    result = run_checks([tmp_path], config=CheckConfig(select=frozenset({"ALS002"})))
+    assert result.findings
+    assert all(f.rule == "ALS002" for f in result.findings)

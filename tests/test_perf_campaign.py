@@ -201,12 +201,47 @@ class TestGeometry:
         assert counter("campaign.geometry.hits").value == 1
         assert counter("campaign.geometry.misses").value == 1
 
-    def test_cache_evicts_fifo(self, campaign_pipeline):
+    def test_cache_evicts_lru_not_fifo(self, campaign_pipeline):
         cache = GeometryCache(max_entries=2)
         field = campaign_pipeline.field(0)
-        for fraction in (0.04, 0.06, 0.08):
-            cache.get(campaign_pipeline.sample(field, fraction))
+        first = cache.get(campaign_pipeline.sample(field, 0.04))
+        cache.get(campaign_pipeline.sample(field, 0.06))
+        # Touch the oldest entry: under LRU it survives the next insert,
+        # under the old FIFO it would be the one evicted.
+        assert cache.get(campaign_pipeline.sample(field, 0.04)) is first
+        cache.get(campaign_pipeline.sample(field, 0.08))
         assert len(cache) == 2
+        assert cache.get(campaign_pipeline.sample(field, 0.04)) is first
+        # 0.06 was least recently used and evicted: re-get is a rebuild
+        misses_before = cache.misses
+        cache.get(campaign_pipeline.sample(field, 0.06))
+        assert cache.misses == misses_before + 1
+
+    def test_cache_key_includes_dtype_policy(self, campaign_pipeline):
+        cache = GeometryCache()
+        field = campaign_pipeline.field(0)
+        sample = campaign_pipeline.sample(field, 0.05)
+        g64 = cache.get(sample, dtype="float64")
+        g32 = cache.get(sample, dtype="float32")
+        # same sites, different compute dtype: distinct entries, no aliasing
+        assert g32 is not g64
+        assert len(cache) == 2
+        assert cache.get(sample, dtype="float64") is g64
+        assert cache.get(sample, dtype="float32") is g32
+
+    def test_cache_hit_miss_gauges(self, campaign_pipeline, metrics):
+        from repro.obs import gauge
+
+        cache = GeometryCache()
+        field = campaign_pipeline.field(0)
+        sample = campaign_pipeline.sample(field, 0.05)
+        cache.get(sample)
+        cache.get(sample)
+        cache.get(sample)
+        assert cache.hits == 2
+        assert cache.misses == 1
+        assert gauge("campaign.geometry.hit_count").value == 2
+        assert gauge("campaign.geometry.miss_count").value == 1
 
 
 # ---------------------------------------------------------------------------

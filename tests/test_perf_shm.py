@@ -50,6 +50,68 @@ class TestBundle:
             with attached_arrays(specs):
                 pass
 
+    def test_close_releases_views_before_closing_segments(self, monkeypatch):
+        """close() must drop each numpy view before SharedMemory.close().
+
+        The old teardown iterated the segment dict, so the (shm, view)
+        tuples stayed alive through their dict entries and every close
+        raised a silently-swallowed BufferError, deferring the real unmap
+        to garbage collection.
+        """
+        import multiprocessing.shared_memory as sm
+
+        buffer_errors = []
+        real_close = sm.SharedMemory.close
+
+        def checked_close(self):
+            try:
+                real_close(self)
+            except BufferError as exc:  # pragma: no cover - the regression
+                buffer_errors.append(exc)
+                raise
+
+        monkeypatch.setattr(sm.SharedMemory, "close", checked_close)
+        bundle = SharedArrayBundle.create(
+            {"a": np.arange(16.0), "b": np.ones((4, 4))}
+        )
+        bundle.close()
+        assert buffer_errors == []
+
+    def test_worker_attach_failure_closes_opened_handles(self, monkeypatch):
+        """A crash between attach and first read must not leak open handles."""
+        from repro.grid import UniformGrid
+        from repro.perf import campaign as campaign_mod
+
+        opened = []
+        real_attach = campaign_mod._shm._attach
+
+        def tracking_attach(name):
+            shm = real_attach(name)
+            opened.append(shm)
+            return shm
+
+        monkeypatch.setattr(campaign_mod._shm, "_attach", tracking_attach)
+        with SharedArrayBundle.create(
+            {"indices": np.arange(4, dtype=np.int64)}
+        ) as bundle:
+            specs = dict(bundle.specs)
+            # second attach in the loop fails: the first, already-mapped
+            # segment must be closed before the error propagates
+            specs["missing"] = SharedArraySpec("psm_repro_never_created", (4,), "<f8")
+            payload = {
+                "init": {
+                    "specs": specs,
+                    "grid": UniformGrid((4, 1, 1)),
+                    "fraction": 1.0,
+                    "tags": [],
+                    "models": {},
+                }
+            }
+            with pytest.raises(FileNotFoundError):
+                campaign_mod._WorkerState(payload)
+        assert len(opened) == 1
+        assert opened[0].buf is None  # closed, not leaked
+
     def test_empty_array_supported(self):
         with SharedArrayBundle.create({"empty": np.empty((0, 3))}) as bundle:
             with attached_arrays(bundle.specs) as arrays:

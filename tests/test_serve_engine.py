@@ -1,0 +1,138 @@
+"""Fused StackEvaluator: bit-identity to the serial path, stack reuse, chunks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.perf import DtypePolicy
+from repro.perf.weights import restore_weights
+from repro.resilience.health import NumericalHealthError
+from repro.serve import StackEvaluator
+
+
+@pytest.fixture
+def namespace(serve_registry):
+    return serve_registry.namespace("combustion", 0.06)
+
+
+@pytest.fixture
+def serial_rows(serve_registry, namespace):
+    """Per-key serial (predict_values, reconstruct) references."""
+    base = namespace.base.clone()
+    shell = namespace.geometry.shell()
+    out = {}
+    for key in serve_registry.keys():
+        weights, values = serve_registry.hot(key)
+        restore_weights(base.model, weights)
+        shell.values[...] = values
+        out[key] = (
+            base.predict_values(shell, namespace.geometry.void_points).copy(),
+            base.reconstruct(shell).copy(),
+        )
+    return out
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_fused_rows_match_serial_predict_bitwise(
+        self, serve_registry, namespace, serial_rows, k
+    ):
+        evaluator = StackEvaluator(namespace.base, namespace.geometry)
+        keys = serve_registry.keys()[:k]
+        rows = [serve_registry.hot(key) for key in keys]
+        pred, reports = evaluator.evaluate([w for w, _ in rows], [v for _, v in rows])
+        assert pred.shape == (k, namespace.geometry.num_voids)
+        assert len(reports) == k
+        for member, key in enumerate(keys):
+            assert pred[member].tobytes() == serial_rows[key][0].tobytes()
+
+    def test_repeated_evaluations_are_stable(self, serve_registry, namespace):
+        evaluator = StackEvaluator(namespace.base, namespace.geometry)
+        keys = serve_registry.keys()
+        rows = [serve_registry.hot(key) for key in keys]
+        first, _ = evaluator.evaluate([w for w, _ in rows], [v for _, v in rows])
+        # reversed member order through the (reused) warm stack
+        second, _ = evaluator.evaluate(
+            [w for w, _ in reversed(rows)], [v for _, v in reversed(rows)]
+        )
+        assert first.tobytes() == second[::-1].copy().tobytes()
+
+    def test_assemble_matches_serial_reconstruct(
+        self, serve_registry, namespace, serial_rows
+    ):
+        evaluator = StackEvaluator(namespace.base, namespace.geometry)
+        key = serve_registry.keys()[0]
+        weights, values = serve_registry.hot(key)
+        pred, _ = evaluator.evaluate([weights], [values])
+        volume = evaluator.assemble(values, pred[0])
+        assert volume.tobytes() == serial_rows[key][1].tobytes()
+
+
+class TestStacks:
+    def test_stack_reused_per_member_count(self, serve_registry, namespace):
+        evaluator = StackEvaluator(namespace.base, namespace.geometry, max_stacks=2)
+        rows = [serve_registry.hot(key) for key in serve_registry.keys()[:2]]
+        evaluator.evaluate([rows[0][0]], [rows[0][1]])
+        one = evaluator._stacks[1]
+        evaluator.evaluate([rows[1][0]], [rows[1][1]])
+        assert evaluator._stacks[1] is one  # K=1 stack reused, not rebuilt
+        evaluator.evaluate([w for w, _ in rows], [v for _, v in rows])
+        assert set(evaluator._stacks) == {1, 2}
+
+    def test_stack_lru_bounded(self, serve_registry, namespace):
+        evaluator = StackEvaluator(namespace.base, namespace.geometry, max_stacks=1)
+        rows = [serve_registry.hot(key) for key in serve_registry.keys()]
+        for k in (1, 2, 3):
+            evaluator.evaluate([w for w, _ in rows[:k]], [v for _, v in rows[:k]])
+            assert list(evaluator._stacks) == [k]
+
+    def test_mismatched_rows_rejected(self, serve_registry, namespace):
+        evaluator = StackEvaluator(namespace.base, namespace.geometry)
+        weights, values = serve_registry.hot(serve_registry.keys()[0])
+        with pytest.raises(ValueError, match="matching"):
+            evaluator.evaluate([weights], [values, values])
+        with pytest.raises(ValueError, match="matching"):
+            evaluator.evaluate([], [])
+
+
+class TestChunks:
+    def test_chunk_bounds_tile_the_voids(self, namespace):
+        evaluator = StackEvaluator(namespace.base, namespace.geometry)
+        bounds = [evaluator.chunk_bounds(c) for c in range(evaluator.num_chunks())]
+        assert bounds[0][0] == 0
+        assert bounds[-1][1] == namespace.geometry.num_voids
+        for (_, stop), (start, _) in zip(bounds, bounds[1:]):
+            assert stop == start
+
+    def test_chunk_out_of_range(self, namespace):
+        evaluator = StackEvaluator(namespace.base, namespace.geometry)
+        with pytest.raises(IndexError, match="chunk"):
+            evaluator.chunk_bounds(evaluator.num_chunks())
+        with pytest.raises(IndexError, match="chunk"):
+            evaluator.chunk_bounds(-1)
+
+
+class TestGuards:
+    def test_float32_base_rejected(self, namespace):
+        impostor = namespace.base.clone()
+        impostor.dtype_policy = DtypePolicy("float32")
+        with pytest.raises(ValueError, match="float64"):
+            StackEvaluator(impostor, namespace.geometry)
+
+    def test_nonfinite_fallback_and_raise(self, serve_registry, namespace):
+        evaluator = StackEvaluator(namespace.base, namespace.geometry)
+        weights, values = serve_registry.hot(serve_registry.keys()[0])
+        poisoned = np.array(weights, copy=True)
+        poisoned[:] = np.nan
+        pred, reports = evaluator.evaluate([poisoned], [values], on_nonfinite="fallback")
+        assert np.isfinite(pred).all()  # degraded to nearest-neighbor values
+        assert reports[0].degraded_points > 0
+        with pytest.raises(NumericalHealthError):
+            evaluator.evaluate([poisoned], [values], on_nonfinite="raise")
+
+    def test_invalid_on_nonfinite(self, serve_registry, namespace):
+        evaluator = StackEvaluator(namespace.base, namespace.geometry)
+        weights, values = serve_registry.hot(serve_registry.keys()[0])
+        with pytest.raises(ValueError, match="on_nonfinite"):
+            evaluator.evaluate([weights], [values], on_nonfinite="shrug")

@@ -1,0 +1,136 @@
+"""Model registry: manifest durability, cold mmap tier, hot LRU."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve import ModelKey, ModelRegistry
+
+
+@pytest.fixture
+def registry(serve_registry):
+    return serve_registry
+
+
+class TestKeys:
+    def test_keys_and_len(self, registry):
+        keys = registry.keys()
+        assert len(keys) == len(registry) == 3
+        assert keys == sorted(keys)
+        assert all(k.dataset == "combustion" for k in keys)
+        assert [k.timestep for k in keys] == [0, 1, 2]
+
+    def test_contains(self, registry):
+        key = registry.keys()[0]
+        assert key in registry
+        assert ModelKey("combustion", 0.06, 99) not in registry
+        assert ModelKey("nope", 0.06, 0) not in registry
+
+    def test_namespace_id_is_stable(self):
+        assert ModelKey("combustion", 0.06, 3).namespace_id == "combustion-f0.060000"
+
+    def test_unknown_namespace_raises(self, registry):
+        with pytest.raises(KeyError, match="no namespace"):
+            registry.namespace("nope", 0.5)
+        with pytest.raises(KeyError, match="no weights"):
+            registry.cold_weights(ModelKey("combustion", 0.06, 99))
+
+
+class TestColdTier:
+    def test_cold_weights_are_memory_mapped(self, registry):
+        weights = registry.cold_weights(registry.keys()[0])
+        assert isinstance(weights, np.memmap)
+        assert not weights.flags.writeable
+
+    def test_cold_values_match_namespace_sites(self, registry):
+        ns = registry.namespaces()[0]
+        values = registry.cold_values(registry.keys()[0])
+        assert values.shape == (ns.indices.size,)
+
+
+class TestHotTier:
+    def test_hot_lru_hits_and_eviction(self, registry):
+        # a second handle over the same directory with a tiny hot tier
+        small = ModelRegistry(registry.root, hot_capacity=2)
+        k0, k1, k2 = small.keys()
+        w0, v0 = small.hot(k0)
+        assert small.hot(k0)[0] is w0  # hit returns the cached object
+        small.hot(k1)
+        small.hot(k0)        # refresh k0: k1 is now the LRU entry
+        small.hot(k2)        # evicts k1
+        stats = small.stats()
+        assert stats["hot_entries"] == 2
+        assert stats["hot_hits"] == 2
+        assert small.hot(k1)[0] is not None  # miss: re-paged from cold
+        assert small.stats()["hot_misses"] == 4
+
+    def test_hot_matches_cold_bits(self, registry):
+        key = registry.keys()[1]
+        weights, values = registry.hot(key)
+        assert weights.tobytes() == np.array(registry.cold_weights(key)).tobytes()
+        assert values.tobytes() == np.array(registry.cold_values(key)).tobytes()
+
+
+@pytest.fixture
+def scratch_registry(registry, tmp_path):
+    """A private on-disk copy: put tests must not mutate the shared fixture."""
+    import shutil
+
+    root = tmp_path / "registry-copy"
+    shutil.copytree(registry.root, root)
+    return ModelRegistry(root)
+
+
+class TestPut:
+    def test_put_new_timestep_and_invalidation(self, scratch_registry):
+        other = scratch_registry
+        key = other.keys()[0]
+        weights, values = other.hot(key)
+        new_key = ModelKey(key.dataset, key.fraction, 7)
+        other.put(new_key, weights * 2.0, values)
+        assert new_key in other
+        got, _ = other.hot(new_key)
+        assert got.tobytes() == (weights * 2.0).tobytes()
+        # re-put with different weights drops the stale hot entry
+        other.put(new_key, weights * 3.0, values)
+        got2, _ = other.hot(new_key)
+        assert got2.tobytes() == (weights * 3.0).tobytes()
+
+    def test_put_validates_value_count(self, scratch_registry):
+        other = scratch_registry
+        key = other.keys()[0]
+        weights, values = other.hot(key)
+        with pytest.raises(ValueError, match="sample values"):
+            other.put(ModelKey(key.dataset, key.fraction, 8), weights, values[:-1])
+
+
+class TestDurability:
+    def test_reopen_from_manifest(self, registry):
+        reopened = ModelRegistry(registry.root)
+        assert reopened.keys() == registry.keys()
+        ns = reopened.namespaces()[0]
+        assert ns.grid.dims == registry.namespaces()[0].grid.dims
+        assert ns.base.is_trained
+
+    def test_unsupported_schema_rejected(self, tmp_path):
+        (tmp_path / "registry.json").write_text(
+            json.dumps({"schema": 99, "namespaces": {}})
+        )
+        with pytest.raises(ValueError, match="schema"):
+            ModelRegistry(tmp_path)
+
+    def test_artifacts_have_no_temp_droppings(self, registry):
+        leftovers = list(registry.root.rglob("*.tmp"))
+        assert leftovers == []
+
+
+class TestGeometrySharing:
+    def test_namespace_geometry_comes_from_shared_cache(self, registry):
+        ns = registry.namespaces()[0]
+        geometry = ns.geometry
+        assert geometry is ns.geometry  # lazy, computed once
+        # the registry's cache (primed by the builder) served the object
+        assert len(registry.geometry_cache) >= 1
